@@ -1,0 +1,75 @@
+"""Design-choice ablation: what each CLM optimization buys.
+
+DESIGN.md's per-experiment index calls for ablations of the §4.2
+optimizations beyond the paper's own Figure 14/Table 5 (which ablate
+caching and ordering on *volume*).  This benchmark ablates end-to-end
+throughput on the simulated 4090 for BigCity at naive-max size:
+
+- full CLM (caching + TSP + overlapped Adam),
+- no Gaussian caching,
+- no overlapped CPU Adam (single batch-end update),
+- random ordering,
+- all off (still pipelined + selective loading),
+- naive offloading (nothing at all).
+"""
+
+from conftest import PAPER_MODEL_SIZES, emit
+
+from repro.analysis.reporting import format_table
+from repro.core.config import TimingConfig
+from repro.core.timed import run_timed
+from repro.hardware.specs import RTX4090_TESTBED
+
+VARIANTS = (
+    ("full CLM", dict()),
+    ("no caching", dict(enable_cache=False)),
+    ("no overlapped Adam", dict(enable_overlap_adam=False)),
+    ("random order", dict(ordering="random")),
+    ("all off", dict(enable_cache=False, enable_overlap_adam=False,
+                     ordering="random")),
+)
+
+
+def compute(bench_scenes):
+    scene, index = bench_scenes("bigcity")
+    n = PAPER_MODEL_SIZES["rtx4090"]["naive_max"]["bigcity"]
+    rows = []
+    for label, overrides in VARIANTS:
+        cfg = TimingConfig(testbed=RTX4090_TESTBED, paper_num_gaussians=n,
+                           num_batches=6, seed=0, **overrides)
+        res = run_timed("clm", scene, index, cfg)
+        rows.append([label, res.images_per_second,
+                     res.load_bytes_per_batch / 1e9,
+                     res.adam_trailing_s * 1e3])
+    naive = run_timed(
+        "naive", scene, index,
+        TimingConfig(testbed=RTX4090_TESTBED, paper_num_gaussians=n,
+                     num_batches=6, seed=0),
+    )
+    rows.append(["naive offloading", naive.images_per_second,
+                 naive.load_bytes_per_batch / 1e9,
+                 naive.adam_trailing_s * 1e3])
+    return rows
+
+
+def test_ablation_features(benchmark, bench_scenes, results_log):
+    rows = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+                              iterations=1)
+    table = format_table(
+        ["variant", "img/s", "load GB/batch", "Adam trailing ms"],
+        rows, floatfmt="{:.2f}",
+    )
+    emit("Design ablation — BigCity @ naive-max on RTX 4090", table)
+    results_log.record("ablation_features", {"rows": rows})
+
+    by = {r[0]: r for r in rows}
+    full = by["full CLM"][1]
+    # Every ablation is at most as fast as full CLM (small tolerance for
+    # scheduling noise), and even 'all off' beats naive (selective loading
+    # + pipelining alone carry most of the win on BigCity — the paper's
+    # Figure 14 observation).
+    for label, *_ in VARIANTS[1:]:
+        assert by[label][1] <= full * 1.05, label
+    assert by["all off"][1] > by["naive offloading"][1]
+    # Overlapped Adam specifically shrinks the trailing time.
+    assert by["full CLM"][3] <= by["no overlapped Adam"][3] + 1e-6

@@ -1,0 +1,79 @@
+"""Figure 14: average CPU->GPU parameter volume per training batch.
+
+Six variants per scene: naive offloading, CLM without caching, and CLM with
+caching under the four orderings of Table 4.  Paper shape: selective
+loading alone cuts volume massively (79% on BigCity); caching adds more
+where views overlap (33% extra on Bicycle, 12% on BigCity); TSP order is
+the consistent minimum among orderings.
+"""
+
+from conftest import PAPER_MODEL_SIZES, emit
+
+from repro.analysis.reporting import format_table
+from repro.core.config import TimingConfig
+from repro.core.timed import communication_volume_per_batch
+from repro.hardware.specs import RTX4090_TESTBED
+from repro.scenes.datasets import scene_names
+
+# (label, system, ordering, enable_cache)
+VARIANTS = (
+    ("naive", "naive", "random", True),
+    ("no_cache", "clm", "random", False),
+    ("random", "clm", "random", True),
+    ("camera", "clm", "camera", True),
+    ("gs_count", "clm", "gs_count", True),
+    ("tsp", "clm", "tsp", True),
+)
+
+
+def compute(bench_scenes):
+    rows = []
+    for scene_name in scene_names():
+        scene, index = bench_scenes(scene_name)
+        n = PAPER_MODEL_SIZES["rtx4090"]["naive_max"][scene_name]
+        row = [scene_name]
+        for _label, system, ordering, enable_cache in VARIANTS:
+            cfg = TimingConfig(
+                testbed=RTX4090_TESTBED, paper_num_gaussians=n,
+                num_batches=8, seed=0, ordering=ordering,
+                enable_cache=enable_cache,
+            )
+            gb = communication_volume_per_batch(scene, index, cfg,
+                                                system=system) / 1e9
+            row.append(gb)
+        rows.append(row)
+    return rows
+
+
+def test_fig14_comm_volume(benchmark, bench_scenes, results_log):
+    rows = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+                              iterations=1)
+    table = format_table(
+        ["scene", "naive GB", "no-cache GB", "random GB", "camera GB",
+         "gs_count GB", "tsp GB"],
+        rows, floatfmt="{:.2f}",
+    )
+    emit("Figure 14 — CPU->GPU parameter volume per batch (RTX 4090, "
+         "naive-max sizes)", table)
+    results_log.record("fig14", {"rows": rows})
+
+    for row in rows:
+        scene_name, naive, no_cache, random_, camera, gs_count, tsp = row
+        # Selective loading alone cuts volume.
+        assert no_cache < naive, scene_name
+        # Caching (any ordering) does not exceed no-cache.
+        assert tsp <= no_cache + 1e-9, scene_name
+        # TSP is the minimum ordering (within float tolerance).
+        assert tsp <= random_ + 1e-9
+        assert tsp <= camera + 1e-9
+        assert tsp <= gs_count + 1e-9
+
+    by_scene = {r[0]: r for r in rows}
+    # BigCity: selective loading is the big win (paper: 79% vs naive).
+    assert by_scene["bigcity"][2] < 0.5 * by_scene["bigcity"][1]
+    # Bicycle: caching gives a further cut over no-cache (paper: 33%).
+    assert by_scene["bicycle"][6] < 0.9 * by_scene["bicycle"][2]
+    # Naive volumes equal N x 59 x 4 bytes (the Figure 14 anchoring).
+    for scene_name in scene_names():
+        n = PAPER_MODEL_SIZES["rtx4090"]["naive_max"][scene_name]
+        assert by_scene[scene_name][1] * 1e9 == n * 59 * 4

@@ -1,0 +1,54 @@
+"""Figure 5: empirical CDFs of per-view sparsity rho across the 5 scenes.
+
+Paper shape: BigCity hugs the y-axis (avg 0.39%, max 1.06%), Ithaca and
+Alameda next, Rubble wider, Bicycle extends to ~0.3.
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sparsity import sparsity_cdf, sparsity_summary
+from repro.scenes.datasets import scene_names
+
+
+def compute(bench_scenes):
+    rows = []
+    curves = {}
+    for name in scene_names():
+        _, index = bench_scenes(name)
+        s = sparsity_summary(index)
+        rhos, cdf = sparsity_cdf(index)
+        curves[name] = (rhos, cdf)
+        rows.append([name, 100 * s["mean"], 100 * s["p50"], 100 * s["p90"],
+                     100 * s["max"]])
+    return rows, curves
+
+
+def test_fig5_sparsity_cdf(benchmark, bench_scenes, results_log):
+    rows, curves = benchmark.pedantic(
+        compute, args=(bench_scenes,), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["scene", "mean rho %", "p50 %", "p90 %", "max %"],
+        rows,
+        floatfmt="{:.2f}",
+    )
+    emit("Figure 5 — sparsity CDFs (summary points)", table)
+    from repro.analysis.plotting import ascii_cdf
+
+    emit(
+        "Figure 5 — the curves",
+        ascii_cdf(curves, x_label="fraction of Gaussians (rho)",
+                  y_label="proportion of views"),
+    )
+    results_log.record("fig5", {"rows": rows})
+
+    means = {r[0]: r[1] for r in rows}
+    # Figure 5 ordering of the curves.
+    assert means["bicycle"] > means["rubble"] > means["alameda"]
+    assert means["alameda"] > means["ithaca"] > means["bigcity"]
+    # §3's BigCity numbers: average 0.39%, max ~1%.
+    assert means["bigcity"] < 1.5
+    maxes = {r[0]: r[4] for r in rows}
+    assert maxes["bigcity"] < 3.0
+    assert maxes["bicycle"] < 40.0  # curve ends around rho ~ 0.3

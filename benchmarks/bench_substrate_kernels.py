@@ -1,0 +1,65 @@
+"""Substrate micro-benchmarks: wall-clock cost of the NumPy kernels.
+
+Not a paper table — these time the actual reproduction substrate (render
+forward/backward, frustum culling, transfer planning, TSP) so regressions
+in the hot paths are visible.  Uses pytest-benchmark's real timing loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.caching import build_transfer_plan
+from repro.core.scheduler import tsp_order
+from repro.gaussians.camera import look_at_camera
+from repro.gaussians.frustum import cull_gaussians
+from repro.gaussians.loss import photometric_loss
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.render import render, render_backward
+
+
+@pytest.fixture(scope="module")
+def render_setup():
+    model = GaussianModel.random(300, extent=0.8, sh_degree=1, seed=0)
+    cam = look_at_camera(eye=(0, -2.5, 0.8), target=(0, 0, 0),
+                         width=96, height=64, view_id=0)
+    target = np.random.default_rng(0).uniform(0, 1, (64, 96, 3))
+    return model, cam, target
+
+
+def test_bench_render_forward(benchmark, render_setup):
+    model, cam, _ = render_setup
+    result = benchmark(lambda: render(cam, model))
+    assert result.image.shape == (64, 96, 3)
+
+
+def test_bench_render_backward(benchmark, render_setup):
+    model, cam, target = render_setup
+    result = render(cam, model)
+    _, g_img = photometric_loss(result.image, target)
+
+    grads = benchmark(lambda: render_backward(result, model, g_img))
+    assert grads["positions"].shape == model.positions.shape
+
+
+def test_bench_frustum_culling(benchmark, render_setup):
+    model, cam, _ = render_setup
+    big = GaussianModel.random(50_000, extent=3.0, sh_degree=1, seed=1)
+    out = benchmark(
+        lambda: cull_gaussians(cam, big.positions, big.log_scales,
+                               big.quaternions)
+    )
+    assert out.size > 0
+
+
+def test_bench_transfer_plan(benchmark):
+    rng = np.random.default_rng(0)
+    sets = [np.unique(rng.integers(0, 200_000, 20_000)) for _ in range(16)]
+    steps = benchmark(lambda: build_transfer_plan(sets))
+    assert len(steps) == 16
+
+
+def test_bench_tsp_batch64(benchmark):
+    rng = np.random.default_rng(0)
+    sets = [np.unique(rng.integers(0, 100_000, 3000)) for _ in range(64)]
+    order = benchmark(lambda: tsp_order(sets, time_limit_s=1e-3, seed=0))
+    assert sorted(order) == list(range(64))

@@ -1,0 +1,59 @@
+"""Table 2: Gaussian counts and training memory demand per scene.
+
+Paper rows: Bicycle 9M/10GB, Rubble 40M/50GB, Alameda 45M/60GB,
+Ithaca 70M/80GB, BigCity 100M/110GB — model state ``N x 59 x 4 x 4`` plus
+activation memory.  Only the shape (memory >> 24 GB for everything beyond
+Bicycle) must hold.
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.core import memory_model as mm
+from repro.scenes.datasets import SCENE_SPECS, scene_names
+
+PAPER_GB = {"bicycle": 10, "rubble": 50, "alameda": 60, "ithaca": 80,
+            "bigcity": 110}
+RTX4090_GB = 24
+
+
+def compute_rows(bench_scenes):
+    rows = []
+    for name in scene_names():
+        scene, index = bench_scenes(name)
+        spec = SCENE_SPECS[name]
+        profile = mm.profile_from_scene(scene, index)
+        total = mm.peak_gpu_bytes("baseline", spec.paper_num_gaussians, profile)
+        rows.append(
+            [
+                name,
+                spec.paper_num_gaussians / 1e6,
+                f"{spec.paper_resolution[0]}x{spec.paper_resolution[1]}",
+                total / 1e9,
+                PAPER_GB[name],
+            ]
+        )
+    return rows
+
+
+def test_table2_memory_demand(benchmark, bench_scenes, results_log):
+    rows = benchmark.pedantic(
+        compute_rows, args=(bench_scenes,), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["scene", "N (M)", "resolution", "measured GB", "paper GB"],
+        rows,
+        floatfmt="{:.1f}",
+    )
+    emit("Table 2 — memory demand of 3DGS training", table)
+    results_log.record(
+        "table2",
+        {"rows": [[r[0], r[1], r[3], r[4]] for r in rows]},
+    )
+    # Shape assertions: every scene beyond Bicycle exceeds a 24 GB GPU and
+    # demand is ordered by Gaussian count.
+    by_scene = {r[0]: r[3] for r in rows}
+    for name in ("rubble", "alameda", "ithaca", "bigcity"):
+        assert by_scene[name] > RTX4090_GB
+    assert by_scene["bigcity"] > by_scene["ithaca"] > by_scene["rubble"]
+    assert by_scene["bicycle"] < 25

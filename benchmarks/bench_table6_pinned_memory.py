@@ -1,0 +1,64 @@
+"""Table 6: pinned host memory usage at each testbed's maximum model size.
+
+Paper rows (GB): 2080 Ti: 6.0/8.2/8.4/13.4/17.5; 4090: 14.1/17.2/16.1/
+28.4/37.8.  Only parameter and gradient tensors are pinned (§6.4);
+optimizer state stays in pageable RAM, keeping pinned usage under 30% of
+host memory.
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.core import memory_model as mm
+from repro.hardware.specs import TESTBEDS
+from repro.scenes.datasets import scene_names
+
+PAPER_GB = {
+    "rtx2080ti": {"bicycle": 6.0, "rubble": 8.2, "alameda": 8.4,
+                  "ithaca": 13.4, "bigcity": 17.5},
+    "rtx4090": {"bicycle": 14.1, "rubble": 17.2, "alameda": 16.1,
+                "ithaca": 28.4, "bigcity": 37.8},
+}
+
+
+def compute(bench_scenes):
+    out = {}
+    for tb_name, testbed in TESTBEDS.items():
+        rows = []
+        for scene_name in scene_names():
+            scene, index = bench_scenes(scene_name)
+            profile = mm.profile_from_scene(scene, index)
+            max_n = mm.max_model_size("clm", testbed, profile)
+            pinned = mm.pinned_memory_bytes("clm", max_n)
+            rows.append([
+                scene_name, max_n / 1e6, pinned / 1e9,
+                PAPER_GB[tb_name][scene_name],
+                100 * pinned / testbed.cpu.ram_bytes,
+            ])
+        out[tb_name] = rows
+    return out
+
+
+def test_table6_pinned_memory(benchmark, bench_scenes, results_log):
+    out = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+                             iterations=1)
+    for tb_name, rows in out.items():
+        table = format_table(
+            ["scene", "max N (M)", "pinned GB", "paper GB", "% of host RAM"],
+            rows, floatfmt="{:.1f}",
+        )
+        emit(f"Table 6 ({tb_name}) — pinned memory at max model size", table)
+    results_log.record("table6", out)
+
+    for tb_name, rows in out.items():
+        ram = TESTBEDS[tb_name].cpu.ram_bytes
+        for row in rows:
+            scene_name, _max_n, pinned_gb, paper_gb, pct = row
+            # §6.4's budget claim: well under host RAM on both testbeds.
+            assert pct < 40.0, (tb_name, scene_name)
+            # Same order of magnitude as the paper's measurement.
+            assert 0.4 * paper_gb < pinned_gb < 2.6 * paper_gb, (
+                tb_name, scene_name
+            )
+        # BigCity pins the most (largest model).
+        assert rows[-1][2] == max(r[2] for r in rows)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Novel view synthesis: train with CLM, then render an unseen camera path.
+
+The end-to-end use case from the paper's Figure 1: fit a scene from posed
+training images, then fly a *novel* orbit through it and save the frames.
+Densification is enabled so the model grows where reconstruction error is
+high (§2.1), exercising engine rebuilds mid-training.
+
+Run:
+    python examples/novel_view_synthesis.py
+"""
+
+import os
+
+from repro.core.config import EngineConfig
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.gaussians.loss import psnr
+from repro.gaussians.render import render
+from repro.scenes.images import make_trainable_scene
+from repro.scenes.trajectories import orbit_trajectory
+from repro.utils.image_io import save_ppm
+
+
+def main() -> None:
+    print("Building the scene and training with CLM (+ densification)...")
+    scene = make_trainable_scene(
+        reference_gaussians=200, num_views=14, image_size=(48, 36), seed=9
+    )
+    trainer = Trainer(
+        scene,
+        engine_type="clm",
+        engine_config=EngineConfig(batch_size=7, seed=0),
+        trainer_config=TrainerConfig(
+            num_batches=30, batch_size=7, densify_every=10, densify_start=8,
+            max_gaussians=400, eval_every=10, seed=0,
+        ),
+    )
+    history = trainer.train()
+    print(f"  Gaussians: {history.gaussian_counts[0]} -> "
+          f"{history.gaussian_counts[-1]} (densification)")
+    print(f"  training-view PSNR: {history.final_psnr:.2f} dB")
+
+    print("\nRendering a novel orbit (cameras never seen in training)...")
+    model = trainer.engine.snapshot_model()
+    novel_cams = orbit_trajectory(
+        8, radius=2.6, height=1.3, width=64, height_px=48, jitter=0.0,
+        seed=123,
+    )
+    out_dir = os.path.join(os.path.dirname(__file__), "output")
+    os.makedirs(out_dir, exist_ok=True)
+    for cam in novel_cams:
+        image = render(cam, model, trainer.engine_config.raster).image
+        path = os.path.join(out_dir, f"novel_view_{cam.view_id:02d}.ppm")
+        save_ppm(path, image)
+    print(f"  wrote {len(novel_cams)} frames to {out_dir}/")
+
+    # Compare a held-out reference render for a rough novel-view PSNR.
+    ref_image = render(novel_cams[0], scene.reference,
+                       trainer.engine_config.raster).image
+    fit_image = render(novel_cams[0], model,
+                       trainer.engine_config.raster).image
+    print(f"  novel-view PSNR vs reference scene: "
+          f"{psnr(fit_image, ref_image):.2f} dB")
+
+
+if __name__ == "__main__":
+    main()

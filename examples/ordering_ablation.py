@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Ordering ablation: how microbatch order shapes communication and Adam.
+
+Reproduces the Table 4/5 + Figure 14 study on a street scene (Ithaca-like),
+where spatial locality is strongest: views on the same street overlap
+heavily, views on different streets share nothing.  The TSP order
+(shortest Hamiltonian path under the |S_i ^ S_j| metric, Appendix A.1)
+minimizes loads; GS-count order finalizes big views early to shrink the
+CPU Adam tail.
+
+Run:
+    python examples/ordering_ablation.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.config import TimingConfig
+from repro.core.culling_index import CullingIndex
+from repro.core.orders import STRATEGIES
+from repro.core.timed import communication_volume_per_batch, run_timed
+from repro.hardware.specs import RTX4090_TESTBED
+from repro.scenes.datasets import build_scene
+
+
+def main() -> None:
+    print("Building a scaled synthetic Ithaca365 (street drive, 256 "
+          "views)...")
+    scene = build_scene("ithaca", scale=2e-4, num_views=256, seed=1)
+    index = CullingIndex.build(scene.model, scene.cameras)
+    n = 40e6  # paper's naive-max size for Ithaca on the 4090
+
+    rows = []
+    for strategy in STRATEGIES:
+        cfg = TimingConfig(
+            testbed=RTX4090_TESTBED, paper_num_gaussians=n, num_batches=6,
+            seed=0, ordering=strategy,
+        )
+        volume = communication_volume_per_batch(scene, index, cfg)
+        res = run_timed("clm", scene, index, cfg)
+        rows.append([
+            strategy,
+            volume / 1e9,
+            res.images_per_second,
+            res.adam_trailing_s * 1e3,
+        ])
+    no_cache = communication_volume_per_batch(
+        scene, index,
+        TimingConfig(testbed=RTX4090_TESTBED, paper_num_gaussians=n,
+                     num_batches=6, seed=0, enable_cache=False),
+    )
+    print("\n" + format_table(
+        ["ordering", "CPU->GPU GB/batch", "img/s", "Adam trailing ms"],
+        rows,
+        title=f"Ithaca at N={n/1e6:.0f}M on RTX 4090 "
+              f"(no-cache reference: {no_cache/1e9:.2f} GB/batch)",
+        floatfmt="{:.2f}",
+    ))
+    by = {r[0]: r for r in rows}
+    saving = 100 * (1 - by["tsp"][1] / by["random"][1])
+    print(f"\n-> TSP ordering moves {saving:.0f}% less data per batch than "
+          f"random order (paper Figure 14: 34% on Ithaca).")
+
+
+if __name__ == "__main__":
+    main()

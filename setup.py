@@ -1,0 +1,7 @@
+"""Legacy entry point so the package installs in offline environments
+lacking the ``wheel`` module (``python setup.py develop``); configuration
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

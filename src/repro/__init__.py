@@ -1,0 +1,55 @@
+"""repro — a full reproduction of *CLM: Removing the GPU Memory Barrier for
+3D Gaussian Splatting* (ASPLOS 2026).
+
+Public API tour::
+
+    from repro import build_scene, CullingIndex, CLMEngine, run_timed
+
+    scene = build_scene("bigcity", scale=2e-4)          # synthetic dataset
+    index = CullingIndex.build(scene.model, scene.cameras)
+    result = run_timed("clm", scene, index)             # simulated testbed
+    print(result.images_per_second)
+
+Subpackages:
+
+- :mod:`repro.gaussians` — the 3DGS substrate (differentiable rasterizer,
+  losses, densification);
+- :mod:`repro.core` — CLM itself (offload, caching, TSP scheduling,
+  pipelining, memory model) plus the baseline systems;
+- :mod:`repro.hardware` — the discrete-event testbed simulator;
+- :mod:`repro.scenes` — synthetic dataset generators;
+- :mod:`repro.optim` — dense and sparse (CPU) Adam;
+- :mod:`repro.analysis` — sparsity statistics and report rendering.
+"""
+
+from repro.core import (
+    CLMEngine,
+    CullingIndex,
+    EngineConfig,
+    GpuOnlyEngine,
+    NaiveOffloadEngine,
+    TimingConfig,
+    Trainer,
+    TrainerConfig,
+)
+from repro.core.timed import run_timed
+from repro.gaussians import GaussianModel, render
+from repro.scenes import build_scene
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CLMEngine",
+    "NaiveOffloadEngine",
+    "GpuOnlyEngine",
+    "CullingIndex",
+    "EngineConfig",
+    "TimingConfig",
+    "Trainer",
+    "TrainerConfig",
+    "run_timed",
+    "GaussianModel",
+    "render",
+    "build_scene",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Analysis and reporting: sparsity statistics and table/figure rendering."""
+
+from repro.analysis.sparsity import sparsity_cdf, sparsity_summary
+from repro.analysis.reporting import format_table, ResultsLog
+
+__all__ = ["sparsity_cdf", "sparsity_summary", "format_table", "ResultsLog"]

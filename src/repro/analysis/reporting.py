@@ -1,0 +1,66 @@
+"""Plain-text table rendering and experiment result logging.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report and appends machine-readable records to ``results/`` so
+EXPERIMENTS.md can be regenerated from a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Monospace table with auto-sized columns."""
+
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class ResultsLog:
+    """Append-only JSONL log of experiment records."""
+
+    def __init__(self, path: str = "results/experiments.jsonl") -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def record(self, experiment: str, data: Dict) -> None:
+        entry = {"experiment": experiment, "timestamp": time.time(), **data}
+        with open(self.path, "a") as f:
+            f.write(json.dumps(entry) + "\n")
+
+    def read_all(self) -> List[Dict]:
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path) as f:
+            return [json.loads(line) for line in f if line.strip()]
+
+    def latest(self, experiment: str) -> Optional[Dict]:
+        entries = [e for e in self.read_all() if e["experiment"] == experiment]
+        return entries[-1] if entries else None

@@ -1,0 +1,45 @@
+"""Sparsity statistics (paper §3, Figure 5)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.culling_index import CullingIndex
+
+
+def sparsity_cdf(index: CullingIndex) -> "tuple[np.ndarray, np.ndarray]":
+    """Empirical CDF of per-view sparsity rho (the Figure 5 curves).
+
+    Returns ``(rho_sorted, cumulative_fraction)``.
+    """
+    rhos = np.sort(index.sparsities())
+    if rhos.size == 0:
+        return np.zeros(0), np.zeros(0)
+    cdf = np.arange(1, rhos.size + 1) / rhos.size
+    return rhos, cdf
+
+
+def sparsity_summary(index: CullingIndex) -> Dict[str, float]:
+    """Mean/max/min rho plus percentile markers for reporting."""
+    rhos = index.sparsities()
+    if rhos.size == 0:
+        return {"mean": 0.0, "max": 0.0, "min": 0.0, "p50": 0.0, "p90": 0.0}
+    return {
+        "mean": float(rhos.mean()),
+        "max": float(rhos.max()),
+        "min": float(rhos.min()),
+        "p50": float(np.percentile(rhos, 50)),
+        "p90": float(np.percentile(rhos, 90)),
+    }
+
+
+def cdf_at(rhos: np.ndarray, cdf: np.ndarray, x: float) -> float:
+    """Fraction of views with rho <= x (reads a Figure 5 curve)."""
+    if rhos.size == 0:
+        return 0.0
+    pos = np.searchsorted(rhos, x, side="right")
+    if pos == 0:
+        return 0.0
+    return float(cdf[pos - 1])

@@ -1,0 +1,203 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro.cli sparsity --scene bigcity
+    python -m repro.cli max-size --scene bigcity --testbed rtx4090
+    python -m repro.cli throughput --scene rubble --system clm --n 30.4e6
+    python -m repro.cli comm-volume --scene ithaca --ordering tsp
+    python -m repro.cli train --batches 20
+
+Every subcommand prints a small table; `--scale`/`--views` control the
+synthetic-scene fidelity (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sparsity import sparsity_summary
+from repro.core import memory_model as mm
+from repro.core.config import TimingConfig
+from repro.core.culling_index import CullingIndex
+from repro.core.orders import STRATEGIES
+from repro.core.timed import SYSTEM_NAMES, communication_volume_per_batch, run_timed
+from repro.hardware.specs import TESTBEDS
+from repro.scenes.datasets import build_scene, scene_names
+
+
+def _add_scene_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scene", choices=scene_names(), default="bigcity")
+    p.add_argument("--scale", type=float, default=2e-4,
+                   help="fraction of the paper Gaussian count to synthesize")
+    p.add_argument("--views", type=int, default=192)
+    p.add_argument("--seed", type=int, default=1)
+
+
+def _scene_and_index(args):
+    scene = build_scene(args.scene, scale=args.scale, num_views=args.views,
+                        seed=args.seed)
+    return scene, CullingIndex.build(scene.model, scene.cameras)
+
+
+def cmd_sparsity(args) -> int:
+    scene, index = _scene_and_index(args)
+    s = sparsity_summary(index)
+    print(format_table(
+        ["metric", "value %"],
+        [[k, 100 * v] for k, v in s.items()],
+        title=f"Per-view sparsity rho — {args.scene} "
+              f"({scene.num_gaussians} Gaussians, {len(scene.cameras)} views)",
+        floatfmt="{:.3f}",
+    ))
+    return 0
+
+
+def cmd_max_size(args) -> int:
+    scene, index = _scene_and_index(args)
+    profile = mm.profile_from_scene(scene, index)
+    testbed = TESTBEDS[args.testbed]
+    rows = [
+        [system, mm.max_model_size(system, testbed, profile) / 1e6]
+        for system in mm.SYSTEMS
+    ]
+    print(format_table(
+        ["system", "max N (millions)"], rows,
+        title=f"Max trainable model size — {args.scene} on {testbed.name}",
+        floatfmt="{:.1f}",
+    ))
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    scene, index = _scene_and_index(args)
+    cfg = TimingConfig(
+        testbed=TESTBEDS[args.testbed],
+        paper_num_gaussians=args.n,
+        num_batches=args.batches,
+        batch_size=args.batch_size,
+        ordering=args.ordering,
+        seed=args.seed,
+    )
+    res = run_timed(args.system, scene, index, cfg)
+    d = res.decomposition
+    rows = [
+        ["images/s", res.images_per_second],
+        ["CPU->GPU GB/batch", res.load_bytes_per_batch / 1e9],
+        ["GPU->CPU GB/batch", res.store_bytes_per_batch / 1e9],
+        ["Adam trailing ms", res.adam_trailing_s * 1e3],
+        ["GPU compute busy s", d["compute_busy"]],
+        ["comm busy s", d["comm_busy"]],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.system} — {args.scene} at N={args.n/1e6:.1f}M on "
+              f"{cfg.testbed.name}",
+        floatfmt="{:.3f}",
+    ))
+    return 0
+
+
+def cmd_comm_volume(args) -> int:
+    scene, index = _scene_and_index(args)
+    rows = []
+    for ordering in STRATEGIES:
+        cfg = TimingConfig(
+            testbed=TESTBEDS[args.testbed], paper_num_gaussians=args.n,
+            num_batches=args.batches, batch_size=args.batch_size,
+            ordering=ordering, seed=args.seed,
+        )
+        volume = communication_volume_per_batch(scene, index, cfg)
+        rows.append([ordering, volume / 1e9])
+    print(format_table(
+        ["ordering", "GB/batch"], rows,
+        title=f"CPU->GPU volume — {args.scene} at N={args.n/1e6:.1f}M",
+        floatfmt="{:.3f}",
+    ))
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.core.config import EngineConfig
+    from repro.core.trainer import Trainer, TrainerConfig
+    from repro.scenes.images import make_trainable_scene
+
+    scene = make_trainable_scene(
+        reference_gaussians=args.gaussians, num_views=12,
+        image_size=(32, 24), seed=args.seed,
+    )
+    trainer = Trainer(
+        scene,
+        engine_type=args.system if args.system != "enhanced" else "enhanced",
+        engine_config=EngineConfig(batch_size=4, seed=args.seed),
+        trainer_config=TrainerConfig(
+            num_batches=args.batches, batch_size=4,
+            eval_every=max(1, args.batches // 4), seed=args.seed,
+        ),
+    )
+    history = trainer.train()
+    rows = [[b, p] for b, p in zip(history.eval_batches, history.psnrs)]
+    print(format_table(
+        ["batch", "PSNR dB"], rows,
+        title=f"Functional training with the {args.system} engine",
+        floatfmt="{:.2f}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CLM reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sparsity", help="per-view sparsity statistics")
+    _add_scene_args(p)
+    p.set_defaults(func=cmd_sparsity)
+
+    p = sub.add_parser("max-size", help="Figure 8-style max model sizes")
+    _add_scene_args(p)
+    p.add_argument("--testbed", choices=sorted(TESTBEDS), default="rtx4090")
+    p.set_defaults(func=cmd_max_size)
+
+    p = sub.add_parser("throughput", help="simulated training throughput")
+    _add_scene_args(p)
+    p.add_argument("--system", choices=SYSTEM_NAMES, default="clm")
+    p.add_argument("--testbed", choices=sorted(TESTBEDS), default="rtx4090")
+    p.add_argument("--n", type=float, default=15.3e6,
+                   help="paper-scale Gaussian count")
+    p.add_argument("--batches", type=int, default=6)
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="microbatches per batch (default: the scene's "
+                        "paper batch size)")
+    p.add_argument("--ordering", choices=STRATEGIES, default="tsp")
+    p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser("comm-volume", help="Figure 14-style volumes")
+    _add_scene_args(p)
+    p.add_argument("--testbed", choices=sorted(TESTBEDS), default="rtx4090")
+    p.add_argument("--n", type=float, default=15.3e6)
+    p.add_argument("--batches", type=int, default=6)
+    p.add_argument("--batch-size", type=int, default=None)
+    p.set_defaults(func=cmd_comm_volume)
+
+    p = sub.add_parser("train", help="functional training demo")
+    p.add_argument("--system", choices=("clm", "naive", "baseline",
+                                        "enhanced"), default="clm")
+    p.add_argument("--batches", type=int, default=16)
+    p.add_argument("--gaussians", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_train)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

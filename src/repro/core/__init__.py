@@ -1,0 +1,62 @@
+"""CLM — the paper's contribution.
+
+Sparsity-guided CPU offloading for 3DGS training:
+
+- :mod:`repro.core.attributes` — the selection-critical / non-critical
+  attribute split (§4.1);
+- :mod:`repro.core.culling_index` — pre-rendering frustum culling producing
+  per-view in-frustum index sets (§5.1);
+- :mod:`repro.core.caching` — precise Gaussian caching transfer plans
+  (§4.2.1);
+- :mod:`repro.core.adam_overlap` — finalization maps for overlapped CPU
+  Adam (§4.2.2);
+- :mod:`repro.core.scheduler` / :mod:`repro.core.orders` — TSP pipeline
+  order optimization and the ablation orderings (§4.2.3, Table 4);
+- :mod:`repro.core.pipeline` — the 1F1B microbatch pipeline DAG (Figure 6);
+- :mod:`repro.core.memory_model` — GPU/pinned memory accounting and OOM
+  boundaries (Figures 8/10, Table 6);
+- :mod:`repro.core.stores` — functional pinned-CPU / GPU working-set
+  parameter stores (the selective loading kernel equivalents, §5.2);
+- :mod:`repro.core.engine` / :mod:`repro.core.naive` /
+  :mod:`repro.core.gpu_only` — the four systems compared in §6;
+- :mod:`repro.core.trainer` — the training loop tying it together.
+"""
+
+from repro.core.config import EngineConfig, TimingConfig
+from repro.core.culling_index import CullingIndex
+from repro.core.caching import MicrobatchStep, build_transfer_plan
+from repro.core.engine import CLMEngine
+from repro.core.naive import NaiveOffloadEngine
+from repro.core.gpu_only import GpuOnlyEngine
+from repro.core.memory_model import (
+    SYSTEMS,
+    max_model_size,
+    memory_breakdown,
+    pinned_memory_bytes,
+)
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.core.checkpoint import (
+    load_model,
+    restore_into_engine,
+    save_checkpoint,
+)
+
+__all__ = [
+    "save_checkpoint",
+    "load_model",
+    "restore_into_engine",
+    "EngineConfig",
+    "TimingConfig",
+    "CullingIndex",
+    "MicrobatchStep",
+    "build_transfer_plan",
+    "CLMEngine",
+    "NaiveOffloadEngine",
+    "GpuOnlyEngine",
+    "SYSTEMS",
+    "max_model_size",
+    "memory_breakdown",
+    "pinned_memory_bytes",
+    "Trainer",
+    "TrainerConfig",
+]

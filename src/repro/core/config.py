@@ -1,0 +1,86 @@
+"""Configuration dataclasses for the engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.gaussians.rasterizer import RasterSettings
+from repro.hardware.specs import RTX4090_TESTBED, Testbed
+from repro.optim.adam import AdamConfig
+
+
+def default_adam_config() -> AdamConfig:
+    """Per-attribute learning rates in the spirit of the reference 3DGS
+    trainer (positions slow, opacity fast)."""
+    return AdamConfig(
+        lr=2e-3,
+        lr_overrides={
+            "positions": 2e-4,
+            "log_scales": 5e-3,
+            "quaternions": 1e-3,
+            "sh": 2.5e-3,
+            "opacity_logits": 5e-2,
+        },
+    )
+
+
+@dataclass
+class EngineConfig:
+    """Functional-training knobs shared by all engines.
+
+    ``ordering`` is one of ``random | camera | gs_count | tsp`` (Table 4);
+    ``enable_cache`` toggles precise Gaussian caching (§4.2.1, the
+    "No Cache" ablation of Figure 14); ``enable_overlap_adam`` toggles
+    eager per-microbatch Adam chunks (§4.2.2) — with it off, all updates
+    run at batch end (functionally identical, different timing).
+
+    ``renderer`` / ``renderer_backward`` select the rendering backend
+    (paper §8: CLM is backend-agnostic).  ``None`` means the full tile
+    rasterizer; any pair with the same ``(camera, model, settings) ->
+    result`` / ``(result, model, dL_dimage) -> grads`` contract works —
+    see :mod:`repro.gaussians.point_renderer` for an alternative.
+    """
+
+    batch_size: int = 4
+    ordering: str = "tsp"
+    enable_cache: bool = True
+    enable_overlap_adam: bool = True
+    ssim_lambda: float = 0.2
+    adam: AdamConfig = field(default_factory=default_adam_config)
+    raster: RasterSettings = field(default_factory=RasterSettings)
+    seed: int = 0
+    # Functional GPU memory ceiling (bytes).  None disables enforcement;
+    # set it to emulate a small GPU and observe CLM fitting where the
+    # baseline OOMs (the quickstart example does exactly this).
+    gpu_capacity_bytes: Optional[float] = None
+    renderer: Optional[Callable] = None
+    renderer_backward: Optional[Callable] = None
+
+    def resolve_renderer(self) -> "tuple[Callable, Callable]":
+        """The (forward, backward) pair engines should call."""
+        from repro.gaussians.render import render, render_backward
+
+        fwd = self.renderer or render
+        bwd = self.renderer_backward or render_backward
+        return fwd, bwd
+
+
+@dataclass
+class TimingConfig:
+    """Timed-execution knobs (the simulated-hardware side).
+
+    ``paper_num_gaussians`` is the model size N being emulated; the scaled
+    scene's measured index sets are multiplied by ``N / N_scaled``
+    (DESIGN.md §5).  ``num_batches`` controls how much steady state the
+    simulator observes.
+    """
+
+    testbed: Testbed = RTX4090_TESTBED
+    paper_num_gaussians: Optional[float] = None  # default: scene spec value
+    num_batches: int = 8
+    batch_size: Optional[int] = None  # default: scene spec batch size
+    ordering: str = "tsp"
+    enable_cache: bool = True
+    enable_overlap_adam: bool = True
+    seed: int = 0

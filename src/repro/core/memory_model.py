@@ -1,0 +1,209 @@
+"""GPU and pinned-host memory accounting for the four systems (§6.2).
+
+Reproduces the memory-side experiments: maximum trainable model size before
+OOM (Figure 8), GPU memory breakdowns (Figure 10) and pinned memory usage
+(Table 6).
+
+Per-Gaussian GPU footprints:
+
+===========  =========================================================
+system       bytes per Gaussian on the GPU
+===========  =========================================================
+baseline     59 params x 4 copies x 4 B = 944 (params/grads/2 moments)
+             + full-N activations (fused kernels touch every Gaussian)
+enhanced     944 + activations only for in-frustum Gaussians (§5.1)
+naive        59 x 2 x 4 = 472 (params + grads; optimizer lives on CPU)
+             + in-frustum activations
+clm          10 x 4 x 4 = 160 (critical attrs with GPU-side optimizer)
+             + double buffers 2 x (49 param + 49 grad floats) x 4 B per
+               *in-frustum* Gaussian (§5.3)
+             + in-frustum activations
+===========  =========================================================
+
+Activation constants are calibrated against the OOM boundaries of Figure 8
+and the breakdowns of Figure 10 (DESIGN.md §2); what matters downstream is
+that they are *shared* across systems, so ratios (CLM trains ~6x larger
+than the enhanced baseline, ~2.2x larger than naive) are structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core import attributes
+from repro.hardware.specs import Testbed
+
+SYSTEMS = ("baseline", "enhanced", "naive", "clm")
+
+BYTES_PER_FLOAT = 4
+TRAIN_COPIES = 4  # param + grad + two Adam moments
+
+#: Full model state per Gaussian when everything lives on the GPU.
+MODEL_STATE_FULL_BPG = attributes.total_floats() * TRAIN_COPIES * BYTES_PER_FLOAT
+#: Naive offloading keeps params + grads on GPU, optimizer on CPU.
+NAIVE_MODEL_BPG = attributes.total_floats() * 2 * BYTES_PER_FLOAT
+#: CLM keeps the 10 critical floats resident with their optimizer state.
+CLM_CRITICAL_BPG = attributes.critical_floats() * TRAIN_COPIES * BYTES_PER_FLOAT
+#: CLM double buffers: two in-flight microbatch buffers of non-critical
+#: params + their gradients (§5.3).
+CLM_BUFFER_BPG = 2 * 2 * attributes.noncritical_floats() * BYTES_PER_FLOAT
+
+#: Per-Gaussian activation state of the rasterizer (projected means,
+#: conics, colours, tile keys, and their saved gradients).
+ACT_PER_GAUSSIAN = 500
+#: Per-pixel activation state (composited colour, transmittance, per-pixel
+#: gradient staging).
+ACT_PER_PIXEL = 240
+
+
+@dataclass(frozen=True)
+class SceneMemoryProfile:
+    """Scene statistics the memory model needs.
+
+    ``rho_max`` bounds the in-frustum working set (buffers and activations
+    must be sized for the worst view); ``pixels`` is the paper-scale
+    training resolution.
+    """
+
+    pixels: int
+    rho_max: float
+    rho_mean: float = 0.0
+    name: str = ""
+
+
+def profile_from_scene(scene, culling_index=None) -> SceneMemoryProfile:
+    """Measure a profile from a built synthetic scene.
+
+    ``culling_index`` may be passed to reuse an existing index; otherwise
+    the scene's cameras are culled here.
+    """
+    from repro.core.culling_index import CullingIndex
+
+    index = culling_index or CullingIndex.build(scene.model, scene.cameras)
+    rhos = index.sparsities()
+    return SceneMemoryProfile(
+        pixels=scene.spec.paper_pixels,
+        rho_max=float(rhos.max()) if rhos.size else 0.0,
+        rho_mean=float(rhos.mean()) if rhos.size else 0.0,
+        name=scene.name,
+    )
+
+
+def gpu_memory_bytes(
+    system: str, num_gaussians: float, profile: SceneMemoryProfile
+) -> Dict[str, float]:
+    """GPU footprint split into ``model_states`` and ``others`` (Figure 10).
+
+    ``others`` covers activations, CLM's double buffers and index buffers —
+    matching the paper's two-part bars.
+    """
+    n = float(num_gaussians)
+    in_frustum = profile.rho_max * n
+    pixel_act = ACT_PER_PIXEL * profile.pixels
+
+    if system == "baseline":
+        model = MODEL_STATE_FULL_BPG * n
+        others = ACT_PER_GAUSSIAN * n + pixel_act
+    elif system == "enhanced":
+        model = MODEL_STATE_FULL_BPG * n
+        others = ACT_PER_GAUSSIAN * in_frustum + pixel_act
+    elif system == "naive":
+        model = NAIVE_MODEL_BPG * n
+        others = ACT_PER_GAUSSIAN * in_frustum + pixel_act
+    elif system == "clm":
+        model = CLM_CRITICAL_BPG * n
+        others = (
+            CLM_BUFFER_BPG * in_frustum
+            + ACT_PER_GAUSSIAN * in_frustum
+            + pixel_act
+        )
+    else:
+        raise ValueError(f"unknown system '{system}'; choose from {SYSTEMS}")
+    return {"model_states": model, "others": others, "total": model + others}
+
+
+def peak_gpu_bytes(
+    system: str, num_gaussians: float, profile: SceneMemoryProfile
+) -> float:
+    return gpu_memory_bytes(system, num_gaussians, profile)["total"]
+
+
+def fits(
+    system: str,
+    num_gaussians: float,
+    profile: SceneMemoryProfile,
+    testbed: Testbed,
+) -> bool:
+    avail = testbed.gpu.vram_bytes - testbed.gpu.reserved_bytes
+    return peak_gpu_bytes(system, num_gaussians, profile) <= avail
+
+
+def max_model_size(
+    system: str,
+    testbed: Testbed,
+    profile: SceneMemoryProfile,
+    upper: float = 1e10,
+) -> float:
+    """Largest N (Gaussians) trainable without OOM (Figure 8).
+
+    Binary search over :func:`peak_gpu_bytes`; returns 0 when even a tiny
+    model does not fit (e.g. 4K activations on an 11 GB card would still
+    fit, but the guard exists for robustness).
+    """
+    if not fits(system, 1.0, profile, testbed):
+        return 0.0
+    if fits(system, upper, profile, testbed):
+        return upper
+    lo, hi = 1.0, upper
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if fits(system, mid, profile, testbed):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def memory_breakdown(
+    system: str, num_gaussians: float, profile: SceneMemoryProfile, testbed: Testbed
+) -> Optional[Dict[str, float]]:
+    """Figure 10 bar (GB): breakdown, or None when the system OOMs."""
+    if not fits(system, num_gaussians, profile, testbed):
+        return None
+    parts = gpu_memory_bytes(system, num_gaussians, profile)
+    return {k: v / 1e9 for k, v in parts.items()}
+
+
+def pinned_memory_bytes(system: str, num_gaussians: float) -> float:
+    """Pinned host memory (Table 6).
+
+    Only tensors the GPU DMAs into are pinned: parameters and gradients.
+    Optimizer moments stay in regular (unpinned) RAM (§6.4).  CLM pins the
+    49 offloaded floats (+ gradient buffer); naive pins all 59 of each.
+    Padding bytes (§5.2's cache-line alignment) are excluded, matching the
+    paper's reported tensor sizes.
+    """
+    n = float(num_gaussians)
+    if system == "clm":
+        per = 2 * attributes.noncritical_floats() * BYTES_PER_FLOAT
+    elif system == "naive":
+        per = 2 * attributes.total_floats() * BYTES_PER_FLOAT
+    elif system in ("baseline", "enhanced"):
+        per = 0.0
+    else:
+        raise ValueError(f"unknown system '{system}'")
+    return per * n
+
+
+def host_memory_bytes(system: str, num_gaussians: float) -> float:
+    """Total CPU RAM: pinned tensors plus unpinned optimizer state."""
+    n = float(num_gaussians)
+    pinned = pinned_memory_bytes(system, n)
+    if system == "clm":
+        moments = 2 * attributes.noncritical_floats() * BYTES_PER_FLOAT * n
+    elif system == "naive":
+        moments = 2 * attributes.total_floats() * BYTES_PER_FLOAT * n
+    else:
+        moments = 0.0
+    return pinned + moments

@@ -1,0 +1,315 @@
+"""Functional parameter stores — the selective-loading-kernel equivalents.
+
+These classes move *real* NumPy arrays the way CLM moves tensors
+(paper §5.2–5.4):
+
+- :class:`PinnedParameterStore` — the CPU side.  Non-critical attributes
+  (SH + opacity) of every Gaussian live here in a single packed, padded,
+  row-major array ("pinned memory"): all attributes of one Gaussian are
+  contiguous and cache-line aligned, exactly the layout the selective
+  loading kernel expects.  Gradient accumulation is fetch-add-store, like
+  the gradient-offload kernel.
+- :class:`GpuCriticalStore` — the GPU side.  Selection-critical attributes
+  (position/scale/rotation) of every Gaussian stay resident, along with
+  their full-size gradient accumulators (§4.1).
+- :class:`GpuWorkingSet` — one microbatch's gathered working set, built
+  from cache copies (previous working set) plus fresh loads (pinned store),
+  with transfer-byte accounting that the tests reconcile against the
+  analytic transfer plan.
+
+A :class:`~repro.hardware.memory.MemoryPool` may be attached to the GPU
+side to enforce a capacity: allocations follow the same canonical byte
+accounting as :mod:`repro.core.memory_model`, so a small simulated GPU
+OOMs the baseline trainer while CLM keeps fitting (the quickstart demo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import attributes
+from repro.core.memory_model import (
+    ACT_PER_GAUSSIAN,
+    ACT_PER_PIXEL,
+    CLM_BUFFER_BPG,
+    CLM_CRITICAL_BPG,
+)
+from repro.gaussians.model import GaussianModel
+from repro.hardware.memory import MemoryPool
+from repro.utils import setops
+
+
+@dataclass
+class TransferCounters:
+    """Running tallies of functional data movement (validated against the
+    analytic plan and used for Figure 14-style reporting)."""
+
+    loaded_gaussians: int = 0
+    stored_gaussians: int = 0
+    cached_gaussians: int = 0
+
+    def loaded_bytes(self) -> float:
+        return attributes.noncritical_bytes(self.loaded_gaussians)
+
+    def stored_bytes(self) -> float:
+        return attributes.noncritical_bytes(self.stored_gaussians)
+
+
+class PinnedParameterStore:
+    """CPU-pinned packed storage of the non-critical attributes.
+
+    Row layout: ``[sh (K*3 floats) | opacity (1 float) | padding]`` with
+    the row padded to whole cache lines (§5.2).
+    """
+
+    def __init__(self, model: GaussianModel) -> None:
+        self.num_rows = model.num_gaussians
+        self.sh_basis = model.num_sh_basis
+        self.data_floats = self.sh_basis * 3 + 1
+        self.row_floats = attributes.padded_row_floats(self.data_floats)
+        self.params = np.zeros((self.num_rows, self.row_floats))
+        self._pack_into(self.params, np.arange(self.num_rows), model.sh,
+                        model.opacity_logits)
+        # Pinned gradient buffer (accumulated, full-size like the paper's).
+        self.grads = np.zeros((self.num_rows, self.data_floats))
+
+    # -- layout helpers -------------------------------------------------
+    def _pack_into(self, dest, rows, sh, opacity) -> None:
+        dest[rows, : self.sh_basis * 3] = sh.reshape(len(rows), -1)
+        dest[rows, self.sh_basis * 3] = opacity
+
+    def _unpack(self, packed_rows: np.ndarray) -> Dict[str, np.ndarray]:
+        m = packed_rows.shape[0]
+        sh = packed_rows[:, : self.sh_basis * 3].reshape(m, self.sh_basis, 3)
+        opacity = packed_rows[:, self.sh_basis * 3]
+        return {"sh": sh.copy(), "opacity_logits": opacity.copy()}
+
+    # -- the "kernels" ---------------------------------------------------
+    def gather_params(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
+        """Selective load: gather rows and split attributes (§5.2)."""
+        return self._unpack(self.params[indices])
+
+    def write_params(self, indices: np.ndarray, values: Dict[str, np.ndarray]) -> None:
+        """CPU Adam writes updated parameters back into pinned rows."""
+        self._pack_into(self.params, indices, values["sh"], values["opacity_logits"])
+
+    def accumulate_grads(
+        self, indices: np.ndarray, sh_grads: np.ndarray, opacity_grads: np.ndarray
+    ) -> None:
+        """Gradient offload: fetch old accumulation, add, store (§5.3)."""
+        m = indices.shape[0]
+        flat = np.concatenate(
+            [sh_grads.reshape(m, -1), opacity_grads[:, None]], axis=1
+        )
+        self.grads[indices] += flat
+
+    def gather_grads(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
+        return self._unpack_grads(self.grads[indices])
+
+    def _unpack_grads(self, rows: np.ndarray) -> Dict[str, np.ndarray]:
+        m = rows.shape[0]
+        sh = rows[:, : self.sh_basis * 3].reshape(m, self.sh_basis, 3)
+        opacity = rows[:, self.sh_basis * 3]
+        return {"sh": sh.copy(), "opacity_logits": opacity.copy()}
+
+    def zero_grads(self, indices: np.ndarray) -> None:
+        self.grads[indices] = 0.0
+
+    def pinned_bytes(self) -> float:
+        """Actual data bytes pinned (params + grads), excluding padding, at
+        canonical fp32 — the Table 6 quantity."""
+        return self.num_rows * 2 * self.data_floats * 4
+
+
+class GpuCriticalStore:
+    """GPU-resident selection-critical attributes with gradient
+    accumulators and (conceptually) their on-GPU optimizer state."""
+
+    def __init__(
+        self, model: GaussianModel, pool: Optional[MemoryPool] = None
+    ) -> None:
+        self.num_rows = model.num_gaussians
+        self.positions = model.positions.copy()
+        self.log_scales = model.log_scales.copy()
+        self.quaternions = model.quaternions.copy()
+        self.grads = {
+            "positions": np.zeros_like(self.positions),
+            "log_scales": np.zeros_like(self.log_scales),
+            "quaternions": np.zeros_like(self.quaternions),
+        }
+        self.pool = pool
+        if pool is not None:
+            pool.alloc("clm.critical_state", CLM_CRITICAL_BPG * self.num_rows)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {
+            "positions": self.positions,
+            "log_scales": self.log_scales,
+            "quaternions": self.quaternions,
+        }
+
+    def gather(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
+        return {
+            "positions": self.positions[indices].copy(),
+            "log_scales": self.log_scales[indices].copy(),
+            "quaternions": self.quaternions[indices].copy(),
+        }
+
+    def accumulate_grads(self, indices: np.ndarray, grads: Dict[str, np.ndarray]) -> None:
+        for name, buf in self.grads.items():
+            buf[indices] += grads[name]
+
+    def zero_grads(self, indices: np.ndarray) -> None:
+        for buf in self.grads.values():
+            buf[indices] = 0.0
+
+    def release(self) -> None:
+        if self.pool is not None:
+            self.pool.free("clm.critical_state")
+
+
+class GpuWorkingSet:
+    """The double-buffered per-microbatch working set.
+
+    ``assemble`` builds the next buffer from the previous one (cache hits)
+    plus pinned-store loads, maintaining the GPU-pool allocation and the
+    transfer counters.  Gradients accumulate per working-set row; on
+    retirement they are split into carried (handed to the next buffer) and
+    stored (offloaded to the pinned gradient buffer).
+    """
+
+    def __init__(
+        self,
+        cpu_store: PinnedParameterStore,
+        gpu_store: GpuCriticalStore,
+        pool: Optional[MemoryPool] = None,
+        num_pixels: int = 0,
+    ) -> None:
+        self.cpu_store = cpu_store
+        self.gpu_store = gpu_store
+        self.pool = pool
+        self.num_pixels = num_pixels
+        self.counters = TransferCounters()
+        self.indices: Optional[np.ndarray] = None  # current S_i
+        self.noncrit: Dict[str, np.ndarray] = {}
+        self.grad_sh: Optional[np.ndarray] = None
+        self.grad_opacity: Optional[np.ndarray] = None
+        self._max_rows = 0
+
+    # ------------------------------------------------------------------
+    def assemble(
+        self,
+        working_set: np.ndarray,
+        loads: np.ndarray,
+        cached: np.ndarray,
+        carried_grads: "Optional[tuple]" = None,
+    ) -> GaussianModel:
+        """Materialize the working model for one microbatch.
+
+        ``carried_grads`` is ``(carried_indices, sh, opacity)`` from the
+        previous microbatch; those rows start with the accumulated values
+        instead of zero (gradient accumulation on the GPU, §4.2.1).
+        """
+        prev_indices = self.indices
+        prev_noncrit = self.noncrit
+
+        sh_basis = self.cpu_store.sh_basis
+        m = working_set.size
+        sh = np.zeros((m, sh_basis, 3))
+        opacity = np.zeros(m)
+
+        if cached.size:
+            if prev_indices is None:
+                raise RuntimeError("cache copy requested with no previous buffer")
+            src = np.searchsorted(prev_indices, cached)
+            dst = np.searchsorted(working_set, cached)
+            sh[dst] = prev_noncrit["sh"][src]
+            opacity[dst] = prev_noncrit["opacity_logits"][src]
+            self.counters.cached_gaussians += int(cached.size)
+        if loads.size:
+            fetched = self.cpu_store.gather_params(loads)
+            dst = np.searchsorted(working_set, loads)
+            sh[dst] = fetched["sh"]
+            opacity[dst] = fetched["opacity_logits"]
+            self.counters.loaded_gaussians += int(loads.size)
+
+        crit = self.gpu_store.gather(working_set)
+        model = GaussianModel(
+            positions=crit["positions"],
+            log_scales=crit["log_scales"],
+            quaternions=crit["quaternions"],
+            sh=sh,
+            opacity_logits=opacity,
+            sh_degree=_degree_for_basis(sh_basis),
+        )
+
+        self.indices = working_set
+        self.noncrit = {"sh": sh, "opacity_logits": opacity}
+        self.grad_sh = np.zeros_like(sh)
+        self.grad_opacity = np.zeros_like(opacity)
+        if carried_grads is not None:
+            carried_idx, carried_sh, carried_op = carried_grads
+            dst = np.searchsorted(working_set, carried_idx)
+            self.grad_sh[dst] = carried_sh
+            self.grad_opacity[dst] = carried_op
+
+        self._max_rows = max(self._max_rows, m)
+        if self.pool is not None:
+            self.pool.alloc("clm.double_buffer", CLM_BUFFER_BPG * self._max_rows)
+            self.pool.alloc(
+                "clm.activations",
+                ACT_PER_GAUSSIAN * m + ACT_PER_PIXEL * self.num_pixels,
+            )
+        return model
+
+    # ------------------------------------------------------------------
+    def add_grads(self, grads: Dict[str, np.ndarray]) -> None:
+        """Accumulate a backward pass's gradients into the working buffers
+        (non-critical) and the resident accumulators (critical)."""
+        assert self.indices is not None
+        self.grad_sh += grads["sh"]
+        self.grad_opacity += grads["opacity_logits"]
+        self.gpu_store.accumulate_grads(
+            self.indices,
+            {
+                "positions": grads["positions"],
+                "log_scales": grads["log_scales"],
+                "quaternions": grads["quaternions"],
+            },
+        )
+
+    def retire(
+        self, stores: np.ndarray, carried: np.ndarray
+    ) -> "Optional[tuple]":
+        """Offload finalized gradients; return carried grads for the next
+        buffer (or None)."""
+        assert self.indices is not None
+        if stores.size:
+            src = np.searchsorted(self.indices, stores)
+            self.cpu_store.accumulate_grads(
+                stores, self.grad_sh[src], self.grad_opacity[src]
+            )
+            self.counters.stored_gaussians += int(stores.size)
+        if carried.size:
+            src = np.searchsorted(self.indices, carried)
+            return (carried, self.grad_sh[src].copy(), self.grad_opacity[src].copy())
+        return None
+
+    def release(self) -> None:
+        if self.pool is not None:
+            self.pool.free("clm.double_buffer")
+            self.pool.free("clm.activations")
+        self.indices = None
+        self.noncrit = {}
+
+
+def _degree_for_basis(basis: int) -> int:
+    from repro.gaussians.sh import BASIS_PER_DEGREE
+
+    for degree, k in BASIS_PER_DEGREE.items():
+        if k == basis:
+            return degree
+    raise ValueError(f"invalid SH basis count {basis}")

@@ -1,0 +1,155 @@
+"""Pinhole camera model.
+
+A :class:`Camera` bundles the intrinsics and the world->camera rigid
+transform of one posed training image.  The scene datasets
+(:mod:`repro.scenes`) generate cameras along synthetic trajectories; the
+culling index (:mod:`repro.core.culling_index`) consumes them to compute
+per-view in-frustum sets; and the rasterizer renders through them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Camera:
+    """A posed pinhole camera.
+
+    Attributes
+    ----------
+    rotation:
+        ``(3, 3)`` world->camera rotation ``W``; ``p_cam = W (p - center)``.
+    center:
+        ``(3,)`` camera centre in world coordinates.
+    fx, fy, cx, cy:
+        Intrinsics in pixels.
+    width, height:
+        Image resolution in pixels.
+    znear, zfar:
+        Clip distances bounding the view frustum.
+    view_id:
+        Index of this camera within its dataset (used as the microbatch id).
+    """
+
+    rotation: np.ndarray
+    center: np.ndarray
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+    width: int
+    height: int
+    znear: float = 0.01
+    zfar: float = 1000.0
+    view_id: int = -1
+    _cached_planes: "np.ndarray | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.rotation = np.asarray(self.rotation, dtype=np.float64)
+        self.center = np.asarray(self.center, dtype=np.float64)
+        if self.rotation.shape != (3, 3):
+            raise ValueError("camera rotation must be 3x3")
+        if self.center.shape != (3,):
+            raise ValueError("camera center must be a 3-vector")
+        if self.znear <= 0 or self.zfar <= self.znear:
+            raise ValueError("require 0 < znear < zfar")
+
+    @property
+    def translation(self) -> np.ndarray:
+        """The ``t`` of ``p_cam = W p + t`` (derived from the centre)."""
+        return -self.rotation @ self.center
+
+    @property
+    def fov_x(self) -> float:
+        """Horizontal field of view in radians."""
+        return 2.0 * math.atan(self.width / (2.0 * self.fx))
+
+    @property
+    def fov_y(self) -> float:
+        """Vertical field of view in radians."""
+        return 2.0 * math.atan(self.height / (2.0 * self.fy))
+
+    @property
+    def num_pixels(self) -> int:
+        return self.width * self.height
+
+    def world_to_camera(self, points: np.ndarray) -> np.ndarray:
+        """Transform world points ``(N, 3)`` into camera space."""
+        return (points - self.center) @ self.rotation.T
+
+    def project(self, points: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Project world points to pixel coordinates.
+
+        Returns ``(uv, depth)`` where ``uv`` is ``(N, 2)`` and ``depth`` the
+        camera-space z.  Points behind the camera yield unusable ``uv``;
+        callers must mask on ``depth > znear``.
+        """
+        cam = self.world_to_camera(points)
+        depth = cam[:, 2]
+        safe_z = np.where(np.abs(depth) > 1e-12, depth, 1e-12)
+        u = self.fx * cam[:, 0] / safe_z + self.cx
+        v = self.fy * cam[:, 1] / safe_z + self.cy
+        return np.stack([u, v], axis=-1), depth
+
+    def forward_axis(self) -> np.ndarray:
+        """The camera's viewing direction in world coordinates."""
+        return self.rotation[2]
+
+
+def look_at_camera(
+    eye,
+    target,
+    up=(0.0, 0.0, 1.0),
+    fov_y_deg: float = 60.0,
+    width: int = 64,
+    height: int = 64,
+    znear: float = 0.05,
+    zfar: float = 1000.0,
+    view_id: int = -1,
+) -> Camera:
+    """Construct a camera at ``eye`` looking toward ``target``.
+
+    Follows the graphics convention of +z forward in camera space.  ``up``
+    defaults to world +z (our scenes are z-up).
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.asarray(up, dtype=np.float64)
+    forward = target - eye
+    norm = np.linalg.norm(forward)
+    if norm < 1e-12:
+        raise ValueError("eye and target coincide")
+    forward = forward / norm
+    if abs(np.dot(forward, up) / max(np.linalg.norm(up), 1e-12)) > 0.999:
+        # Degenerate up vector: pick any perpendicular axis.
+        up = (
+            np.array([1.0, 0.0, 0.0])
+            if abs(forward[0]) < 0.9
+            else np.array([0.0, 1.0, 0.0])
+        )
+    right = np.cross(forward, up)
+    right = right / np.linalg.norm(right)
+    down = np.cross(forward, right)
+    rotation = np.stack([right, down, forward], axis=0)
+    fov_y = math.radians(fov_y_deg)
+    fy = height / (2.0 * math.tan(fov_y / 2.0))
+    fx = fy  # square pixels; fov_x follows from the aspect ratio
+    return Camera(
+        rotation=rotation,
+        center=eye,
+        fx=fx,
+        fy=fy,
+        cx=width / 2.0,
+        cy=height / 2.0,
+        width=width,
+        height=height,
+        znear=znear,
+        zfar=zfar,
+        view_id=view_id,
+    )

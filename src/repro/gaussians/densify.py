@@ -1,0 +1,167 @@
+"""Adaptive densification and pruning (paper §2.1, step "periodically").
+
+3DGS grows Gaussians where reconstruction error is high and removes ones
+that contribute nothing:
+
+- **clone**: small Gaussians with large positional gradient are duplicated
+  and nudged along the gradient (under-reconstruction);
+- **split**: large Gaussians with large positional gradient are replaced by
+  two smaller samples drawn from their own distribution
+  (over-reconstruction);
+- **prune**: Gaussians whose opacity fell below a floor, or whose world
+  extent exploded, are deleted.
+
+Densification is the reason the memory model must track a *moving* Gaussian
+count, and the churn it induces is what fragments the PyTorch caching
+allocator (paper Appendix A.3) — reproduced by
+:mod:`repro.hardware.memory`'s block allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gaussians import quaternion
+from repro.gaussians.model import GaussianModel, inverse_sigmoid, sigmoid
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class DensifyConfig:
+    """Thresholds controlling densification, mirroring the 3DGS defaults
+    (rescaled because our synthetic scenes are unit-extent)."""
+
+    grad_threshold: float = 2e-4
+    scale_split_threshold: float = 0.05  # world units: split above, clone below
+    opacity_floor: float = 0.005
+    max_world_scale: float = 1.0
+    split_factor: float = 1.6  # children shrink by this factor
+    max_gaussians: Optional[int] = None
+
+
+@dataclass
+class DensifyStats:
+    """What a densification round did (logged by the trainer)."""
+
+    cloned: int = 0
+    split: int = 0
+    pruned: int = 0
+    before: int = 0
+    after: int = 0
+
+
+class DensificationState:
+    """Accumulates the per-Gaussian positional-gradient statistics between
+    densification rounds, as the reference trainer does."""
+
+    def __init__(self, num_gaussians: int) -> None:
+        self.grad_accum = np.zeros(num_gaussians)
+        self.grad_count = np.zeros(num_gaussians, dtype=np.int64)
+
+    def record(self, position_grads: np.ndarray, rows: np.ndarray) -> None:
+        """Record gradient magnitudes for the Gaussians a view touched.
+
+        ``position_grads`` is *gathered*: row ``k`` is the gradient of
+        Gaussian ``rows[k]`` — the shape every engine's working set
+        naturally produces.
+        """
+        position_grads = np.asarray(position_grads)
+        rows = np.asarray(rows, dtype=np.int64)
+        if position_grads.shape[0] != rows.shape[0]:
+            raise ValueError("gathered grads must align with rows")
+        norms = np.linalg.norm(position_grads, axis=1)
+        np.add.at(self.grad_accum, rows, norms)
+        np.add.at(self.grad_count, rows, 1)
+
+    def average(self) -> np.ndarray:
+        return self.grad_accum / np.maximum(self.grad_count, 1)
+
+
+def densify_and_prune(
+    model: GaussianModel,
+    state: DensificationState,
+    config: Optional[DensifyConfig] = None,
+    seed: SeedLike = None,
+) -> Tuple[GaussianModel, DensifyStats, np.ndarray]:
+    """One densification + pruning round.
+
+    Returns ``(new_model, stats, origins)`` where ``origins[i]`` is the old
+    row index a surviving row came from, or ``-1`` for newly created
+    Gaussians (clones/split children) — the mapping optimizers need to
+    carry Adam state across the structure change.
+    """
+    config = config or DensifyConfig()
+    rng = make_rng(seed)
+    stats = DensifyStats(before=model.num_gaussians)
+
+    avg_grad = state.average()
+    high_grad = avg_grad > config.grad_threshold
+    max_scale = model.scales().max(axis=1)
+    room = True
+    if config.max_gaussians is not None:
+        room = model.num_gaussians < config.max_gaussians
+
+    clone_mask = high_grad & (max_scale <= config.scale_split_threshold) & room
+    split_mask = high_grad & (max_scale > config.scale_split_threshold) & room
+
+    pieces = [model]
+
+    if clone_mask.any():
+        clones = model.gather(np.nonzero(clone_mask)[0])
+        # Nudge the clone along its accumulated gradient direction so the
+        # pair does not collapse back onto one point.
+        step = 0.01 * clones.scales().mean(axis=1, keepdims=True)
+        clones.positions = clones.positions + step * rng.normal(
+            size=clones.positions.shape
+        )
+        pieces.append(clones)
+        stats.cloned = clones.num_gaussians
+
+    if split_mask.any():
+        parents = model.gather(np.nonzero(split_mask)[0])
+        children = []
+        rot = quaternion.to_rotation_matrices(
+            quaternion.normalize(parents.quaternions)
+        )
+        scales = parents.scales()
+        for _ in range(2):
+            child = parents.clone()
+            local = rng.normal(size=(parents.num_gaussians, 3)) * scales
+            child.positions = parents.positions + np.einsum(
+                "nij,nj->ni", rot, local
+            )
+            child.log_scales = parents.log_scales - np.log(config.split_factor)
+            children.append(child)
+        pieces.append(children[0].extend(children[1]))
+        stats.split = 2 * parents.num_gaussians
+
+    merged = pieces[0]
+    for piece in pieces[1:]:
+        merged = merged.extend(piece)
+    origins = np.full(merged.num_gaussians, -1, dtype=np.int64)
+    origins[: model.num_gaussians] = np.arange(model.num_gaussians)
+
+    # Parents of splits are removed; clones keep their originals.
+    keep = np.ones(merged.num_gaussians, dtype=bool)
+    keep[: model.num_gaussians] = ~split_mask
+
+    opac = sigmoid(merged.opacity_logits)
+    too_transparent = opac < config.opacity_floor
+    too_big = merged.scales().max(axis=1) > config.max_world_scale
+    keep &= ~(too_transparent | too_big)
+    stats.pruned = int(np.count_nonzero(~keep[: model.num_gaussians] & ~split_mask))
+
+    result = merged.keep(keep)
+    stats.after = result.num_gaussians
+    return result, stats, origins[keep]
+
+
+def reset_opacity(model: GaussianModel, ceiling: float = 0.1) -> None:
+    """Periodically clamp opacities down (reference trainer trick) so that
+    stale Gaussians must re-earn their contribution or get pruned."""
+    opac = sigmoid(model.opacity_logits)
+    clamped = np.minimum(opac, ceiling)
+    model.opacity_logits[:] = inverse_sigmoid(clamped)

@@ -1,0 +1,64 @@
+"""Projection of Gaussian means to screen space, with gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+
+
+def project_means(
+    camera: Camera, positions: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Project Gaussian centres.
+
+    Returns ``(means2d, depths, t_cam)``: pixel coordinates ``(N, 2)``,
+    camera-space depths ``(N,)`` and camera-space points ``(N, 3)``.
+    """
+    t_cam = camera.world_to_camera(positions)
+    depths = t_cam[:, 2]
+    safe_z = np.where(np.abs(depths) > 1e-12, depths, 1e-12)
+    u = camera.fx * t_cam[:, 0] / safe_z + camera.cx
+    v = camera.fy * t_cam[:, 1] / safe_z + camera.cy
+    return np.stack([u, v], axis=-1), depths, t_cam
+
+
+def project_means_backward(
+    camera: Camera, t_cam: np.ndarray, dL_dmeans2d: np.ndarray
+) -> np.ndarray:
+    """Gradient of :func:`project_means` with respect to ``t_cam``.
+
+    The world-space gradient is ``W^T dL/dt``; the caller combines this with
+    the covariance-projection contribution before rotating back to world.
+    """
+    tx, ty, tz = t_cam[:, 0], t_cam[:, 1], t_cam[:, 2]
+    inv_z = 1.0 / tz
+    inv_z2 = inv_z * inv_z
+    g_u = dL_dmeans2d[:, 0]
+    g_v = dL_dmeans2d[:, 1]
+    dL_dt = np.empty_like(t_cam)
+    dL_dt[:, 0] = camera.fx * inv_z * g_u
+    dL_dt[:, 1] = camera.fy * inv_z * g_v
+    dL_dt[:, 2] = -camera.fx * tx * inv_z2 * g_u - camera.fy * ty * inv_z2 * g_v
+    return dL_dt
+
+
+def camera_space_to_world_grad(camera: Camera, dL_dt: np.ndarray) -> np.ndarray:
+    """Rotate camera-space gradients back to world space (``W^T g``)."""
+    return dL_dt @ camera.rotation
+
+
+def splat_radii(cov2d: np.ndarray) -> np.ndarray:
+    """Conservative pixel radius of each projected Gaussian (3 sigma).
+
+    Uses the larger eigenvalue of the 2x2 screen covariance, mirroring the
+    reference implementation's ``ceil(3 sqrt(lambda_max))``.
+    """
+    a = cov2d[:, 0, 0]
+    b = cov2d[:, 0, 1]
+    c = cov2d[:, 1, 1]
+    mid = 0.5 * (a + c)
+    det = a * c - b * b
+    disc = np.sqrt(np.maximum(mid * mid - det, 0.0))
+    lambda_max = mid + disc
+    return np.ceil(3.0 * np.sqrt(np.maximum(lambda_max, 0.0)))

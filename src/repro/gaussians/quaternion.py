@@ -1,0 +1,105 @@
+"""Quaternion utilities for Gaussian orientations.
+
+Each 3D Gaussian carries a rotation stored as a raw (unnormalized)
+quaternion ``(w, x, y, z)``; the forward pass normalizes it before building
+the rotation matrix, exactly as in the reference 3DGS implementation, and
+the backward pass chains gradients through both the matrix construction and
+the normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize(quats: np.ndarray) -> np.ndarray:
+    """Return unit quaternions; input shape ``(N, 4)`` as ``(w, x, y, z)``."""
+    norms = np.linalg.norm(quats, axis=-1, keepdims=True)
+    return quats / np.maximum(norms, 1e-12)
+
+
+def to_rotation_matrices(quats: np.ndarray) -> np.ndarray:
+    """Convert unit quaternions ``(N, 4)`` to rotation matrices ``(N, 3, 3)``.
+
+    The caller is responsible for normalization (see :func:`normalize`);
+    this keeps the derivative of each step separable in the backward pass.
+    """
+    w, x, y, z = quats[:, 0], quats[:, 1], quats[:, 2], quats[:, 3]
+    n = quats.shape[0]
+    rot = np.empty((n, 3, 3), dtype=quats.dtype)
+    rot[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    rot[:, 0, 1] = 2 * (x * y - w * z)
+    rot[:, 0, 2] = 2 * (x * z + w * y)
+    rot[:, 1, 0] = 2 * (x * y + w * z)
+    rot[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    rot[:, 1, 2] = 2 * (y * z - w * x)
+    rot[:, 2, 0] = 2 * (x * z - w * y)
+    rot[:, 2, 1] = 2 * (y * z + w * x)
+    rot[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return rot
+
+
+def rotation_matrix_jacobian(quats: np.ndarray) -> np.ndarray:
+    """Return ``dR/dq`` with shape ``(N, 4, 3, 3)`` for unit quaternions."""
+    w, x, y, z = quats[:, 0], quats[:, 1], quats[:, 2], quats[:, 3]
+    n = quats.shape[0]
+    zeros = np.zeros(n, dtype=quats.dtype)
+    jac = np.empty((n, 4, 3, 3), dtype=quats.dtype)
+    # dR/dw
+    jac[:, 0] = 2 * np.stack(
+        [
+            np.stack([zeros, -z, y], axis=-1),
+            np.stack([z, zeros, -x], axis=-1),
+            np.stack([-y, x, zeros], axis=-1),
+        ],
+        axis=-2,
+    )
+    # dR/dx
+    jac[:, 1] = 2 * np.stack(
+        [
+            np.stack([zeros, y, z], axis=-1),
+            np.stack([y, -2 * x, -w], axis=-1),
+            np.stack([z, w, -2 * x], axis=-1),
+        ],
+        axis=-2,
+    )
+    # dR/dy
+    jac[:, 2] = 2 * np.stack(
+        [
+            np.stack([-2 * y, x, w], axis=-1),
+            np.stack([x, zeros, z], axis=-1),
+            np.stack([-w, z, -2 * y], axis=-1),
+        ],
+        axis=-2,
+    )
+    # dR/dz
+    jac[:, 3] = 2 * np.stack(
+        [
+            np.stack([-2 * z, -w, x], axis=-1),
+            np.stack([w, -2 * z, y], axis=-1),
+            np.stack([x, y, zeros], axis=-1),
+        ],
+        axis=-2,
+    )
+    return jac
+
+
+def backprop_rotation(dL_drot: np.ndarray, unit_quats: np.ndarray) -> np.ndarray:
+    """Chain ``dL/dR`` (``(N, 3, 3)``) to ``dL/dq_unit`` (``(N, 4)``)."""
+    jac = rotation_matrix_jacobian(unit_quats)
+    return np.einsum("nqij,nij->nq", jac, dL_drot)
+
+
+def backprop_normalize(
+    dL_dunit: np.ndarray, raw_quats: np.ndarray
+) -> np.ndarray:
+    """Chain gradients through ``q_unit = q_raw / |q_raw|``.
+
+    ``d q_unit / d q_raw = (I - u u^T) / |q_raw|`` with ``u`` the unit
+    quaternion, so the raw gradient is the unit gradient projected onto the
+    tangent space of the unit sphere and rescaled.
+    """
+    norms = np.maximum(np.linalg.norm(raw_quats, axis=-1, keepdims=True), 1e-12)
+    unit = raw_quats / norms
+    inner = np.sum(dL_dunit * unit, axis=-1, keepdims=True)
+    return (dL_dunit - unit * inner) / norms

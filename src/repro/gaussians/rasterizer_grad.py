@@ -1,0 +1,148 @@
+"""Analytic backward pass of the tile rasterizer.
+
+Recomputes each tile's blending state with the exact code path the forward
+pass used (:func:`repro.gaussians.rasterizer.tile_alpha_weights`) and then
+applies the standard front-to-back compositing gradient:
+
+``C_p = sum_g w_gp c_g + T_final,p * bg`` with ``w_gp = a_gp T_gp`` gives
+
+- ``dL/dc_g      = sum_p w_gp g_p``
+- ``dL/da_gp     = T_gp (c_g . g_p) - suffix_gp / (1 - a_gp)``
+
+where ``suffix_gp`` is the blended contribution *behind* splat ``g`` (the
+reverse-cumulative term the CUDA kernels accumulate back-to-front).  From
+the alpha gradient everything chains analytically down to the 59 learnable
+parameters: opacity logit, screen mean -> camera point -> world position,
+conic -> 2D covariance -> world covariance -> log-scales and quaternion,
+and colour -> SH coefficients and (through the view direction) position
+again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.gaussians import sh as sh_module
+from repro.gaussians.covariance import (
+    build_covariance_backward,
+    invert_cov2d_backward,
+    project_covariance_backward,
+)
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.projection import (
+    camera_space_to_world_grad,
+    project_means_backward,
+)
+from repro.gaussians.rasterizer import RenderContext, tile_alpha_weights
+
+
+def rasterize_backward(
+    ctx: RenderContext,
+    model: GaussianModel,
+    dL_dimage: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """Gradient of the rendered image with respect to all model parameters.
+
+    ``model`` must be the same object (or identical values) rendered
+    forward; gradients are returned as full-size arrays matching
+    ``model.parameters()`` with zeros for Gaussians that did not contribute.
+    """
+    proj = ctx.proj
+    settings = ctx.settings
+    camera = ctx.camera
+    m = proj.ids.size
+
+    d_colors = np.zeros((m, 3))
+    d_opac = np.zeros(m)
+    d_means2d = np.zeros((m, 2))
+    d_conics = np.zeros((m, 2, 2))
+
+    bg = np.asarray(settings.background, dtype=np.float64)
+
+    for tile in ctx.tiles.values():
+        order = tile.order
+        pix, gauss_weight, alpha_eff, t_before, active = tile_alpha_weights(
+            proj, tile, settings
+        )
+        g_img = dL_dimage[tile.y0 : tile.y1, tile.x0 : tile.x1].reshape(-1, 3)
+        colors = proj.colors[order]  # (G, 3)
+        weights = np.where(active, alpha_eff * t_before, 0.0)
+
+        # Colour gradient: dL/dc_g = sum_p w_gp g_p
+        np.add.at(d_colors, order, weights @ g_img)
+
+        # Alpha gradient via emission + transmittance paths.
+        cg = colors @ g_img.T  # (G, P): c_g . g_p
+        contrib = weights * cg  # (G, P)
+        t_final = t_before[-1] * (1.0 - alpha_eff[-1])
+        bg_term = t_final * (g_img @ bg)  # (P,)
+        csum = np.cumsum(contrib, axis=0)
+        suffix = (csum[-1][None, :] - csum) + bg_term[None, :]
+        one_minus = np.maximum(1.0 - alpha_eff, 1.0 - settings.max_alpha)
+        d_alpha_eff = np.where(active, t_before * cg, 0.0) - suffix / one_minus
+
+        # Gate through the threshold (alpha_eff == 0 there) and the 0.99 cap.
+        opac = proj.opacities[order]
+        alpha_raw = opac[:, None] * gauss_weight
+        gate = (alpha_raw >= settings.alpha_threshold) & (
+            alpha_raw < settings.max_alpha
+        )
+        d_alpha_raw = np.where(gate, d_alpha_eff, 0.0)
+
+        # alpha_raw = opacity * exp(power)
+        np.add.at(d_opac, order, np.sum(gauss_weight * d_alpha_raw, axis=1))
+        d_power = alpha_raw * d_alpha_raw  # (G, P)
+
+        # power = -0.5 d^T conic d,  d = pix - mean
+        means = proj.means2d[order]
+        conics = proj.conics[order]
+        d_vec = pix[None, :, :] - means[:, None, :]  # (G, P, 2)
+        conic_d = np.einsum("gij,gpj->gpi", conics, d_vec)  # (G, P, 2)
+        np.add.at(
+            d_means2d, order, np.einsum("gp,gpi->gi", d_power, conic_d)
+        )
+        outer = np.einsum("gpi,gpj->gpij", d_vec, d_vec)
+        np.add.at(
+            d_conics,
+            order,
+            -0.5 * np.einsum("gp,gpij->gij", d_power, outer),
+        )
+
+    # ------------------------------------------------------------------
+    # Chain from screen space down to the learnable parameters.
+    # ------------------------------------------------------------------
+    ids = proj.ids
+    d_cov2d = invert_cov2d_backward(d_conics, proj.conics)
+    d_cov_world, d_t_cov = project_covariance_backward(
+        d_cov2d, proj.cov_cam, proj.t_cam, camera.rotation, camera.fx, camera.fy
+    )
+    d_log_scales_sub, d_quats_sub = build_covariance_backward(
+        d_cov_world, model.log_scales[ids], model.quaternions[ids]
+    )
+    d_t_mean = project_means_backward(camera, proj.t_cam, d_means2d)
+    d_pos_sub = camera_space_to_world_grad(camera, d_t_mean + d_t_cov)
+
+    norms = np.maximum(np.linalg.norm(proj.offsets, axis=1, keepdims=True), 1e-12)
+    dirs = proj.offsets / norms
+    d_sh_sub, d_dir = sh_module.sh_backward(
+        d_colors, model.sh[ids], dirs, proj.sh_degree_used, proj.clamp_mask
+    )
+    d_pos_sub = d_pos_sub + sh_module.backprop_direction(d_dir, proj.offsets)
+
+    d_logit_sub = d_opac * proj.opacities * (1.0 - proj.opacities)
+
+    grads = {
+        "positions": np.zeros((ctx.num_input, 3)),
+        "log_scales": np.zeros((ctx.num_input, 3)),
+        "quaternions": np.zeros((ctx.num_input, 4)),
+        "sh": np.zeros((ctx.num_input,) + model.sh.shape[1:]),
+        "opacity_logits": np.zeros(ctx.num_input),
+    }
+    grads["positions"][ids] = d_pos_sub
+    grads["log_scales"][ids] = d_log_scales_sub
+    grads["quaternions"][ids] = d_quats_sub
+    grads["sh"][ids] = d_sh_sub
+    grads["opacity_logits"][ids] = d_logit_sub
+    return grads

@@ -1,0 +1,42 @@
+"""Discrete-event hardware simulation substrate.
+
+The paper's performance results come from two physical testbeds (RTX 4090 /
+PCIe 4.0 and RTX 2080 Ti / PCIe 3.0).  This subpackage replaces them with a
+deterministic discrete-event simulator: serial *resources* (the GPU compute
+stream, the prioritized communication stream, the CPU Adam thread) execute
+dependency-ordered *tasks* whose durations come from calibrated kernel cost
+models.  The CLM pipeline (Figure 6), naive offloading (Figure 3) and the
+GPU-only baselines are all expressed as task DAGs over these resources, so
+overlap, stalls and utilization emerge from the schedule rather than being
+asserted.
+"""
+
+from repro.hardware.simulator import Simulator, Task, ScheduleResult
+from repro.hardware.specs import (
+    Testbed,
+    GpuSpec,
+    CpuSpec,
+    PcieSpec,
+    RTX4090_TESTBED,
+    RTX2080TI_TESTBED,
+    TESTBEDS,
+)
+from repro.hardware.memory import MemoryPool, OutOfMemoryError, BlockAllocator
+from repro.hardware.kernels import KernelCostModel
+
+__all__ = [
+    "Simulator",
+    "Task",
+    "ScheduleResult",
+    "Testbed",
+    "GpuSpec",
+    "CpuSpec",
+    "PcieSpec",
+    "RTX4090_TESTBED",
+    "RTX2080TI_TESTBED",
+    "TESTBEDS",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "BlockAllocator",
+    "KernelCostModel",
+]

@@ -1,0 +1,8 @@
+"""Optimizers: a reference dense Adam and the subset-updating sparse Adam
+that CLM runs on the CPU (paper §5.4)."""
+
+from repro.optim.adam import Adam, AdamConfig
+from repro.optim.sparse_adam import SparseAdam
+from repro.optim.schedule import ExponentialDecay, ShWarmup
+
+__all__ = ["Adam", "AdamConfig", "SparseAdam", "ExponentialDecay", "ShWarmup"]

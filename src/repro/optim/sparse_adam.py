@@ -1,0 +1,138 @@
+"""Subset-updating Adam — the "CPU Adam" of the paper (§5.4).
+
+CLM extends the ZeRO-Offload CPU Adam to update *a subset of Gaussians*:
+after microbatch ``j`` lands its gradients in CPU memory, the CPU thread
+updates exactly the finalized set ``F_j = {g : L_g = j}`` (§4.2.2).  That
+requires an optimizer whose state and bias correction are tracked per row,
+so that updating rows at different times is equivalent to one dense update
+over the union at the end of the batch — the property the equivalence tests
+in ``tests/core`` verify and the correctness argument of the paper's
+overlapped-Adam optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.optim.adam import AdamConfig
+
+
+class SparseAdam:
+    """Adam over named per-Gaussian arrays, updating selected rows only.
+
+    Bias-correction steps are tracked per Gaussian: a row's ``t`` advances
+    only when the row is updated, matching the sparse Adam used by 3DGS
+    training frameworks (untouched Gaussians receive no gradient and no
+    moment decay).
+    """
+
+    def __init__(
+        self,
+        params: Dict[str, np.ndarray],
+        config: Optional[AdamConfig] = None,
+    ):
+        self.config = config or AdamConfig()
+        first = next(iter(params.values()))
+        self.num_rows = first.shape[0]
+        for name, arr in params.items():
+            if arr.shape[0] != self.num_rows:
+                raise ValueError(f"parameter {name} rows != {self.num_rows}")
+        self.m = {k: np.zeros_like(v) for k, v in params.items()}
+        self.v = {k: np.zeros_like(v) for k, v in params.items()}
+        self.steps = np.zeros(self.num_rows, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def step_rows(
+        self,
+        params: Dict[str, np.ndarray],
+        grads: Dict[str, np.ndarray],
+        rows: np.ndarray,
+    ) -> None:
+        """Adam-update ``rows`` of every parameter in place.
+
+        ``grads`` may be full-size arrays (rows outside ``rows`` ignored) —
+        this is the shape in which the gradient-offload kernels deposit
+        accumulated gradients into pinned CPU memory.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        cfg = self.config
+        self.steps[rows] += 1
+        t = self.steps[rows]
+        bc1 = 1.0 - cfg.beta1 ** t
+        bc2 = 1.0 - cfg.beta2 ** t
+        for name, p in params.items():
+            g = grads[name][rows]
+            m = self.m[name]
+            v = self.v[name]
+            m[rows] = cfg.beta1 * m[rows] + (1 - cfg.beta1) * g
+            v[rows] = cfg.beta2 * v[rows] + (1 - cfg.beta2) * g * g
+            shape = (-1,) + (1,) * (p.ndim - 1)
+            m_hat = m[rows] / bc1.reshape(shape)
+            v_hat = v[rows] / bc2.reshape(shape)
+            p[rows] -= cfg.lr_for(name) * m_hat / (np.sqrt(v_hat) + cfg.eps)
+
+    # ------------------------------------------------------------------
+    def step_gathered(
+        self,
+        gathered_params: Dict[str, np.ndarray],
+        gathered_grads: Dict[str, np.ndarray],
+        rows: np.ndarray,
+    ) -> None:
+        """Adam-update *gathered copies* of ``rows`` in place.
+
+        This is the shape of CLM's CPU Adam (§5.4): the finalized rows are
+        gathered from the packed pinned store, updated, and written back by
+        the caller.  Moments and step counts still live full-size in this
+        optimizer, indexed by the global ``rows``.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        cfg = self.config
+        self.steps[rows] += 1
+        t = self.steps[rows]
+        bc1 = 1.0 - cfg.beta1 ** t
+        bc2 = 1.0 - cfg.beta2 ** t
+        for name, p in gathered_params.items():
+            g = gathered_grads[name]
+            if p.shape != g.shape or p.shape[0] != rows.size:
+                raise ValueError(f"shape mismatch for {name}")
+            m = self.m[name]
+            v = self.v[name]
+            m[rows] = cfg.beta1 * m[rows] + (1 - cfg.beta1) * g
+            v[rows] = cfg.beta2 * v[rows] + (1 - cfg.beta2) * g * g
+            shape = (-1,) + (1,) * (p.ndim - 1)
+            m_hat = m[rows] / bc1.reshape(shape)
+            v_hat = v[rows] / bc2.reshape(shape)
+            p -= cfg.lr_for(name) * m_hat / (np.sqrt(v_hat) + cfg.eps)
+
+    # ------------------------------------------------------------------
+    def resize(self, params: Dict[str, np.ndarray], keep_rows: np.ndarray) -> None:
+        """Rebuild optimizer state after densification/pruning.
+
+        ``keep_rows`` maps new rows to old rows (``-1`` marks brand-new
+        Gaussians whose moments start at zero), mirroring how 3DGS trainers
+        carry optimizer state across model-structure changes.
+        """
+        keep_rows = np.asarray(keep_rows, dtype=np.int64)
+        old_rows = keep_rows >= 0
+        new_num = keep_rows.shape[0]
+        new_m, new_v = {}, {}
+        for name, arr in params.items():
+            m = np.zeros_like(arr)
+            v = np.zeros_like(arr)
+            m[old_rows] = self.m[name][keep_rows[old_rows]]
+            v[old_rows] = self.v[name][keep_rows[old_rows]]
+            new_m[name], new_v[name] = m, v
+        steps = np.zeros(new_num, dtype=np.int64)
+        steps[old_rows] = self.steps[keep_rows[old_rows]]
+        self.m, self.v, self.steps = new_m, new_v, steps
+        self.num_rows = new_num
+
+    def state_bytes(self) -> int:
+        """Two fp32 moments per parameter element."""
+        return sum(arr.size for arr in self.m.values()) * 2 * 4

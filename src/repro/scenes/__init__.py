@@ -1,0 +1,50 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on five posed-image datasets (Table 3) that are not
+redistributable and total hundreds of GB.  This subpackage builds synthetic
+equivalents whose *geometry* matches each dataset's topology — because the
+properties CLM exploits (per-view sparsity rho, inter-view overlap, spatial
+locality) are geometric consequences of camera trajectory vs scene extent:
+
+=========  ==========  =======================  =====================
+scene      type        cloud generator          trajectory
+=========  ==========  =======================  =====================
+bicycle    yard        dense central cluster    inward-facing orbit
+rubble     aerial      terrain + rubble piles   serpentine survey grid
+alameda    indoor      rooms/walls/furniture    room-to-room walk
+ithaca     street      road-corridor strips     forward-facing drive
+bigcity    aerial      city blocks, 25 km^2     high-altitude grid
+=========  ==========  =======================  =====================
+
+Gaussian counts are scaled down by ``scale`` (default 1/1000); rho and
+overlap statistics are scale-invariant, so the performance experiments
+up-scale the measured index-set sizes back to paper-scale N (DESIGN.md §5).
+"""
+
+from repro.scenes.datasets import (
+    SceneSpec,
+    Scene,
+    SCENE_SPECS,
+    get_scene_spec,
+    build_scene,
+    scene_names,
+)
+from repro.scenes.trajectories import (
+    orbit_trajectory,
+    aerial_grid_trajectory,
+    street_trajectory,
+    indoor_walkthrough_trajectory,
+)
+
+__all__ = [
+    "SceneSpec",
+    "Scene",
+    "SCENE_SPECS",
+    "get_scene_spec",
+    "build_scene",
+    "scene_names",
+    "orbit_trajectory",
+    "aerial_grid_trajectory",
+    "street_trajectory",
+    "indoor_walkthrough_trajectory",
+]

@@ -1,0 +1,281 @@
+"""The dataset registry: paper Table 2/3 scenes as synthetic equivalents.
+
+Each :class:`SceneSpec` records the paper-scale facts (Gaussian count,
+image count, resolution, batch size, blending density) and knows how to
+instantiate a scaled synthetic :class:`Scene` whose camera/cloud geometry
+reproduces the dataset's sparsity regime.  Performance experiments run on
+paper-scale *counts* derived from the scaled scene's measured index sets
+(``Scene.count_scale``), while functional training runs directly on the
+scaled model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+from repro.scenes import synthetic, trajectories
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """Paper-scale facts plus synthetic-generation recipe for one scene."""
+
+    name: str
+    scene_type: str
+    paper_num_gaussians: int  # Table 2 working size
+    paper_num_images: int  # Table 3
+    paper_resolution: Tuple[int, int]  # (width, height)
+    batch_size: int  # Table 3 training batch size
+    splats_per_pixel: float  # blending density for the kernel cost model
+    description: str = ""
+    # Synthetic recipe (used by build()):
+    cloud: str = "yard"
+    trajectory: str = "orbit"
+    geometry: Dict[str, float] = field(default_factory=dict)
+    zfar: Optional[float] = None
+
+    @property
+    def paper_pixels(self) -> int:
+        return self.paper_resolution[0] * self.paper_resolution[1]
+
+
+@dataclass
+class Scene:
+    """An instantiated synthetic scene."""
+
+    spec: SceneSpec
+    model: GaussianModel
+    cameras: List[Camera]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_gaussians(self) -> int:
+        return self.model.num_gaussians
+
+    @property
+    def count_scale(self) -> float:
+        """Multiplier mapping scaled index-set sizes to paper-scale counts."""
+        return self.spec.paper_num_gaussians / self.model.num_gaussians
+
+    def count_scale_for(self, paper_n: float) -> float:
+        """Multiplier for an experiment-specific paper-scale model size."""
+        return paper_n / self.model.num_gaussians
+
+
+# ---------------------------------------------------------------------------
+# Registry — geometry tuned so measured per-view sparsity lands in each
+# dataset's regime (validated by tests against the Figure 5 ordering):
+# bicycle >> rubble > alameda > ithaca > bigcity.
+# ---------------------------------------------------------------------------
+SCENE_SPECS: Dict[str, SceneSpec] = {
+    "bicycle": SceneSpec(
+        name="bicycle",
+        scene_type="yard",
+        paper_num_gaussians=9_000_000,
+        paper_num_images=200,
+        paper_resolution=(3840, 2160),
+        batch_size=4,
+        splats_per_pixel=15.0,
+        description="Mip-NeRF 360 Bicycle: 4K yard orbit, densest views",
+        cloud="yard",
+        trajectory="orbit",
+        geometry={"extent": 1.0, "radius": 1.3, "height": 0.5, "fov": 42.0},
+        # Frustum culling has no occlusion; a finite far plane stands in for
+        # the central subject occluding the far side of the background ring.
+        zfar=2.3,
+    ),
+    "rubble": SceneSpec(
+        name="rubble",
+        scene_type="aerial",
+        paper_num_gaussians=40_000_000,
+        paper_num_images=1600,
+        paper_resolution=(3840, 2160),
+        batch_size=8,
+        splats_per_pixel=10.0,
+        description="Mega-NeRF Rubble: 4K aerial survey",
+        cloud="aerial",
+        trajectory="aerial",
+        geometry={"extent": 7.5, "altitude": 2.8, "fov": 60.0},
+    ),
+    "alameda": SceneSpec(
+        name="alameda",
+        scene_type="indoor",
+        paper_num_gaussians=45_000_000,
+        paper_num_images=1700,
+        paper_resolution=(2560, 1440),
+        batch_size=8,
+        splats_per_pixel=12.0,
+        description="Zip-NeRF Alameda: 2K indoor walkthrough",
+        cloud="indoor",
+        trajectory="indoor",
+        geometry={"num_rooms": 6, "room_size": 2.0, "fov": 65.0},
+        zfar=2.0,
+    ),
+    "ithaca": SceneSpec(
+        name="ithaca",
+        scene_type="street",
+        paper_num_gaussians=70_000_000,
+        paper_num_images=8200,
+        paper_resolution=(1280, 960),
+        batch_size=16,
+        splats_per_pixel=12.0,
+        description="Ithaca365: 1K street drive (COLMAP-posed)",
+        cloud="street",
+        trajectory="street",
+        geometry={
+            "num_streets": 8,
+            "street_length": 40.0,
+            "street_spacing": 4.0,
+            "fov": 65.0,
+        },
+        zfar=4.0,
+    ),
+    "bigcity": SceneSpec(
+        name="bigcity",
+        scene_type="aerial",
+        paper_num_gaussians=100_000_000,
+        paper_num_images=60000,
+        paper_resolution=(1920, 1080),
+        batch_size=64,
+        splats_per_pixel=3.0,
+        description="MatrixCity BigCity: 1080p city-scale aerial, 25.3 km^2",
+        cloud="aerial",
+        trajectory="aerial",
+        geometry={"extent": 45.0, "altitude": 2.8, "fov": 60.0},
+    ),
+}
+
+
+def scene_names() -> List[str]:
+    """Registry order follows the paper's tables."""
+    return list(SCENE_SPECS)
+
+
+def get_scene_spec(name: str) -> SceneSpec:
+    try:
+        return SCENE_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scene '{name}'; available: {', '.join(SCENE_SPECS)}"
+        ) from None
+
+
+def _make_cloud(spec: SceneSpec, n: int, seed) -> "tuple[np.ndarray, np.ndarray]":
+    g = spec.geometry
+    if spec.cloud == "yard":
+        return synthetic.yard_cloud(n, extent=g.get("extent", 1.0), seed=seed)
+    if spec.cloud == "aerial":
+        return synthetic.aerial_cloud(n, extent=g.get("extent", 10.0), seed=seed)
+    if spec.cloud == "street":
+        return synthetic.street_cloud(
+            n,
+            num_streets=int(g.get("num_streets", 4)),
+            street_length=g.get("street_length", 20.0),
+            street_spacing=g.get("street_spacing", 5.0),
+            seed=seed,
+        )
+    if spec.cloud == "indoor":
+        return synthetic.indoor_cloud(
+            n,
+            num_rooms=int(g.get("num_rooms", 6)),
+            room_size=g.get("room_size", 2.0),
+            seed=seed,
+        )
+    raise ValueError(f"unknown cloud type {spec.cloud}")
+
+
+def _make_cameras(
+    spec: SceneSpec, num_views: int, width: int, height: int, seed
+) -> List[Camera]:
+    g = spec.geometry
+    fov = g.get("fov", 60.0)
+    if spec.trajectory == "orbit":
+        cams = trajectories.orbit_trajectory(
+            num_views,
+            radius=g.get("radius", 1.3),
+            height=g.get("height", 0.5),
+            fov_y_deg=fov,
+            width=width,
+            height_px=height,
+            seed=seed,
+        )
+    elif spec.trajectory == "aerial":
+        cams = trajectories.aerial_grid_trajectory(
+            num_views,
+            extent=g.get("extent", 10.0),
+            altitude=g.get("altitude", 2.8),
+            fov_y_deg=fov,
+            width=width,
+            height_px=height,
+            seed=seed,
+        )
+    elif spec.trajectory == "street":
+        cams = trajectories.street_trajectory(
+            num_views,
+            num_streets=int(g.get("num_streets", 4)),
+            street_length=g.get("street_length", 20.0),
+            street_spacing=g.get("street_spacing", 5.0),
+            fov_y_deg=fov,
+            width=width,
+            height_px=height,
+            seed=seed,
+        )
+    elif spec.trajectory == "indoor":
+        cams = trajectories.indoor_walkthrough_trajectory(
+            num_views,
+            num_rooms=int(g.get("num_rooms", 6)),
+            room_size=g.get("room_size", 2.0),
+            fov_y_deg=fov,
+            width=width,
+            height_px=height,
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown trajectory {spec.trajectory}")
+    if spec.zfar is not None:
+        for cam in cams:
+            cam.zfar = spec.zfar
+            cam._cached_planes = None
+    return cams
+
+
+def build_scene(
+    name: str,
+    scale: float = 1e-3,
+    num_views: Optional[int] = None,
+    image_size: Tuple[int, int] = (64, 48),
+    sh_degree: int = 1,
+    seed: SeedLike = 0,
+) -> Scene:
+    """Instantiate a scaled synthetic equivalent of a paper dataset.
+
+    Parameters
+    ----------
+    scale:
+        Fraction of the paper's Gaussian count to generate (default 1/1000;
+        sparsity statistics are scale-invariant, see DESIGN.md §5).
+    num_views:
+        Number of cameras; defaults to ``min(paper images, 256)``.
+    image_size:
+        Synthetic camera resolution (only affects functional rendering —
+        performance models use the paper resolution from the spec).
+    """
+    spec = get_scene_spec(name)
+    rng = make_rng(seed)
+    n = max(64, int(round(spec.paper_num_gaussians * scale)))
+    views = num_views if num_views is not None else min(spec.paper_num_images, 256)
+    positions, colors = _make_cloud(spec, n, rng)
+    model = GaussianModel.from_point_cloud(
+        positions, colors=colors, sh_degree=sh_degree, seed=rng
+    )
+    cameras = _make_cameras(spec, views, image_size[0], image_size[1], rng)
+    return Scene(spec=spec, model=model, cameras=cameras)

@@ -1,0 +1,45 @@
+"""Point-cloud initialization (COLMAP substitute).
+
+The paper initializes Gaussians from a COLMAP structure-from-motion point
+cloud (§2.1); Ithaca365 even required running COLMAP to get poses at all
+(Appendix A.2).  Offline we substitute a *noisy subsample of the ground
+truth*: exactly the property an SfM cloud has — sparse, roughly on-surface
+points with localization error — which is what the densification process
+then refines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+
+
+def sfm_like_cloud(
+    surface_points: np.ndarray,
+    surface_colors: np.ndarray,
+    keep_fraction: float = 0.3,
+    noise_scale: float = 0.01,
+    color_noise: float = 0.05,
+    seed: SeedLike = 0,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Subsample + perturb a dense surface cloud into an SfM-like seed.
+
+    Parameters
+    ----------
+    keep_fraction:
+        Fraction of surface points an SfM pipeline would triangulate.
+    noise_scale:
+        Positional error, in the same units as ``surface_points``.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    rng = make_rng(seed)
+    n = surface_points.shape[0]
+    keep = max(1, int(round(keep_fraction * n)))
+    idx = rng.choice(n, size=keep, replace=False)
+    points = surface_points[idx] + noise_scale * rng.normal(size=(keep, 3))
+    colors = np.clip(
+        surface_colors[idx] + color_noise * rng.normal(size=(keep, 3)), 0.0, 1.0
+    )
+    return points, colors

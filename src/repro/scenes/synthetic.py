@@ -1,0 +1,110 @@
+"""Synthetic Gaussian cloud generators, one per scene topology.
+
+Each generator returns ``(positions, colors)`` for ``n`` Gaussians; the
+dataset registry wraps them into :class:`~repro.gaussians.model.GaussianModel`
+instances.  The spatial *distribution* — not the absolute count — is what
+determines per-view sparsity and inter-view overlap, so these generators
+are the load-bearing piece of the dataset substitution (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+
+
+def yard_cloud(
+    n: int,
+    extent: float = 1.0,
+    object_fraction: float = 0.15,
+    background_reach: float = 4.0,
+    seed: SeedLike = 0,
+):
+    """Bicycle-style unbounded yard (Mip-NeRF 360 topology).
+
+    A small central subject plus a wide surrounding ring of ground and
+    background content out to ``background_reach * extent``.  An orbiting
+    view always contains the subject but only a wedge of the surroundings,
+    which is what keeps per-view sparsity near the paper's ~20-30% instead
+    of 100%.
+    """
+    rng = make_rng(seed)
+    if not 0.0 < object_fraction < 1.0:
+        raise ValueError("object_fraction must be in (0, 1)")
+    n_obj = max(1, int(object_fraction * n))
+    n_ring = n - n_obj
+    obj = 0.22 * extent * rng.normal(size=(n_obj, 3))
+    obj[:, 2] = np.abs(obj[:, 2]) * 0.8 + 0.05 * extent
+    r = extent * np.sqrt(
+        rng.uniform(1.0, background_reach**2, size=n_ring)
+    )
+    theta = rng.uniform(0, 2 * np.pi, size=n_ring)
+    z = np.abs(rng.normal(scale=0.25 * extent, size=n_ring)) * (
+        r / extent
+    ) * 0.3  # background rises with distance (trees, buildings)
+    ring = np.stack([r * np.cos(theta), r * np.sin(theta), z], axis=-1)
+    positions = np.concatenate([obj, ring])
+    colors = rng.uniform(0.1, 0.9, size=(n, 3))
+    return positions, colors
+
+
+def aerial_cloud(
+    n: int, extent: float = 10.0, building_height: float = 0.4, seed: SeedLike = 0
+):
+    """Aerial terrain (Rubble / BigCity): a large ground plane with
+    block-like height structure; uniform density over the surveyed area."""
+    rng = make_rng(seed)
+    xy = rng.uniform(-extent, extent, size=(n, 2))
+    # Block structure: height depends on a coarse grid cell hash so that
+    # nearby Gaussians form building-like clusters.
+    cell = np.floor(xy / (extent / 8.0)).astype(np.int64)
+    cell_hash = (cell[:, 0] * 73856093) ^ (cell[:, 1] * 19349663)
+    block = (np.abs(cell_hash) % 5) / 4.0
+    z = block * building_height * rng.uniform(0.0, 1.0, size=n)
+    positions = np.concatenate([xy, z[:, None]], axis=1)
+    colors = rng.uniform(0.2, 0.8, size=(n, 3))
+    return positions, colors
+
+
+def street_cloud(
+    n: int,
+    num_streets: int = 4,
+    street_length: float = 20.0,
+    street_spacing: float = 5.0,
+    corridor_width: float = 1.2,
+    seed: SeedLike = 0,
+):
+    """Street corridors (Ithaca): Gaussians line the roadway facades, so a
+    forward-facing view only reaches content along its own street."""
+    rng = make_rng(seed)
+    street = rng.integers(0, num_streets, size=n)
+    x = rng.uniform(-street_length / 2.0, street_length / 2.0, size=n)
+    y_offset = rng.normal(scale=corridor_width / 2.0, size=n)
+    y = (street - (num_streets - 1) / 2.0) * street_spacing + y_offset
+    z = np.abs(rng.normal(scale=0.25, size=n))
+    positions = np.stack([x, y, z], axis=-1)
+    colors = rng.uniform(0.1, 0.9, size=(n, 3))
+    return positions, colors
+
+
+def indoor_cloud(
+    n: int, num_rooms: int = 6, room_size: float = 2.0, seed: SeedLike = 0
+):
+    """Indoor rooms (Alameda): Gaussians on walls/floor/furniture of a row
+    of rooms; cross-room visibility is blocked by distance and layout."""
+    rng = make_rng(seed)
+    room = rng.integers(0, num_rooms, size=n)
+    center_x = (room - (num_rooms - 1) / 2.0) * room_size * 1.2
+    local = rng.uniform(-0.5, 0.5, size=(n, 3)) * room_size
+    # Push points toward the walls (max-coordinate inflation) to mimic
+    # surface-dominated indoor geometry.
+    dominant = np.argmax(np.abs(local[:, :2]), axis=1)
+    signs = np.sign(local[np.arange(n), dominant])
+    signs[signs == 0] = 1.0
+    local[np.arange(n), dominant] = signs * 0.5 * room_size
+    positions = local.copy()
+    positions[:, 0] += center_x
+    positions[:, 2] = np.abs(local[:, 2]) * 0.5
+    colors = rng.uniform(0.2, 0.9, size=(n, 3))
+    return positions, colors

@@ -1,0 +1,203 @@
+"""Camera trajectory generators.
+
+Each generator returns a list of :class:`~repro.gaussians.camera.Camera`
+objects with ``view_id`` set to their dataset index.  The trajectories are
+deliberately *structured* (orbits, survey grids, drives, walkthroughs): the
+spatial locality that CLM's scheduler exploits (§3, observation iii) comes
+from views of the same region being near each other along these paths —
+and the "Random Order" ablation destroys exactly that adjacency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.gaussians.camera import Camera, look_at_camera
+from repro.utils.rng import SeedLike, make_rng
+
+
+def orbit_trajectory(
+    num_views: int,
+    center: Sequence[float] = (0.0, 0.0, 0.0),
+    radius: float = 1.0,
+    height: float = 0.35,
+    fov_y_deg: float = 60.0,
+    width: int = 64,
+    height_px: int = 48,
+    jitter: float = 0.03,
+    seed: SeedLike = 0,
+) -> List[Camera]:
+    """Inward-facing orbit around a central object (Bicycle-style yard).
+
+    Every view points at the same centre, so views share most of the scene:
+    high rho and heavy inter-view overlap.
+    """
+    rng = make_rng(seed)
+    center = np.asarray(center, dtype=np.float64)
+    cams = []
+    for i in range(num_views):
+        theta = 2.0 * math.pi * i / num_views
+        eye = center + np.array(
+            [
+                radius * math.cos(theta),
+                radius * math.sin(theta),
+                height,
+            ]
+        )
+        eye = eye + jitter * radius * rng.normal(size=3)
+        cams.append(
+            look_at_camera(
+                eye=eye,
+                target=center,
+                fov_y_deg=fov_y_deg,
+                width=width,
+                height=height_px,
+                view_id=i,
+            )
+        )
+    return cams
+
+
+def aerial_grid_trajectory(
+    num_views: int,
+    extent: float = 10.0,
+    altitude: float = 1.5,
+    tilt_deg: float = 15.0,
+    fov_y_deg: float = 50.0,
+    width: int = 64,
+    height_px: int = 48,
+    jitter: float = 0.02,
+    seed: SeedLike = 0,
+) -> List[Camera]:
+    """Serpentine aerial survey over a square of half-width ``extent``
+    (Rubble / MatrixCity BigCity style).
+
+    The camera flies rows back and forth looking (mostly) down; each view
+    covers a ground patch set by altitude and FoV, so rho shrinks as the
+    surveyed area grows — the mechanism behind BigCity's 0.39% average
+    sparsity.
+    """
+    rng = make_rng(seed)
+    rows = max(1, int(round(math.sqrt(num_views))))
+    cols = (num_views + rows - 1) // rows
+    cams = []
+    i = 0
+    tilt = math.radians(tilt_deg)
+    for r in range(rows):
+        y = -extent + 2.0 * extent * (r + 0.5) / rows
+        col_range = range(cols) if r % 2 == 0 else range(cols - 1, -1, -1)
+        for c in col_range:
+            if i >= num_views:
+                break
+            x = -extent + 2.0 * extent * (c + 0.5) / cols
+            eye = np.array([x, y, altitude]) + jitter * extent * rng.normal(size=3)
+            look_dir = np.array([math.sin(tilt), 0.0, -math.cos(tilt)])
+            target = eye + look_dir
+            cams.append(
+                look_at_camera(
+                    eye=eye,
+                    target=target,
+                    up=(0.0, 1.0, 0.0),
+                    fov_y_deg=fov_y_deg,
+                    width=width,
+                    height=height_px,
+                    view_id=i,
+                )
+            )
+            i += 1
+    return cams
+
+
+def street_trajectory(
+    num_views: int,
+    num_streets: int = 4,
+    street_length: float = 20.0,
+    street_spacing: float = 5.0,
+    camera_height: float = 0.15,
+    fov_y_deg: float = 65.0,
+    width: int = 64,
+    height_px: int = 48,
+    jitter: float = 0.01,
+    seed: SeedLike = 0,
+) -> List[Camera]:
+    """Forward-facing drive along parallel streets (Ithaca365 style).
+
+    The camera moves along each street looking forward, so consecutive
+    views overlap strongly but views on different streets share little —
+    the regime where TSP ordering beats camera-axis ordering most (Table 5,
+    Figure 14: Ithaca shows the largest ordering effect).
+    """
+    rng = make_rng(seed)
+    per_street = max(1, (num_views + num_streets - 1) // num_streets)
+    cams = []
+    i = 0
+    for s in range(num_streets):
+        y = (s - (num_streets - 1) / 2.0) * street_spacing
+        direction = 1.0 if s % 2 == 0 else -1.0
+        for k in range(per_street):
+            if i >= num_views:
+                break
+            x = direction * (-street_length / 2.0 + street_length * k / max(1, per_street - 1))
+            eye = np.array([x, y, camera_height])
+            eye = eye + jitter * street_spacing * rng.normal(size=3)
+            target = eye + np.array([direction, 0.0, 0.0])
+            cams.append(
+                look_at_camera(
+                    eye=eye,
+                    target=target,
+                    fov_y_deg=fov_y_deg,
+                    width=width,
+                    height=height_px,
+                    view_id=i,
+                )
+            )
+            i += 1
+    return cams
+
+
+def indoor_walkthrough_trajectory(
+    num_views: int,
+    num_rooms: int = 6,
+    room_size: float = 2.0,
+    fov_y_deg: float = 70.0,
+    width: int = 64,
+    height_px: int = 48,
+    seed: SeedLike = 0,
+) -> List[Camera]:
+    """Room-to-room walkthrough (Alameda indoor style).
+
+    Rooms are laid out on a line; inside each room the camera pans through
+    several headings before moving to the next room.  Views inside one
+    room overlap heavily, views across rooms barely at all.
+    """
+    rng = make_rng(seed)
+    per_room = max(1, (num_views + num_rooms - 1) // num_rooms)
+    cams = []
+    i = 0
+    for room in range(num_rooms):
+        room_center = np.array(
+            [(room - (num_rooms - 1) / 2.0) * room_size * 1.2, 0.0, 0.45]
+        )
+        for k in range(per_room):
+            if i >= num_views:
+                break
+            angle = 2.0 * math.pi * k / per_room + 0.3 * rng.normal()
+            eye = room_center + 0.25 * room_size * np.array(
+                [math.cos(angle * 0.7), math.sin(angle * 0.7), 0.0]
+            )
+            target = eye + np.array([math.cos(angle), math.sin(angle), -0.05])
+            cams.append(
+                look_at_camera(
+                    eye=eye,
+                    target=target,
+                    fov_y_deg=fov_y_deg,
+                    width=width,
+                    height=height_px,
+                    view_id=i,
+                )
+            )
+            i += 1
+    return cams

@@ -1,0 +1,106 @@
+"""Checkpoint save/load: exact training resumption."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_model, restore_into_engine, save_checkpoint
+from repro.core.config import EngineConfig
+from repro.core.engine import CLMEngine
+from repro.core.gpu_only import GpuOnlyEngine
+from repro.gaussians.model import GaussianModel
+
+
+@pytest.fixture()
+def setup(trainable_scene):
+    init = GaussianModel.from_point_cloud(
+        trainable_scene.init_points, colors=trainable_scene.init_colors,
+        sh_degree=1, seed=0,
+    )
+    targets = {
+        c.view_id: img
+        for c, img in zip(trainable_scene.cameras, trainable_scene.images)
+    }
+    return trainable_scene, init, targets
+
+
+def test_model_roundtrip(tmp_path, setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
+    engine.train_batch([0, 1, 2, 3], targets)
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine, batches_trained=1)
+    model, meta = load_model(path)
+    trained = engine.snapshot_model()
+    for name in trained.parameters():
+        np.testing.assert_array_equal(
+            model.parameters()[name], trained.parameters()[name]
+        )
+    assert meta["batches_trained"] == 1
+    assert meta["engine"] == "CLMEngine"
+
+
+@pytest.mark.parametrize("engine_type", ["clm", "enhanced"])
+def test_resume_is_bit_exact(tmp_path, setup, engine_type):
+    """train(4 batches) == train(2) -> save -> load -> train(2)."""
+    scene, init, targets = setup
+    batches = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 1, 3], [0, 2, 5, 7]]
+
+    def make(model):
+        if engine_type == "clm":
+            return CLMEngine(model, scene.cameras, EngineConfig(batch_size=4))
+        return GpuOnlyEngine(model, scene.cameras, EngineConfig(batch_size=4),
+                             enhanced=True)
+
+    straight = make(init)
+    for b in batches:
+        straight.train_batch(b, targets)
+
+    first = make(init)
+    for b in batches[:2]:
+        first.train_batch(b, targets)
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, first, batches_trained=2)
+
+    model, meta = load_model(path)
+    resumed = make(model)
+    restore_into_engine(path, resumed)
+    for b in batches[2:]:
+        resumed.train_batch(b, targets)
+
+    a = straight.snapshot_model()
+    b = resumed.snapshot_model()
+    for name in a.parameters():
+        np.testing.assert_allclose(
+            a.parameters()[name], b.parameters()[name], atol=1e-12,
+            err_msg=name,
+        )
+
+
+def test_restore_rejects_mismatched_size(tmp_path, setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    smaller = CLMEngine(init.gather(np.arange(init.num_gaussians - 2)),
+                        scene.cameras, EngineConfig(batch_size=4))
+    with pytest.raises(ValueError, match="Gaussians"):
+        restore_into_engine(path, smaller)
+
+
+def test_optimizer_state_restored(tmp_path, setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
+    engine.train_batch([0, 1, 2, 3], targets)
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    fresh = CLMEngine(load_model(path)[0], scene.cameras,
+                      EngineConfig(batch_size=4))
+    assert not np.any(fresh.adam_noncritical.steps)  # fresh optimizer
+    restore_into_engine(path, fresh)
+    np.testing.assert_array_equal(
+        fresh.adam_noncritical.steps, engine.adam_noncritical.steps
+    )
+    for name in engine.adam_critical.m:
+        np.testing.assert_array_equal(
+            fresh.adam_critical.m[name], engine.adam_critical.m[name]
+        )

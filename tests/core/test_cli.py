@@ -1,0 +1,56 @@
+"""CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+FAST_SCENE = ["--scale", "5e-5", "--views", "48", "--seed", "1"]
+
+
+def test_sparsity_command(capsys):
+    assert main(["sparsity", "--scene", "bigcity"] + FAST_SCENE) == 0
+    out = capsys.readouterr().out
+    assert "sparsity" in out
+    assert "mean" in out
+
+
+def test_max_size_command(capsys):
+    assert main(["max-size", "--scene", "rubble", "--testbed", "rtx2080ti"]
+                + FAST_SCENE) == 0
+    out = capsys.readouterr().out
+    assert "clm" in out and "baseline" in out
+
+
+def test_throughput_command(capsys):
+    assert main(
+        ["throughput", "--scene", "bigcity", "--system", "clm",
+         "--n", "15.3e6", "--batches", "2", "--batch-size", "8"] + FAST_SCENE
+    ) == 0
+    out = capsys.readouterr().out
+    assert "images/s" in out
+
+
+def test_comm_volume_command(capsys):
+    assert main(
+        ["comm-volume", "--scene", "bigcity", "--n", "15.3e6",
+         "--batches", "2", "--batch-size", "8"] + FAST_SCENE
+    ) == 0
+    out = capsys.readouterr().out
+    for ordering in ("random", "camera", "gs_count", "tsp"):
+        assert ordering in out
+
+
+def test_train_command(capsys):
+    assert main(["train", "--batches", "3", "--gaussians", "80"]) == 0
+    out = capsys.readouterr().out
+    assert "PSNR" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_unknown_scene_rejected():
+    with pytest.raises(SystemExit):
+        main(["sparsity", "--scene", "nowhere"])

@@ -1,0 +1,129 @@
+"""CLMEngine behaviour beyond equivalence: accounting, memory, rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.core.caching import build_transfer_plan, total_cached_count, total_load_count, total_store_count
+from repro.core.config import EngineConfig
+from repro.core.engine import CLMEngine
+from repro.core.memory_model import CLM_CRITICAL_BPG
+from repro.gaussians.model import GaussianModel
+from repro.hardware.memory import OutOfMemoryError
+
+
+@pytest.fixture()
+def setup(trainable_scene):
+    init = GaussianModel.from_point_cloud(
+        trainable_scene.init_points,
+        colors=trainable_scene.init_colors,
+        sh_degree=1,
+        seed=0,
+    )
+    targets = {
+        c.view_id: img
+        for c, img in zip(trainable_scene.cameras, trainable_scene.images)
+    }
+    return trainable_scene, init, targets
+
+
+def test_transfer_counters_match_analytic_plan(setup):
+    """The functional data movement must equal the planner's counts."""
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4, seed=0))
+    batch = [0, 1, 2, 3]
+    sets = engine.cull_views(batch)
+    from repro.core import orders
+
+    perm = orders.order_microbatches(
+        "tsp", sets, [engine.cameras[v] for v in batch], seed=np.random.default_rng(0)
+    )
+    # run the engine with the same default ordering config but compare
+    # totals through a fresh engine so RNG state matches
+    engine2 = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4, seed=0))
+    result = engine2.train_batch(batch, targets)
+    plan = build_transfer_plan([sets[k] for k in result.order])
+    assert result.loaded_gaussians == total_load_count(plan)
+    assert result.stored_gaussians == total_store_count(plan)
+    assert result.cached_gaussians == total_cached_count(plan)
+
+
+def test_loss_decreases_over_training(setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=5, seed=1))
+    ids = [c.view_id for c in scene.cameras]
+    first = engine.train_batch(ids[:5], targets).loss
+    for _ in range(12):
+        engine.train_batch(ids[:5], targets)
+    last = engine.train_batch(ids[:5], targets).loss
+    assert last < first
+
+
+def test_adam_chunks_cover_touched(setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
+    result = engine.train_batch([0, 1, 2, 3], targets)
+    assert sum(result.adam_chunk_sizes) == result.touched_gaussians
+
+
+def test_loaded_bytes_use_noncritical_floats(setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
+    result = engine.train_batch([0, 1, 2, 3], targets)
+    assert result.loaded_bytes == result.loaded_gaussians * 49 * 4
+
+
+def test_memory_pool_enforced(setup):
+    """With a tiny simulated GPU, even CLM OOMs; with a mid-size one CLM
+    fits (the quickstart story's mechanism)."""
+    scene, init, targets = setup
+    tiny = EngineConfig(batch_size=4, gpu_capacity_bytes=CLM_CRITICAL_BPG * init.num_gaussians * 0.5)
+    with pytest.raises(OutOfMemoryError):
+        CLMEngine(init, scene.cameras, tiny)
+    enough = EngineConfig(batch_size=4, gpu_capacity_bytes=5e6)
+    engine = CLMEngine(init, scene.cameras, enough)
+    engine.train_batch([0, 1, 2, 3], targets)  # should not raise
+
+
+def test_snapshot_roundtrip(setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
+    snap = engine.snapshot_model()
+    for name in init.parameters():
+        np.testing.assert_allclose(
+            snap.parameters()[name], init.parameters()[name]
+        )
+
+
+def test_rebuild_after_densify(setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
+    engine.train_batch([0, 1, 2, 3], targets)
+    model = engine.snapshot_model()
+    bigger = model.extend(model.gather(np.array([0, 1])))
+    origins = np.concatenate([np.arange(model.num_gaussians), [-1, -1]])
+    engine.rebuild(bigger, origins)
+    assert engine.num_gaussians == model.num_gaussians + 2
+    # Training still works after the rebuild.
+    result = engine.train_batch([0, 1, 2, 3], targets)
+    assert np.isfinite(result.loss)
+
+
+def test_evaluate_returns_psnr(setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
+    value = engine.evaluate([0, 1], targets)
+    assert 3.0 < value < 60.0
+
+
+def test_position_grad_hook_called(setup):
+    scene, init, targets = setup
+    engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
+    calls = []
+
+    def hook(view_id, working_set, grads):
+        calls.append((view_id, working_set.size, grads.shape))
+
+    engine.train_batch([0, 1, 2, 3], targets, position_grad_hook=hook)
+    assert len(calls) == 4
+    for vid, size, shape in calls:
+        assert shape == (size, 3)

@@ -1,0 +1,131 @@
+"""TSP pipeline-order optimization (§4.2.3, Appendix A.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import scheduler
+from repro.utils import setops
+
+index_sets = st.lists(
+    st.integers(min_value=0, max_value=50), max_size=25
+).map(setops.as_index_set)
+
+
+def arr(*v):
+    return np.asarray(v, dtype=np.int64)
+
+
+def random_metric_instance(n, seed):
+    """Random points -> Euclidean distances (a metric, like |S_i ^ S_j|)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 10, size=(n, 2))
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.linalg.norm(diff, axis=-1)
+
+
+def test_distance_matrix_symmetric_zero_diag():
+    sets = [arr(1, 2), arr(2, 3), arr(5)]
+    d = scheduler.distance_matrix(sets)
+    assert np.array_equal(d, d.T)
+    assert np.all(np.diag(d) == 0)
+    assert d[0, 1] == 2  # {1}^{3}
+    assert d[0, 2] == 3
+
+
+def test_path_cost():
+    d = np.array([[0, 1, 4], [1, 0, 2], [4, 2, 0]], dtype=float)
+    assert scheduler.path_cost(d, [0, 1, 2]) == 3.0
+    assert scheduler.path_cost(d, [0, 2, 1]) == 6.0
+    assert scheduler.path_cost(d, [1]) == 0.0
+
+
+def test_nearest_neighbor_valid_permutation():
+    d = random_metric_instance(8, 0)
+    order = scheduler.nearest_neighbor_path(d, start=3)
+    assert sorted(order) == list(range(8))
+    assert order[0] == 3
+
+
+def test_two_opt_never_worsens():
+    d = random_metric_instance(10, 1)
+    order = list(np.random.default_rng(2).permutation(10))
+    before = scheduler.path_cost(d, order)
+    improved, _ = scheduler.two_opt_pass(d, order)
+    assert scheduler.path_cost(d, improved) <= before + 1e-9
+
+
+def test_or_opt_never_worsens():
+    d = random_metric_instance(10, 3)
+    order = list(np.random.default_rng(4).permutation(10))
+    before = scheduler.path_cost(d, order)
+    improved, _ = scheduler.or_opt_pass(d, order)
+    assert scheduler.path_cost(d, improved) <= before + 1e-9
+
+
+@pytest.mark.parametrize("n", [2, 5, 8, 10])
+def test_sls_matches_held_karp_optimum(n):
+    """Appendix A.1's claim: 1 ms SLS reaches the exact optimum at the
+    paper's batch sizes.  Certified against the DP oracle."""
+    d = random_metric_instance(n, seed=n)
+    sls = scheduler.stochastic_local_search(d, time_limit_s=5e-3, seed=0)
+    exact = scheduler.held_karp_path(d)
+    assert scheduler.path_cost(d, sls) == pytest.approx(
+        scheduler.path_cost(d, exact), rel=1e-9
+    )
+
+
+def test_held_karp_known_instance():
+    # Three cities on a line: optimal path visits them in order (cost 2).
+    d = np.array([[0, 1, 2], [1, 0, 1], [2, 1, 0]], dtype=float)
+    order = scheduler.held_karp_path(d)
+    assert scheduler.path_cost(d, order) == 2.0
+
+
+def test_held_karp_rejects_large():
+    with pytest.raises(ValueError):
+        scheduler.held_karp_path(np.zeros((20, 20)))
+
+
+def test_tsp_order_groups_overlapping_views():
+    """Two clusters of views: the TSP path must not alternate clusters."""
+    a = arr(*range(0, 20))
+    b = arr(*range(1, 21))
+    c = arr(*range(100, 120))
+    d = arr(*range(101, 121))
+    order = scheduler.tsp_order([a, c, b, d], seed=0)
+    pos = {v: i for i, v in enumerate(order)}
+    # a(0) adjacent to b(2); c(1) adjacent to d(3)
+    assert abs(pos[0] - pos[2]) == 1
+    assert abs(pos[1] - pos[3]) == 1
+
+
+def test_trivial_sizes():
+    assert scheduler.stochastic_local_search(np.zeros((0, 0))) == []
+    assert scheduler.stochastic_local_search(np.zeros((1, 1))) == [0]
+
+
+def test_deterministic_under_seed():
+    sets = [setops.as_index_set(np.random.default_rng(i).integers(0, 50, 12))
+            for i in range(8)]
+    a = scheduler.tsp_order(sets, seed=5)
+    b = scheduler.tsp_order(sets, seed=5)
+    assert a == b
+
+
+@given(sets=st.lists(index_sets, min_size=2, max_size=7))
+@settings(max_examples=30, deadline=None)
+def test_sls_returns_valid_permutation(sets):
+    order = scheduler.tsp_order(sets, time_limit_s=2e-3, seed=0)
+    assert sorted(order) == list(range(len(sets)))
+
+
+@given(sets=st.lists(index_sets, min_size=2, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_sls_no_worse_than_identity_order(sets):
+    d = scheduler.distance_matrix(sets)
+    order = scheduler.stochastic_local_search(d, time_limit_s=2e-3, seed=0)
+    assert scheduler.path_cost(d, order) <= scheduler.path_cost(
+        d, list(range(len(sets)))
+    ) + 1e-9

@@ -1,0 +1,91 @@
+"""Additional timed-runner coverage: flags, 1F1B structure, batch chaining."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TimingConfig
+from repro.core.timed import run_timed
+from repro.hardware.metrics import GPU_COMM, GPU_COMPUTE
+from repro.hardware.specs import RTX4090_TESTBED
+
+
+def cfg(**kwargs):
+    defaults = dict(testbed=RTX4090_TESTBED, paper_num_gaussians=15e6,
+                    num_batches=3, seed=0)
+    defaults.update(kwargs)
+    return TimingConfig(**defaults)
+
+
+def test_disabling_cache_increases_comm_busy(index_cache):
+    scene, index = index_cache("bicycle", 1e-4, 48)
+    on = run_timed("clm", scene, index, cfg(batch_size=4))
+    off = run_timed("clm", scene, index, cfg(batch_size=4,
+                                             enable_cache=False))
+    assert off.decomposition["comm_busy"] > on.decomposition["comm_busy"]
+    assert off.load_bytes_per_batch > on.load_bytes_per_batch
+
+
+def test_disabling_overlap_adam_increases_trailing(index_cache):
+    scene, index = index_cache("bigcity", 1e-4, 80)
+    on = run_timed("clm", scene, index, cfg())
+    off = run_timed("clm", scene, index, cfg(enable_overlap_adam=False))
+    assert off.adam_trailing_s >= on.adam_trailing_s - 1e-9
+    # Same total CPU Adam work either way.
+    assert off.decomposition["cpu_adam_busy"] == pytest.approx(
+        on.decomposition["cpu_adam_busy"], rel=1e-6
+    )
+
+
+def test_clm_comm_stream_interleaves_loads_and_stores(index_cache):
+    """The 1F1B comm pattern of §5.3: within a batch, at least one store
+    executes between two loads on the serial comm stream."""
+    scene, index = index_cache("bigcity", 1e-4, 80)
+    res = run_timed("clm", scene, index, cfg(num_batches=1))
+    comm = [
+        r for r in res.schedule.records.values()
+        if r.task.resource == GPU_COMM and r.end > r.start
+    ]
+    comm.sort(key=lambda r: r.start)
+    kinds = [r.task.kind for r in comm]
+    first_store = kinds.index("store")
+    assert "load" in kinds[first_store + 1:]
+
+
+def test_batches_do_not_fully_serialize_for_clm(index_cache):
+    """Cross-batch pipelining: batch b+1's free loads start before batch
+    b's CPU Adam finishes."""
+    scene, index = index_cache("bigcity", 1e-4, 80)
+    res = run_timed("clm", scene, index, cfg(num_batches=2))
+    records = res.schedule.records.values()
+    b0_adams = [r for r in records
+                if r.task.kind == "adam" and ".b0" in r.task.name]
+    b1_loads = [r for r in records
+                if r.task.kind == "load" and ".b1" in r.task.name]
+    assert b0_adams and b1_loads
+    last_adam_end = max(r.end for r in b0_adams)
+    first_load_start = min(r.start for r in b1_loads)
+    assert first_load_start < last_adam_end
+
+
+def test_gpu_only_schedule_pure_compute(index_cache):
+    scene, index = index_cache("bigcity", 1e-4, 80)
+    res = run_timed("enhanced", scene, index, cfg())
+    assert res.schedule.busy_time(GPU_COMM) == 0.0
+    assert res.schedule.busy_time(GPU_COMPUTE) > 0.0
+    assert res.load_bytes_per_batch == 0.0
+
+
+def test_seed_changes_batch_sampling(index_cache):
+    scene, index = index_cache("bigcity", 1e-4, 80)
+    a = run_timed("clm", scene, index, cfg(seed=1))
+    b = run_timed("clm", scene, index, cfg(seed=2))
+    # Different sampled batches -> (almost surely) different volumes.
+    assert a.load_bytes_per_batch != b.load_bytes_per_batch
+
+
+def test_same_seed_reproducible(index_cache):
+    scene, index = index_cache("bigcity", 1e-4, 80)
+    a = run_timed("clm", scene, index, cfg(seed=3))
+    b = run_timed("clm", scene, index, cfg(seed=3))
+    assert a.images_per_second == b.images_per_second
+    assert a.load_bytes_per_batch == b.load_bytes_per_batch

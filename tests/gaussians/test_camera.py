@@ -1,0 +1,86 @@
+"""Camera model: transforms, projection, look-at construction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera, look_at_camera
+
+
+def test_look_at_points_forward_at_target():
+    cam = look_at_camera(eye=(0, -3, 0), target=(0, 0, 0), width=64, height=48)
+    forward = cam.forward_axis()
+    np.testing.assert_allclose(forward, [0.0, 1.0, 0.0], atol=1e-12)
+
+
+def test_target_projects_to_principal_point():
+    cam = look_at_camera(eye=(1.0, -2.0, 0.5), target=(0.2, 0.3, 0.1),
+                         width=80, height=60)
+    uv, depth = cam.project(np.array([[0.2, 0.3, 0.1]]))
+    assert depth[0] > 0
+    np.testing.assert_allclose(uv[0], [cam.cx, cam.cy], atol=1e-9)
+
+
+def test_world_to_camera_rigid(rng):
+    cam = look_at_camera(eye=(2, 1, 3), target=(0, 0, 0))
+    pts = rng.normal(size=(50, 3))
+    out = cam.world_to_camera(pts)
+    # Rigid transforms preserve pairwise distances.
+    d_in = np.linalg.norm(pts[:1] - pts, axis=1)
+    d_out = np.linalg.norm(out[:1] - out, axis=1)
+    np.testing.assert_allclose(d_in, d_out, atol=1e-10)
+
+
+def test_depth_sign():
+    cam = look_at_camera(eye=(0, -3, 0), target=(0, 0, 0))
+    _, depth = cam.project(np.array([[0.0, 0.0, 0.0], [0.0, -6.0, 0.0]]))
+    assert depth[0] > 0  # in front
+    assert depth[1] < 0  # behind
+
+
+def test_fov_matches_intrinsics():
+    cam = look_at_camera(eye=(0, -3, 0), target=(0, 0, 0),
+                         fov_y_deg=60.0, width=100, height=80)
+    assert math.degrees(cam.fov_y) == pytest.approx(60.0)
+
+
+def test_rotation_is_orthonormal():
+    cam = look_at_camera(eye=(1, 2, 3), target=(-1, 0, 0.5))
+    np.testing.assert_allclose(cam.rotation @ cam.rotation.T, np.eye(3),
+                               atol=1e-12)
+    assert np.linalg.det(cam.rotation) == pytest.approx(1.0)
+
+
+def test_translation_consistent_with_center():
+    cam = look_at_camera(eye=(1, 2, 3), target=(0, 0, 0))
+    np.testing.assert_allclose(
+        cam.rotation @ cam.center + cam.translation, 0.0, atol=1e-12
+    )
+
+
+def test_degenerate_up_vector_handled():
+    # Looking straight down with up == view direction must not blow up.
+    cam = look_at_camera(eye=(0, 0, 5), target=(0, 0, 0), up=(0, 0, 1))
+    assert np.isfinite(cam.rotation).all()
+
+
+def test_coincident_eye_target_rejected():
+    with pytest.raises(ValueError):
+        look_at_camera(eye=(1, 1, 1), target=(1, 1, 1))
+
+
+def test_invalid_clip_planes_rejected():
+    with pytest.raises(ValueError):
+        Camera(
+            rotation=np.eye(3),
+            center=np.zeros(3),
+            fx=50, fy=50, cx=32, cy=24,
+            width=64, height=48,
+            znear=1.0, zfar=0.5,
+        )
+
+
+def test_num_pixels():
+    cam = look_at_camera(eye=(0, -3, 0), target=(0, 0, 0), width=64, height=48)
+    assert cam.num_pixels == 64 * 48

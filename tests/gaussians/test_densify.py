@@ -1,0 +1,133 @@
+"""Adaptive densification and pruning."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.densify import (
+    DensificationState,
+    DensifyConfig,
+    densify_and_prune,
+    reset_opacity,
+)
+from repro.gaussians.model import GaussianModel, inverse_sigmoid, sigmoid
+
+
+def make_model(n=10, seed=0):
+    m = GaussianModel.random(n, sh_degree=1, seed=seed)
+    m.opacity_logits[:] = inverse_sigmoid(np.full(n, 0.8))
+    m.log_scales[:] = np.log(0.01)  # small -> clone candidates
+    return m
+
+
+def state_with_grads(n, hot_rows, magnitude=1e-2):
+    state = DensificationState(n)
+    grads = np.zeros((n, 3))
+    grads[hot_rows] = magnitude
+    state.record(grads, np.arange(n))
+    return state
+
+
+def test_no_action_below_threshold():
+    m = make_model()
+    state = state_with_grads(10, [], 0.0)
+    out, stats, origins = densify_and_prune(m, state, DensifyConfig(), seed=0)
+    assert stats.cloned == stats.split == 0
+    assert out.num_gaussians == 10
+    np.testing.assert_array_equal(origins, np.arange(10))
+
+
+def test_small_high_grad_gaussians_cloned():
+    m = make_model()
+    state = state_with_grads(10, [0, 1])
+    out, stats, origins = densify_and_prune(m, state, DensifyConfig(), seed=0)
+    assert stats.cloned == 2
+    assert out.num_gaussians == 12
+    assert np.count_nonzero(origins == -1) == 2
+
+
+def test_large_high_grad_gaussians_split():
+    m = make_model()
+    m.log_scales[0] = np.log(0.2)  # above the split threshold
+    state = state_with_grads(10, [0])
+    out, stats, origins = densify_and_prune(m, state, DensifyConfig(), seed=0)
+    assert stats.split == 2
+    # Parent removed, two children added.
+    assert out.num_gaussians == 11
+    assert 0 not in origins.tolist()
+
+
+def test_split_children_shrink():
+    m = make_model()
+    m.log_scales[0] = np.log(0.2)
+    state = state_with_grads(10, [0])
+    cfg = DensifyConfig(split_factor=1.6)
+    out, stats, origins = densify_and_prune(m, state, cfg, seed=0)
+    children = out.log_scales[origins == -1]
+    np.testing.assert_allclose(children, np.log(0.2) - np.log(1.6), atol=1e-9)
+
+
+def test_transparent_gaussians_pruned():
+    m = make_model()
+    m.opacity_logits[3] = inverse_sigmoid(np.array([1e-4]))[0]
+    state = state_with_grads(10, [])
+    out, stats, origins = densify_and_prune(m, state, DensifyConfig(), seed=0)
+    assert stats.pruned == 1
+    assert out.num_gaussians == 9
+    assert 3 not in origins.tolist()
+
+
+def test_oversized_gaussians_pruned():
+    m = make_model()
+    m.log_scales[5] = np.log(5.0)
+    state = state_with_grads(10, [])
+    out, _, origins = densify_and_prune(m, state, DensifyConfig(), seed=0)
+    assert 5 not in origins.tolist()
+
+
+def test_max_gaussians_cap_blocks_growth():
+    m = make_model()
+    state = state_with_grads(10, [0, 1, 2])
+    cfg = DensifyConfig(max_gaussians=10)
+    out, stats, _ = densify_and_prune(m, state, cfg, seed=0)
+    assert stats.cloned == 0 and stats.split == 0
+
+
+def test_origins_map_preserves_parameters():
+    m = make_model()
+    state = state_with_grads(10, [0])
+    out, _, origins = densify_and_prune(m, state, DensifyConfig(), seed=0)
+    for new_row, old_row in enumerate(origins):
+        if old_row >= 0:
+            np.testing.assert_array_equal(
+                out.positions[new_row], m.positions[old_row]
+            )
+
+
+def test_densification_state_averages():
+    state = DensificationState(4)
+    grads = np.ones((2, 3))
+    state.record(grads, np.array([0, 1]))
+    state.record(3 * np.ones((1, 3)), np.array([1]))
+    avg = state.average()
+    assert avg[0] == pytest.approx(np.sqrt(3.0))
+    assert avg[1] == pytest.approx((np.sqrt(3) + 3 * np.sqrt(3)) / 2)
+    assert avg[2] == 0.0
+
+
+def test_densification_state_rejects_misaligned():
+    state = DensificationState(4)
+    with pytest.raises(ValueError):
+        state.record(np.ones((3, 3)), np.array([0, 1]))
+
+
+def test_reset_opacity_clamps_down():
+    m = make_model()
+    reset_opacity(m, ceiling=0.1)
+    assert np.all(sigmoid(m.opacity_logits) <= 0.1 + 1e-9)
+
+
+def test_reset_opacity_keeps_low_values():
+    m = make_model()
+    m.opacity_logits[0] = inverse_sigmoid(np.array([0.03]))[0]
+    reset_opacity(m, ceiling=0.1)
+    assert sigmoid(m.opacity_logits[0:1])[0] == pytest.approx(0.03, rel=1e-6)

@@ -1,0 +1,131 @@
+"""Frustum culling on selection-critical attributes (paper §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians import frustum
+from repro.gaussians.camera import look_at_camera
+from repro.utils.setops import is_sorted_unique
+
+
+@pytest.fixture()
+def cam():
+    return look_at_camera(
+        eye=(0, -5, 0), target=(0, 0, 0), fov_y_deg=60, width=64, height=48,
+        znear=0.1, zfar=20.0,
+    )
+
+
+def tight_gaussians(positions):
+    """Nearly-point Gaussians (tiny scales, identity rotation)."""
+    n = positions.shape[0]
+    log_scales = np.full((n, 3), -6.0)
+    quats = np.zeros((n, 4))
+    quats[:, 0] = 1.0
+    return positions, log_scales, quats
+
+
+def test_planes_classify_center_point(cam):
+    planes = frustum.frustum_planes(cam)
+    # The look-at target sits dead centre in the frustum.
+    signed = planes[:, :3] @ np.zeros(3) + planes[:, 3]
+    assert np.all(signed > 0)
+
+
+def test_point_behind_camera_outside(cam):
+    planes = frustum.frustum_planes(cam)
+    signed = planes[:, :3] @ np.array([0.0, -10.0, 0.0]) + planes[:, 3]
+    assert np.any(signed < 0)
+
+
+def test_cull_keeps_centered_point(cam):
+    pos, ls, q = tight_gaussians(np.array([[0.0, 0.0, 0.0]]))
+    assert frustum.cull_gaussians(cam, pos, ls, q).tolist() == [0]
+
+
+def test_cull_rejects_behind_and_far(cam):
+    pos, ls, q = tight_gaussians(
+        np.array([[0.0, -10.0, 0.0], [0.0, 30.0, 0.0]])
+    )
+    assert frustum.cull_gaussians(cam, pos, ls, q).size == 0
+
+
+def test_cull_rejects_lateral_outliers(cam):
+    # At depth 5 with 60-degree fov, the frustum half-width ~ 5*tan(40)=4.2
+    pos, ls, q = tight_gaussians(np.array([[30.0, 0.0, 0.0]]))
+    assert frustum.cull_gaussians(cam, pos, ls, q).size == 0
+
+
+def test_large_gaussian_outside_planes_is_kept(cam):
+    """A fat Gaussian centred outside the frustum whose 3-sigma ellipsoid
+    crosses a side plane must be kept (the support-function test)."""
+    center = np.array([[7.0, 0.0, 0.0]])  # outside half-width ~4.2 at y=0
+    log_scales = np.full((1, 3), 0.0)  # sigma 1 -> 3-sigma reach 3
+    quats = np.array([[1.0, 0.0, 0.0, 0.0]])
+    kept = frustum.cull_gaussians(cam, center, log_scales, quats)
+    assert kept.tolist() == [0]
+
+
+def test_small_gaussian_same_center_is_culled(cam):
+    center = np.array([[7.0, 0.0, 0.0]])
+    pos, ls, q = tight_gaussians(center)
+    assert frustum.cull_gaussians(cam, pos, ls, q).size == 0
+
+
+def test_support_radii_match_covariance_quadratic(rng):
+    normals = rng.normal(size=(4, 3))
+    normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+    log_scales = rng.uniform(-2, 0, size=(5, 3))
+    quats = rng.normal(size=(5, 4))
+    radii = frustum.support_radii(normals, log_scales, quats)
+    from repro.gaussians.covariance import build_covariance
+
+    cov = build_covariance(log_scales, quats)
+    for p in range(4):
+        expected = frustum.CULL_SIGMA * np.sqrt(
+            np.einsum("i,nij,j->n", normals[p], cov, normals[p])
+        )
+        np.testing.assert_allclose(radii[p], expected, rtol=1e-10)
+
+
+def test_anisotropic_orientation_matters(cam):
+    """A pencil-shaped Gaussian reaches the frustum only when its long axis
+    points at it."""
+    center = np.array([[7.0, 0.0, 0.0]])
+    log_scales = np.array([[1.2, -5.0, -5.0]])  # long in local x
+    towards = np.array([[1.0, 0.0, 0.0, 0.0]])  # identity: x points at frustum
+    # Rotate 90 deg about world y: local x -> world z (vertical pencil); the
+    # side-plane normals have no world-z component, so support collapses.
+    away = np.array([[np.cos(np.pi / 4), 0.0, np.sin(np.pi / 4), 0.0]])
+    assert frustum.cull_gaussians(cam, center, log_scales, towards).size == 1
+    assert frustum.cull_gaussians(cam, center, log_scales, away).size == 0
+
+
+def test_result_is_canonical_index_set(cam, rng):
+    pos = rng.uniform(-6, 6, size=(200, 3))
+    ls = rng.uniform(-4, -1, size=(200, 3))
+    q = rng.normal(size=(200, 4))
+    out = frustum.cull_gaussians(cam, pos, ls, q)
+    assert is_sorted_unique(out)
+    assert out.dtype == np.int64
+
+
+def test_sparsity_bounds(cam, rng):
+    pos = rng.uniform(-6, 6, size=(300, 3))
+    ls = np.full((300, 3), -5.0)
+    q = np.zeros((300, 4))
+    q[:, 0] = 1.0
+    rho = frustum.sparsity(cam, pos, ls, q)
+    assert 0.0 < rho < 1.0
+
+
+def test_sparsity_empty_model(cam):
+    assert frustum.sparsity(
+        cam, np.zeros((0, 3)), np.zeros((0, 3)), np.zeros((0, 4))
+    ) == 0.0
+
+
+def test_plane_cache_reused(cam):
+    a = frustum.frustum_planes(cam)
+    b = frustum.frustum_planes(cam)
+    assert a is b

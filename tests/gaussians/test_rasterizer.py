@@ -1,0 +1,143 @@
+"""Forward rasterization: structure, compositing, tiling."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import look_at_camera
+from repro.gaussians.model import GaussianModel, inverse_sigmoid
+from repro.gaussians.rasterizer import (
+    RasterSettings,
+    build_tiles,
+    preprocess,
+    rasterize_forward,
+)
+
+
+@pytest.fixture()
+def cam():
+    return look_at_camera(eye=(0, -3, 0.3), target=(0, 0, 0),
+                          width=48, height=32, view_id=0)
+
+
+def single_gaussian(position=(0.0, 0.0, 0.0), opacity=0.9, scale=-2.5):
+    m = GaussianModel.random(1, sh_degree=0, seed=0)
+    m.positions[0] = position
+    m.log_scales[:] = scale
+    m.quaternions[0] = [1, 0, 0, 0]
+    m.opacity_logits[0] = inverse_sigmoid(np.array([opacity]))[0]
+    m.sh[0, 0] = 1.0  # bright
+    return m
+
+
+def test_empty_model_renders_background(cam):
+    base = GaussianModel.random(3, sh_degree=0, seed=0)
+    empty = base.gather(np.array([], dtype=np.int64))
+    settings = RasterSettings(background=(0.2, 0.4, 0.6))
+    img, transmittance, _ = rasterize_forward(cam, empty, settings)
+    np.testing.assert_allclose(img[..., 0], 0.2)
+    np.testing.assert_allclose(img[..., 2], 0.6)
+    np.testing.assert_allclose(transmittance, 1.0)
+
+
+def test_single_gaussian_renders_blob(cam):
+    img, transmittance, ctx = rasterize_forward(cam, single_gaussian())
+    assert img.max() > 0.05
+    # Centre pixel should carry the most opacity.
+    min_t = transmittance.min()
+    assert min_t < 0.5
+    cy, cx = np.unravel_index(np.argmin(transmittance), transmittance.shape)
+    assert abs(cx - cam.width / 2) <= 2 and abs(cy - cam.height / 2) <= 2
+
+
+def test_transmittance_in_unit_interval(cam, tiny_model):
+    _, transmittance, _ = rasterize_forward(cam, tiny_model)
+    assert np.all(transmittance >= 0.0) and np.all(transmittance <= 1.0)
+
+
+def test_behind_camera_not_rendered(cam):
+    m = single_gaussian(position=(0.0, -6.0, 0.0))
+    img, transmittance, ctx = rasterize_forward(cam, m)
+    assert ctx.proj.ids.size == 0
+    np.testing.assert_allclose(transmittance, 1.0)
+
+
+def test_front_to_back_occlusion(cam):
+    """An opaque near Gaussian must dominate a far one on the same ray."""
+    near = single_gaussian(position=(0.0, -1.0, 0.0), opacity=0.99)
+    near.sh[0, 0] = [2.0, -1.0, -1.0]  # red-ish
+    far = single_gaussian(position=(0.0, 1.5, 0.0), opacity=0.99)
+    far.sh[0, 0] = [-1.0, 2.0, -1.0]  # green-ish
+    both = near.extend(far)
+    img, _, _ = rasterize_forward(cam, both)
+    cy, cx = cam.height // 2, cam.width // 2
+    patch = img[cy - 2 : cy + 3, cx - 2 : cx + 3]
+    assert patch[..., 0].mean() > patch[..., 1].mean()
+
+
+def test_order_of_input_rows_does_not_matter(cam, tiny_model):
+    img_a, _, _ = rasterize_forward(cam, tiny_model)
+    perm = np.random.default_rng(0).permutation(tiny_model.num_gaussians)
+    shuffled = tiny_model.gather(perm)
+    img_b, _, _ = rasterize_forward(cam, shuffled)
+    np.testing.assert_allclose(img_a, img_b, atol=1e-10)
+
+
+def test_subset_rendering_matches_full(cam, tiny_model):
+    """Rendering the culled subset equals rendering the whole model —
+    the §5.1 guarantee that CLM's selective loading changes nothing."""
+    from repro.gaussians.frustum import cull_gaussians
+
+    s = cull_gaussians(
+        cam, tiny_model.positions, tiny_model.log_scales, tiny_model.quaternions
+    )
+    img_full, _, _ = rasterize_forward(cam, tiny_model)
+    img_sub, _, _ = rasterize_forward(cam, tiny_model.gather(s))
+    np.testing.assert_allclose(img_full, img_sub, atol=1e-12)
+
+
+def test_preprocess_ids_reference_input_rows(cam, tiny_model):
+    proj = preprocess(cam, tiny_model, RasterSettings())
+    assert proj.ids.size <= tiny_model.num_gaussians
+    assert np.all(proj.ids >= 0)
+    assert np.all(proj.ids < tiny_model.num_gaussians)
+    assert np.all(np.diff(proj.ids) > 0)
+
+
+def test_tiles_cover_only_image(cam, tiny_model):
+    settings = RasterSettings(tile_size=16)
+    proj = preprocess(cam, tiny_model, settings)
+    tiles = build_tiles(cam, proj, settings)
+    for (tx, ty), tile in tiles.items():
+        assert 0 <= tile.x0 < tile.x1 <= cam.width
+        assert 0 <= tile.y0 < tile.y1 <= cam.height
+
+
+def test_tile_lists_sorted_by_depth(cam, tiny_model):
+    settings = RasterSettings()
+    proj = preprocess(cam, tiny_model, settings)
+    tiles = build_tiles(cam, proj, settings)
+    for tile in tiles.values():
+        depths = proj.depths[tile.order]
+        assert np.all(np.diff(depths) >= 0)
+
+
+def test_tile_size_does_not_change_output(cam, tiny_model):
+    img_a, _, _ = rasterize_forward(cam, tiny_model, RasterSettings(tile_size=8))
+    img_b, _, _ = rasterize_forward(cam, tiny_model, RasterSettings(tile_size=32))
+    np.testing.assert_allclose(img_a, img_b, atol=1e-10)
+
+
+def test_opacity_zero_contributes_nothing(cam):
+    m = single_gaussian(opacity=0.9)
+    m.opacity_logits[0] = -60.0  # sigmoid ~ 0
+    settings = RasterSettings(background=(0.1, 0.1, 0.1))
+    img, transmittance, _ = rasterize_forward(cam, m, settings)
+    np.testing.assert_allclose(transmittance, 1.0)
+    np.testing.assert_allclose(img, 0.1)
+
+
+def test_activation_bytes_scale_with_rendered_set(cam, tiny_model):
+    _, _, ctx_full = rasterize_forward(cam, tiny_model)
+    few = tiny_model.gather(np.arange(5))
+    _, _, ctx_few = rasterize_forward(cam, few)
+    assert ctx_few.activation_bytes() < ctx_full.activation_bytes()

@@ -1,0 +1,113 @@
+"""Kernel cost models and PCIe transfer regimes."""
+
+import pytest
+
+from repro.hardware.kernels import KernelCostModel
+from repro.hardware.pcie import PCIE3_X16, PCIE4_X16
+from repro.hardware.specs import RTX2080TI_TESTBED, RTX4090_TESTBED
+
+
+@pytest.fixture()
+def costs():
+    return KernelCostModel(RTX4090_TESTBED, splats_per_pixel=3.0)
+
+
+class TestPcie:
+    def test_gen4_twice_gen3(self):
+        assert PCIE4_X16.peak_bandwidth == pytest.approx(
+            2 * PCIE3_X16.peak_bandwidth
+        )
+
+    def test_bulk_faster_than_gather(self):
+        nbytes = 1e9
+        bulk = PCIE4_X16.transfer_time(nbytes, scattered=False)
+        gather = PCIE4_X16.transfer_time(nbytes, scattered=True, direction="h2d")
+        assert gather > 5 * bulk
+
+    def test_scatter_between_bulk_and_gather(self):
+        nbytes = 1e9
+        bulk = PCIE4_X16.transfer_time(nbytes, scattered=False)
+        scatter = PCIE4_X16.transfer_time(nbytes, scattered=True, direction="d2h")
+        gather = PCIE4_X16.transfer_time(nbytes, scattered=True, direction="h2d")
+        assert bulk < scatter < gather
+
+    def test_zero_bytes_free(self):
+        assert PCIE4_X16.transfer_time(0, scattered=False) == 0.0
+
+    def test_latency_floor(self):
+        t = PCIE4_X16.transfer_time(1, scattered=False)
+        assert t >= PCIE4_X16.latency
+
+
+class TestComputeCosts:
+    def test_forward_monotonic_in_gaussians(self, costs):
+        assert costs.forward_time(2e6, 1e6) > costs.forward_time(1e6, 1e6)
+
+    def test_forward_monotonic_in_pixels(self, costs):
+        assert costs.forward_time(1e6, 8e6) > costs.forward_time(1e6, 1e6)
+
+    def test_backward_is_multiple_of_forward(self, costs):
+        f = costs.forward_time(1e6, 2e6)
+        assert costs.backward_time(1e6, 2e6) == pytest.approx(
+            costs.backward_multiplier * f
+        )
+
+    def test_fused_path_charges_all_gaussians(self, costs):
+        """Baseline kernels stream every Gaussian (§5.1)."""
+        in_frustum, total = 1e5, 2e7
+        assert costs.fused_forward_time(total, 2e6) > costs.forward_time(
+            in_frustum, 2e6
+        )
+
+    def test_slower_gpu_longer_compute(self):
+        fast = KernelCostModel(RTX4090_TESTBED, splats_per_pixel=3.0)
+        slow = KernelCostModel(RTX2080TI_TESTBED, splats_per_pixel=3.0)
+        assert slow.forward_time(1e6, 2e6) > fast.forward_time(1e6, 2e6)
+
+    def test_cull_much_cheaper_than_forward(self, costs):
+        assert costs.cull_time(1e7) < 0.1 * costs.forward_time(1e6, 2e6)
+
+
+class TestCommCosts:
+    def test_load_bytes_49_floats(self, costs):
+        """Non-critical attributes only: 49 x 4 bytes per Gaussian (§4.1)."""
+        assert costs.load_bytes(100) == 100 * 49 * 4
+
+    def test_naive_bytes_59_floats(self, costs):
+        """Naive ships everything: 59 x 4 bytes (validates Figure 14's
+        naive volumes = N x 59 x 4)."""
+        assert costs.load_all_bytes(100) == 100 * 59 * 4
+
+    def test_selective_load_slower_per_byte_than_bulk(self, costs):
+        n = 1e6
+        selective = costs.load_params_time(n)
+        bulk_equiv = costs.testbed.pcie.transfer_time(
+            costs.load_bytes(n), scattered=False
+        )
+        assert selective > bulk_equiv
+
+    def test_cache_copy_cheaper_than_pcie_load(self, costs):
+        n = 1e6
+        assert costs.cache_copy_time(n) < 0.2 * costs.load_params_time(n)
+
+
+class TestCpuCosts:
+    def test_sparse_adam_slower_per_param_than_dense(self, costs):
+        n = 1e6
+        sparse = costs.cpu_adam_sparse_time(n)
+        dense = costs.cpu_adam_dense_time(n)
+        # dense covers 59 floats vs sparse 49, yet is still faster
+        assert sparse > dense
+
+    def test_naive_adam_scales_with_model_size(self, costs):
+        assert costs.cpu_adam_dense_time(2e7) == pytest.approx(
+            2 * costs.cpu_adam_dense_time(1e7)
+        )
+
+    def test_tsp_time_near_1ms(self, costs):
+        """Appendix A.1 uses a 1 ms SLS budget."""
+        assert 1e-3 <= costs.tsp_schedule_time(16) < 3e-3
+
+    def test_gpu_adam_bandwidth_bound(self, costs):
+        t = costs.gpu_adam_time(1e6)
+        assert t < 1e-3  # tiny relative to rendering

@@ -1,0 +1,115 @@
+"""Memory pools and the fragmentation-capable block allocator (App A.3)."""
+
+import pytest
+
+from repro.hardware.memory import BlockAllocator, MemoryPool, OutOfMemoryError
+
+
+class TestMemoryPool:
+    def test_alloc_and_free(self):
+        pool = MemoryPool(100)
+        pool.alloc("a", 60)
+        assert pool.used == 60
+        pool.free("a")
+        assert pool.used == 0
+
+    def test_oom_raised(self):
+        pool = MemoryPool(100)
+        pool.alloc("a", 80)
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc("b", 30)
+
+    def test_regrow_named_allocation(self):
+        pool = MemoryPool(100)
+        pool.alloc("a", 40)
+        pool.alloc("a", 70)  # grow in place, not 40+70
+        assert pool.used == 70
+
+    def test_shrink_named_allocation(self):
+        pool = MemoryPool(100)
+        pool.alloc("a", 70)
+        pool.alloc("a", 10)
+        assert pool.used == 10
+
+    def test_peak_tracking(self):
+        pool = MemoryPool(100)
+        pool.alloc("a", 70)
+        pool.free("a")
+        pool.alloc("b", 10)
+        assert pool.peak == 70
+
+    def test_oom_message_contains_sizes(self):
+        pool = MemoryPool(10)
+        with pytest.raises(OutOfMemoryError, match="OOM"):
+            pool.alloc("big", 100)
+
+    def test_negative_rejected(self):
+        pool = MemoryPool(10)
+        with pytest.raises(ValueError):
+            pool.alloc("a", -1)
+
+    def test_breakdown(self):
+        pool = MemoryPool(100)
+        pool.alloc("a", 30)
+        pool.alloc("b", 20)
+        assert pool.usage_breakdown() == {"a": 30, "b": 20}
+
+
+class TestBlockAllocator:
+    def test_simple_alloc_free(self):
+        alloc = BlockAllocator(100)
+        h = alloc.alloc(40)
+        assert alloc.stats().allocated == 40
+        alloc.free(h)
+        assert alloc.stats().allocated == 0
+        assert alloc.stats().largest_free == 100
+
+    def test_coalescing_adjacent_free_blocks(self):
+        alloc = BlockAllocator(100)
+        a = alloc.alloc(30)
+        b = alloc.alloc(30)
+        c = alloc.alloc(30)
+        alloc.free(a)
+        alloc.free(b)
+        assert alloc.stats().largest_free == 60
+
+    def test_fragmentation_from_interleaved_frees(self):
+        """The Appendix A.3 scenario: varying alloc/free churn strands free
+        space so a fitting-in-total allocation still OOMs."""
+        alloc = BlockAllocator(100, expandable_segments=False)
+        handles = [alloc.alloc(10) for _ in range(10)]
+        for h in handles[::2]:  # free every other block: 5 x 10 free, split
+            alloc.free(h)
+        stats = alloc.stats()
+        assert stats.free_total == 50
+        assert stats.largest_free == 10
+        assert stats.fragmentation > 0.7
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc(30)
+
+    def test_expandable_segments_avoids_fragmentation(self):
+        """PyTorch's expandable_segments remedy, which the paper enables."""
+        alloc = BlockAllocator(100, expandable_segments=True)
+        handles = [alloc.alloc(10) for _ in range(10)]
+        for h in handles[::2]:
+            alloc.free(h)
+        h = alloc.alloc(30)  # compaction makes room
+        assert alloc.stats().allocated == 80
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            BlockAllocator(100).alloc(0)
+
+    def test_first_fit_reuses_hole(self):
+        alloc = BlockAllocator(100)
+        a = alloc.alloc(20)
+        b = alloc.alloc(20)
+        alloc.free(a)
+        c = alloc.alloc(15)  # fits the hole at offset 0
+        assert alloc.stats().allocated == 35
+        assert alloc.stats().free_total == 65
+
+    def test_fragmentation_zero_when_contiguous(self):
+        alloc = BlockAllocator(100)
+        alloc.alloc(50)
+        assert alloc.stats().fragmentation == 0.0

@@ -1,0 +1,117 @@
+"""Schedule metrics: idle CDFs, utilization, trailing time, decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.metrics import (
+    GPU_COMM,
+    GPU_COMPUTE,
+    CPU_ADAM,
+    adam_trailing_time,
+    average_gpu_utilization,
+    communication_volume,
+    gpu_idle_rate_cdf,
+    hardware_utilization,
+    runtime_decomposition,
+    sm_active_samples,
+)
+from repro.hardware.simulator import Simulator
+from repro.hardware.specs import RTX4090_TESTBED
+
+
+def busy_idle_schedule():
+    """1s busy compute, then 1s of comm only (GPU idle)."""
+    sim = Simulator()
+    a = sim.add("compute", GPU_COMPUTE, 1.0, kind="forward")
+    sim.add("comm", GPU_COMM, 1.0, deps=[a], kind="store", tx_bytes=1e9,
+            rx_bytes=5e8)
+    return sim.run()
+
+
+def test_sm_active_binary_sampling():
+    samples = sm_active_samples(busy_idle_schedule(), sample_rate_hz=1000)
+    assert samples.size == pytest.approx(2000, abs=2)
+    assert set(np.unique(samples)) <= {0.0, 100.0}
+
+
+def test_average_utilization_half():
+    assert average_gpu_utilization(busy_idle_schedule()) == pytest.approx(
+        50.0, abs=1.0
+    )
+
+
+def test_idle_cdf_shape():
+    rates, cdf = gpu_idle_rate_cdf(busy_idle_schedule(), sample_rate_hz=1000)
+    assert np.all(np.diff(rates) >= 0)
+    assert cdf[-1] == pytest.approx(1.0)
+    # ~half the samples are fully idle (rate 100), half fully busy (rate 0)
+    frac_busy = np.mean(rates == 0.0)
+    assert frac_busy == pytest.approx(0.5, abs=0.02)
+
+
+def test_better_overlap_higher_utilization():
+    """A pipelined schedule must dominate a serial one in the CDF sense —
+    the Figure 15 comparison mechanism."""
+    serial = Simulator()
+    prev = None
+    for i in range(3):
+        ld = serial.add(f"ld{i}", GPU_COMM, 1.0,
+                        deps=[prev] if prev is not None else [])
+        prev = serial.add(f"c{i}", GPU_COMPUTE, 1.0, deps=[ld])
+    pipelined = Simulator()
+    prev_c = None
+    prev_l = None
+    for i in range(3):
+        ld = pipelined.add(f"ld{i}", GPU_COMM, 1.0,
+                           deps=[prev_l] if prev_l is not None else [])
+        deps = [ld] + ([prev_c] if prev_c is not None else [])
+        prev_c = pipelined.add(f"c{i}", GPU_COMPUTE, 1.0, deps=deps)
+        prev_l = ld
+    u_serial = average_gpu_utilization(serial.run())
+    u_pipe = average_gpu_utilization(pipelined.run())
+    assert u_pipe > u_serial
+
+
+def test_hardware_utilization_percentages():
+    util = hardware_utilization(busy_idle_schedule(), RTX4090_TESTBED)
+    assert 0 <= util.pcie_tx <= 100
+    assert util.pcie_tx > util.pcie_rx > 0
+
+
+def test_communication_volume_totals():
+    vol = communication_volume(busy_idle_schedule())
+    assert vol["tx_bytes"] == 1e9
+    assert vol["rx_bytes"] == 5e8
+
+
+def test_adam_trailing_time():
+    sim = Simulator()
+    bwd = sim.add("bwd", GPU_COMPUTE, 1.0, kind="backward")
+    st = sim.add("st", GPU_COMM, 0.5, deps=[bwd], kind="store")
+    sim.add("adam", CPU_ADAM, 2.0, deps=[st], kind="adam")
+    result = sim.run()
+    assert adam_trailing_time(result) == pytest.approx(2.0)
+
+
+def test_adam_trailing_zero_when_hidden():
+    sim = Simulator()
+    st = sim.add("st", GPU_COMM, 0.1, kind="store")
+    sim.add("adam", CPU_ADAM, 0.5, deps=[st], kind="adam")
+    sim.add("more", GPU_COMM, 5.0, deps=[st], kind="store")
+    result = sim.run()
+    assert adam_trailing_time(result) == 0.0
+
+
+def test_runtime_decomposition_keys():
+    d = runtime_decomposition(busy_idle_schedule())
+    for key in ("total", "compute_busy", "comm_busy", "cpu_adam_trailing"):
+        assert key in d
+    assert d["total"] == pytest.approx(2.0)
+    assert d["compute_busy"] == pytest.approx(1.0)
+
+
+def test_empty_schedule():
+    result = Simulator().run()
+    assert average_gpu_utilization(result) == 0.0
+    rates, cdf = gpu_idle_rate_cdf(result)
+    assert rates.size == 0

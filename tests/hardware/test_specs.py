@@ -1,0 +1,47 @@
+"""Testbed specifications (paper §6.1)."""
+
+import pytest
+
+from repro.hardware.specs import (
+    RTX2080TI_TESTBED,
+    RTX4090_TESTBED,
+    TESTBEDS,
+)
+
+
+def test_registry_contains_both_testbeds():
+    assert set(TESTBEDS) == {"rtx4090", "rtx2080ti"}
+
+
+def test_vram_capacities():
+    assert RTX4090_TESTBED.gpu.vram_bytes == pytest.approx(24e9)
+    assert RTX2080TI_TESTBED.gpu.vram_bytes == pytest.approx(11e9)
+
+
+def test_pcie_generations():
+    """PCIe 3.0 has 2x less bandwidth than 4.0 (§6.1)."""
+    assert RTX4090_TESTBED.pcie.peak_bandwidth == pytest.approx(
+        2 * RTX2080TI_TESTBED.pcie.peak_bandwidth
+    )
+
+
+def test_ram_capacities():
+    assert RTX4090_TESTBED.cpu.ram_bytes == pytest.approx(128e9)
+    assert RTX2080TI_TESTBED.cpu.ram_bytes == pytest.approx(256e9)
+
+
+def test_effective_compute_gap():
+    """The 4090 is faster, and the effective gap stays in the
+    memory-bandwidth-bound regime (see specs.py rationale)."""
+    ratio = RTX4090_TESTBED.gpu.flops / RTX2080TI_TESTBED.gpu.flops
+    assert 1.3 < ratio < 2.5
+
+
+def test_dense_adam_faster_than_sparse():
+    for tb in TESTBEDS.values():
+        assert tb.cpu.dense_adam_params_per_s > tb.cpu.sparse_adam_params_per_s
+
+
+def test_reserved_memory_positive():
+    for tb in TESTBEDS.values():
+        assert 0 < tb.gpu.reserved_bytes < tb.gpu.vram_bytes

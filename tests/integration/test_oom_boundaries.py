@@ -1,0 +1,104 @@
+"""Functional OOM boundaries — the quickstart story as a test.
+
+On a simulated small GPU the baseline OOMs while CLM trains: the central
+claim of the paper, exercised with *real* allocations against the pool.
+The capacities are set at midpoints between each engine's *measured* peak,
+so the tests are scale-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import CLMEngine
+from repro.core.gpu_only import GpuOnlyEngine
+from repro.core.naive import NaiveOffloadEngine
+from repro.core.memory_model import MODEL_STATE_FULL_BPG
+from repro.gaussians.model import GaussianModel
+from repro.hardware.memory import OutOfMemoryError
+
+BATCH = [0, 1, 2, 3]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    # The memory ladder needs the paper's regime: model-dominated (many
+    # Gaussians, few pixels) *and* sparse (rho << 1, so CLM's working-set
+    # buffers stay small).  A scaled aerial scene with random targets does
+    # it — OOM behaviour depends on allocations, not convergence.
+    from repro.scenes.datasets import build_scene
+
+    scene = build_scene("rubble", scale=2e-5, num_views=8,
+                        image_size=(16, 12), sh_degree=1, seed=11)
+    init = scene.model
+    rng = np.random.default_rng(0)
+    targets = {
+        c.view_id: rng.uniform(0, 1, size=(c.height, c.width, 3))
+        for c in scene.cameras
+    }
+    return scene, init, targets
+
+
+def measured_peak(engine_cls, init, scene, targets, **kwargs):
+    cfg = EngineConfig(batch_size=4, gpu_capacity_bytes=1e12)
+    engine = engine_cls(init, scene.cameras, cfg, **kwargs)
+    engine.train_batch(BATCH, targets)
+    return engine.pool.peak
+
+
+@pytest.fixture(scope="module")
+def peaks(setup):
+    scene, init, targets = setup
+    return {
+        "baseline": measured_peak(GpuOnlyEngine, init, scene, targets,
+                                  enhanced=False),
+        "enhanced": measured_peak(GpuOnlyEngine, init, scene, targets,
+                                  enhanced=True),
+        "naive": measured_peak(NaiveOffloadEngine, init, scene, targets),
+        "clm": measured_peak(CLMEngine, init, scene, targets),
+    }
+
+
+def test_peak_ordering(peaks):
+    """Figure 10's qualitative ordering, from real allocations."""
+    assert peaks["baseline"] >= peaks["enhanced"] > peaks["naive"] > peaks["clm"]
+
+
+def test_baseline_ooms_where_clm_fits(setup, peaks):
+    scene, init, targets = setup
+    cap = 0.5 * (peaks["clm"] + peaks["enhanced"])
+    cfg = EngineConfig(batch_size=4, gpu_capacity_bytes=cap)
+    with pytest.raises(OutOfMemoryError):
+        engine = GpuOnlyEngine(init, scene.cameras, cfg, enhanced=True)
+        engine.train_batch(BATCH, targets)
+    clm = CLMEngine(init, scene.cameras, cfg)
+    result = clm.train_batch(BATCH, targets)
+    assert np.isfinite(result.loss)
+
+
+def test_capacity_ladder_baseline_naive_clm(setup, peaks):
+    """A budget between naive's and enhanced's peaks admits naive and CLM
+    but not the GPU-only engines."""
+    scene, init, targets = setup
+    cap = 0.5 * (peaks["naive"] + peaks["enhanced"])
+    cfg = EngineConfig(batch_size=4, gpu_capacity_bytes=cap)
+    with pytest.raises(OutOfMemoryError):
+        engine = GpuOnlyEngine(init, scene.cameras, cfg, enhanced=True)
+        engine.train_batch(BATCH, targets)
+    NaiveOffloadEngine(init, scene.cameras, cfg).train_batch(BATCH, targets)
+    CLMEngine(init, scene.cameras, cfg).train_batch(BATCH, targets)
+
+
+def test_clm_peak_tracks_working_set_not_model(setup):
+    """Doubling the model grows CLM's GPU peak far more slowly than the
+    944 B/Gaussian the GPU-only systems pay."""
+    scene, init, targets = setup
+    big = init.extend(init)
+    peaks = {}
+    for label, model in (("small", init), ("big", big)):
+        cfg = EngineConfig(batch_size=4, gpu_capacity_bytes=1e12)
+        engine = CLMEngine(model, scene.cameras, cfg)
+        engine.train_batch(BATCH, targets)
+        peaks[label] = engine.pool.peak
+    slope = (peaks["big"] - peaks["small"]) / init.num_gaussians
+    assert slope < 0.7 * MODEL_STATE_FULL_BPG

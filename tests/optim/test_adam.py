@@ -1,0 +1,73 @@
+"""Reference dense Adam."""
+
+import numpy as np
+import pytest
+
+from repro.optim.adam import Adam, AdamConfig
+
+
+def quadratic_problem(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=n)
+    params = {"x": np.zeros(n)}
+    return params, target
+
+
+def test_first_step_moves_by_lr():
+    """With bias correction, |step 1| == lr for any nonzero gradient."""
+    params = {"x": np.zeros(3)}
+    opt = Adam(params, AdamConfig(lr=0.01))
+    grads = {"x": np.array([1.0, -2.0, 0.5])}
+    opt.step(params, grads)
+    np.testing.assert_allclose(np.abs(params["x"]), 0.01, rtol=1e-6)
+
+
+def test_zero_gradient_no_movement():
+    params = {"x": np.ones(3)}
+    opt = Adam(params)
+    opt.step(params, {"x": np.zeros(3)})
+    np.testing.assert_array_equal(params["x"], np.ones(3))
+
+
+def test_converges_on_quadratic():
+    params, target = quadratic_problem()
+    opt = Adam(params, AdamConfig(lr=0.05))
+    for _ in range(500):
+        grads = {"x": 2 * (params["x"] - target)}
+        opt.step(params, grads)
+    np.testing.assert_allclose(params["x"], target, atol=1e-3)
+
+
+def test_lr_override_per_parameter():
+    params = {"slow": np.zeros(1), "fast": np.zeros(1)}
+    opt = Adam(params, AdamConfig(lr=0.01, lr_overrides={"fast": 0.1}))
+    grads = {"slow": np.ones(1), "fast": np.ones(1)}
+    opt.step(params, grads)
+    assert abs(params["fast"][0]) == pytest.approx(10 * abs(params["slow"][0]))
+
+
+def test_matches_manual_two_steps():
+    cfg = AdamConfig(lr=0.1, beta1=0.9, beta2=0.999, eps=1e-8)
+    params = {"x": np.array([1.0])}
+    opt = Adam(params, cfg)
+    g1, g2 = np.array([0.5]), np.array([-0.3])
+
+    # manual computation
+    m = 0.1 * 0.5
+    v = 0.001 * 0.25
+    x = 1.0 - 0.1 * (m / 0.1) / (np.sqrt(v / 0.001) + 1e-8)
+    m = 0.9 * m + 0.1 * (-0.3)
+    v = 0.999 * v + 0.001 * 0.09
+    bc1 = 1 - 0.9**2
+    bc2 = 1 - 0.999**2
+    x = x - 0.1 * (m / bc1) / (np.sqrt(v / bc2) + 1e-8)
+
+    opt.step(params, {"x": g1})
+    opt.step(params, {"x": g2})
+    assert params["x"][0] == pytest.approx(x, rel=1e-12)
+
+
+def test_state_bytes():
+    params = {"x": np.zeros((10, 3)), "y": np.zeros(10)}
+    opt = Adam(params)
+    assert opt.state_bytes() == (30 + 10) * 2 * 4

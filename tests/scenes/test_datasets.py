@@ -1,0 +1,90 @@
+"""Dataset registry: paper facts, instantiation, sparsity regimes."""
+
+import numpy as np
+import pytest
+
+from repro.core.culling_index import CullingIndex
+from repro.scenes.datasets import SCENE_SPECS, build_scene, get_scene_spec, scene_names
+
+
+def test_registry_has_all_five_scenes():
+    assert scene_names() == ["bicycle", "rubble", "alameda", "ithaca", "bigcity"]
+
+
+def test_paper_table3_facts():
+    """Image counts, batch sizes and resolutions from Table 3."""
+    assert SCENE_SPECS["bicycle"].paper_num_images == 200
+    assert SCENE_SPECS["rubble"].paper_num_images == 1600
+    assert SCENE_SPECS["ithaca"].paper_num_images == 8200
+    assert SCENE_SPECS["bigcity"].paper_num_images == 60000
+    assert [SCENE_SPECS[n].batch_size for n in scene_names()] == [4, 8, 8, 16, 64]
+    assert SCENE_SPECS["bigcity"].paper_resolution == (1920, 1080)
+
+
+def test_paper_table2_gaussian_counts():
+    assert SCENE_SPECS["bicycle"].paper_num_gaussians == 9_000_000
+    assert SCENE_SPECS["bigcity"].paper_num_gaussians == 100_000_000
+
+
+def test_unknown_scene_raises():
+    with pytest.raises(KeyError, match="unknown scene"):
+        get_scene_spec("nonexistent")
+
+
+def test_build_scene_scales_gaussian_count():
+    scene = build_scene("rubble", scale=1e-4, num_views=8, seed=0)
+    assert scene.num_gaussians == pytest.approx(4000, rel=0.1)
+
+
+def test_count_scale_roundtrip():
+    scene = build_scene("bicycle", scale=1e-3, num_views=8, seed=0)
+    assert scene.count_scale * scene.num_gaussians == pytest.approx(
+        scene.spec.paper_num_gaussians
+    )
+    assert scene.count_scale_for(2e6) * scene.num_gaussians == pytest.approx(2e6)
+
+
+def test_build_scene_deterministic():
+    a = build_scene("alameda", scale=1e-4, num_views=6, seed=9)
+    b = build_scene("alameda", scale=1e-4, num_views=6, seed=9)
+    np.testing.assert_array_equal(a.model.positions, b.model.positions)
+    np.testing.assert_array_equal(a.cameras[0].center, b.cameras[0].center)
+
+
+def test_sparsity_ordering_matches_figure5(index_cache):
+    """Figure 5: bicycle >> rubble > alameda > ithaca > bigcity in rho."""
+    means = {}
+    for name in scene_names():
+        _, index = index_cache(name, scale=1e-4, num_views=48)
+        means[name] = float(index.sparsities().mean())
+    assert means["bicycle"] > means["rubble"] > means["alameda"]
+    assert means["alameda"] > means["ithaca"] > means["bigcity"]
+
+
+def test_bigcity_sparsity_below_two_percent(index_cache):
+    """Paper §3: BigCity views average 0.39%, max 1.06%."""
+    _, index = index_cache("bigcity", scale=1e-4, num_views=48)
+    rhos = index.sparsities()
+    assert rhos.mean() < 0.02
+    assert rhos.max() < 0.05
+
+
+def test_bicycle_sparsity_in_paper_band(index_cache):
+    """Figure 5 shows Bicycle rho up to ~0.3."""
+    _, index = index_cache("bicycle", scale=1e-4, num_views=48)
+    rhos = index.sparsities()
+    assert 0.1 < rhos.mean() < 0.35
+
+
+def test_views_default_to_capped_paper_count():
+    scene = build_scene("bicycle", scale=1e-4, seed=0)
+    assert len(scene.cameras) == 200  # min(200 paper images, 256)
+
+
+def test_zfar_applied_to_cameras():
+    scene = build_scene("ithaca", scale=1e-4, num_views=4, seed=0)
+    assert all(c.zfar == SCENE_SPECS["ithaca"].zfar for c in scene.cameras)
+
+
+def test_paper_pixels_property():
+    assert SCENE_SPECS["bicycle"].paper_pixels == 3840 * 2160

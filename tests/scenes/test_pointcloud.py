@@ -1,0 +1,59 @@
+"""SfM-substitute point cloud generation."""
+
+import numpy as np
+import pytest
+
+from repro.scenes.pointcloud import sfm_like_cloud
+
+
+@pytest.fixture()
+def surface(rng):
+    pts = rng.normal(size=(500, 3))
+    cols = rng.uniform(0, 1, size=(500, 3))
+    return pts, cols
+
+
+def test_keep_fraction(surface):
+    pts, cols = surface
+    out_p, out_c = sfm_like_cloud(pts, cols, keep_fraction=0.2, seed=0)
+    assert out_p.shape == (100, 3)
+    assert out_c.shape == (100, 3)
+
+
+def test_noise_scale_controls_error(surface):
+    pts, cols = surface
+    small, _ = sfm_like_cloud(pts, cols, keep_fraction=1.0, noise_scale=0.001,
+                              color_noise=0.0, seed=0)
+    big, _ = sfm_like_cloud(pts, cols, keep_fraction=1.0, noise_scale=0.5,
+                            color_noise=0.0, seed=0)
+    # Same subsample (keep=1.0 keeps all, order may differ) — compare spread
+    assert np.abs(big).std() > np.abs(small).std() * 0.9
+
+
+def test_colors_clipped(surface):
+    pts, cols = surface
+    _, out_c = sfm_like_cloud(pts, cols, color_noise=2.0, seed=0)
+    assert np.all((out_c >= 0) & (out_c <= 1))
+
+
+def test_invalid_fraction_rejected(surface):
+    pts, cols = surface
+    with pytest.raises(ValueError):
+        sfm_like_cloud(pts, cols, keep_fraction=0.0)
+    with pytest.raises(ValueError):
+        sfm_like_cloud(pts, cols, keep_fraction=1.5)
+
+
+def test_deterministic(surface):
+    pts, cols = surface
+    a, _ = sfm_like_cloud(pts, cols, seed=4)
+    b, _ = sfm_like_cloud(pts, cols, seed=4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_no_duplicate_subsampling(surface):
+    pts, cols = surface
+    out_p, _ = sfm_like_cloud(pts, cols, keep_fraction=0.5, noise_scale=0.0,
+                              seed=0)
+    # With zero noise, outputs must be distinct original points.
+    assert np.unique(out_p, axis=0).shape[0] == out_p.shape[0]

@@ -1,0 +1,84 @@
+"""Synthetic cloud generators."""
+
+import numpy as np
+import pytest
+
+from repro.scenes import synthetic
+
+
+@pytest.mark.parametrize("gen", [
+    synthetic.yard_cloud,
+    synthetic.aerial_cloud,
+    synthetic.street_cloud,
+    synthetic.indoor_cloud,
+])
+def test_shapes_and_color_range(gen):
+    pos, col = gen(500, seed=0)
+    assert pos.shape == (500, 3)
+    assert col.shape == (500, 3)
+    assert np.all((col >= 0) & (col <= 1))
+
+
+@pytest.mark.parametrize("gen", [
+    synthetic.yard_cloud,
+    synthetic.aerial_cloud,
+    synthetic.street_cloud,
+    synthetic.indoor_cloud,
+])
+def test_deterministic(gen):
+    a, _ = gen(100, seed=5)
+    b, _ = gen(100, seed=5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_yard_has_central_subject_and_ring():
+    pos, _ = synthetic.yard_cloud(2000, extent=1.0, object_fraction=0.2,
+                                  background_reach=4.0, seed=0)
+    r = np.linalg.norm(pos[:, :2], axis=1)
+    central = np.mean(r < 1.0)
+    assert 0.15 < central < 0.35  # subject plus inner ring tail
+    assert r.max() > 3.0  # background reaches out
+
+
+def test_yard_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        synthetic.yard_cloud(10, object_fraction=1.5)
+
+
+def test_aerial_uniform_over_extent():
+    pos, _ = synthetic.aerial_cloud(4000, extent=10.0, seed=0)
+    assert abs(pos[:, 0].mean()) < 0.5
+    # Quadrant balance: roughly a quarter in each
+    quad = np.mean((pos[:, 0] > 0) & (pos[:, 1] > 0))
+    assert 0.2 < quad < 0.3
+
+
+def test_aerial_heights_bounded():
+    pos, _ = synthetic.aerial_cloud(2000, extent=5.0, building_height=0.4, seed=0)
+    assert pos[:, 2].min() >= 0.0
+    assert pos[:, 2].max() <= 0.4 + 1e-9
+
+
+def test_street_cloud_lies_on_corridors():
+    pos, _ = synthetic.street_cloud(
+        3000, num_streets=4, street_spacing=5.0, corridor_width=1.0, seed=0
+    )
+    expected = np.array([-7.5, -2.5, 2.5, 7.5])
+    dist = np.min(np.abs(pos[:, 1:2] - expected[None, :]), axis=1)
+    assert np.mean(dist < 1.5) > 0.97
+
+
+def test_indoor_rooms_cluster():
+    pos, _ = synthetic.indoor_cloud(3000, num_rooms=6, room_size=2.0, seed=0)
+    xs = pos[:, 0]
+    # Six distinct room columns along x.
+    centers = (np.arange(6) - 2.5) * 2.4
+    nearest = np.min(np.abs(xs[:, None] - centers[None, :]), axis=1)
+    assert np.mean(nearest < 1.2) > 0.95
+
+
+def test_indoor_points_on_walls():
+    pos, _ = synthetic.indoor_cloud(2000, num_rooms=1, room_size=2.0, seed=0)
+    local = pos.copy()
+    at_wall = np.isclose(np.abs(local[:, :2]).max(axis=1), 1.0, atol=1e-6)
+    assert np.mean(at_wall) > 0.9

@@ -1,0 +1,98 @@
+"""Camera trajectory generators."""
+
+import numpy as np
+import pytest
+
+from repro.scenes.trajectories import (
+    aerial_grid_trajectory,
+    indoor_walkthrough_trajectory,
+    orbit_trajectory,
+    street_trajectory,
+)
+
+
+def test_orbit_count_and_ids():
+    cams = orbit_trajectory(12, seed=0)
+    assert len(cams) == 12
+    assert [c.view_id for c in cams] == list(range(12))
+
+
+def test_orbit_surrounds_center():
+    cams = orbit_trajectory(16, radius=2.0, jitter=0.0, seed=0)
+    centers = np.stack([c.center for c in cams])
+    radii = np.linalg.norm(centers[:, :2], axis=1)
+    np.testing.assert_allclose(radii, 2.0, rtol=1e-9)
+    # Azimuths should cover the full circle.
+    angles = np.arctan2(centers[:, 1], centers[:, 0])
+    assert angles.max() - angles.min() > np.pi
+
+
+def test_orbit_looks_inward():
+    cams = orbit_trajectory(8, radius=2.0, jitter=0.0, seed=0)
+    for cam in cams:
+        to_center = -cam.center / np.linalg.norm(cam.center)
+        assert np.dot(cam.forward_axis(), to_center) > 0.7
+
+
+def test_aerial_grid_covers_extent():
+    cams = aerial_grid_trajectory(25, extent=10.0, jitter=0.0, seed=0)
+    centers = np.stack([c.center for c in cams])
+    assert centers[:, 0].min() < -5 and centers[:, 0].max() > 5
+    assert centers[:, 1].min() < -5 and centers[:, 1].max() > 5
+
+
+def test_aerial_looks_downward():
+    cams = aerial_grid_trajectory(9, tilt_deg=10.0, jitter=0.0, seed=0)
+    for cam in cams:
+        assert cam.forward_axis()[2] < -0.8
+
+
+def test_aerial_serpentine_adjacency():
+    """Consecutive cameras stay close — the spatial locality CLM uses."""
+    cams = aerial_grid_trajectory(36, extent=10.0, jitter=0.0, seed=0)
+    centers = np.stack([c.center for c in cams])
+    steps = np.linalg.norm(np.diff(centers, axis=0), axis=1)
+    assert np.median(steps) < 5.0
+
+
+def test_street_cameras_on_streets():
+    cams = street_trajectory(32, num_streets=4, street_spacing=5.0,
+                             jitter=0.0, seed=0)
+    ys = np.array([c.center[1] for c in cams])
+    expected = {-7.5, -2.5, 2.5, 7.5}
+    for y in ys:
+        assert min(abs(y - e) for e in expected) < 1e-6
+
+
+def test_street_faces_along_street():
+    cams = street_trajectory(16, num_streets=2, jitter=0.0, seed=0)
+    for cam in cams:
+        fwd = cam.forward_axis()
+        assert abs(fwd[0]) > 0.95  # along x
+
+
+def test_indoor_rooms_distinct():
+    cams = indoor_walkthrough_trajectory(30, num_rooms=5, seed=0)
+    xs = np.array([c.center[0] for c in cams])
+    assert np.unique(np.round(xs / 1.2)).size >= 4
+
+
+@pytest.mark.parametrize("gen,kwargs", [
+    (orbit_trajectory, {}),
+    (aerial_grid_trajectory, {}),
+    (street_trajectory, {}),
+    (indoor_walkthrough_trajectory, {}),
+])
+def test_deterministic_under_seed(gen, kwargs):
+    a = gen(10, seed=7, **kwargs)
+    b = gen(10, seed=7, **kwargs)
+    for ca, cb in zip(a, b):
+        np.testing.assert_array_equal(ca.center, cb.center)
+
+
+def test_view_ids_unique_all_generators():
+    for gen in (orbit_trajectory, aerial_grid_trajectory,
+                street_trajectory, indoor_walkthrough_trajectory):
+        cams = gen(23, seed=1)
+        ids = [c.view_id for c in cams]
+        assert len(set(ids)) == len(ids) == 23

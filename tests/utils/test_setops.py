@@ -1,0 +1,140 @@
+"""Sorted-index set algebra: unit + property tests.
+
+These operations underpin every CLM transfer plan, so the invariants are
+checked both on hand-built cases and via hypothesis-generated sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import setops
+
+index_sets = st.lists(
+    st.integers(min_value=0, max_value=200), max_size=60
+).map(setops.as_index_set)
+
+
+def arr(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestBasics:
+    def test_as_index_set_sorts_and_dedups(self):
+        out = setops.as_index_set([5, 1, 5, 3, 1])
+        assert np.array_equal(out, arr(1, 3, 5))
+
+    def test_as_index_set_empty(self):
+        assert setops.as_index_set([]).size == 0
+
+    def test_is_sorted_unique_accepts_canonical(self):
+        assert setops.is_sorted_unique(arr(1, 2, 9))
+        assert setops.is_sorted_unique(arr())
+        assert setops.is_sorted_unique(arr(7))
+
+    def test_is_sorted_unique_rejects_duplicates(self):
+        assert not setops.is_sorted_unique(arr(1, 1, 2))
+
+    def test_is_sorted_unique_rejects_unsorted(self):
+        assert not setops.is_sorted_unique(arr(3, 1))
+
+    def test_is_sorted_unique_rejects_2d(self):
+        assert not setops.is_sorted_unique(np.zeros((2, 2), dtype=np.int64))
+
+    def test_intersect(self):
+        assert np.array_equal(
+            setops.intersect(arr(1, 2, 3), arr(2, 3, 4)), arr(2, 3)
+        )
+
+    def test_intersect_empty_operand(self):
+        assert setops.intersect(arr(), arr(1, 2)).size == 0
+        assert setops.intersect(arr(1, 2), arr()).size == 0
+
+    def test_union(self):
+        assert np.array_equal(
+            setops.union(arr(1, 3), arr(2, 3)), arr(1, 2, 3)
+        )
+
+    def test_difference(self):
+        assert np.array_equal(
+            setops.difference(arr(1, 2, 3), arr(2)), arr(1, 3)
+        )
+
+    def test_difference_with_empty(self):
+        assert np.array_equal(setops.difference(arr(1, 2), arr()), arr(1, 2))
+
+    def test_symmetric_difference(self):
+        assert np.array_equal(
+            setops.symmetric_difference(arr(1, 2), arr(2, 3)), arr(1, 3)
+        )
+
+    def test_symmetric_difference_size_matches_materialized(self):
+        a, b = arr(1, 2, 5, 9), arr(2, 9, 11)
+        assert setops.symmetric_difference_size(a, b) == (
+            setops.symmetric_difference(a, b).size
+        )
+
+
+class TestMatrices:
+    def test_intersection_matrix_diagonal_is_sizes(self):
+        sets = [arr(1, 2, 3), arr(2, 3), arr()]
+        mat = setops.intersection_matrix(sets)
+        assert mat[0, 0] == 3 and mat[1, 1] == 2 and mat[2, 2] == 0
+
+    def test_intersection_matrix_symmetric(self):
+        sets = [arr(1, 2, 3), arr(2, 3, 9), arr(0, 9)]
+        mat = setops.intersection_matrix(sets)
+        assert np.array_equal(mat, mat.T)
+
+    def test_symmetric_difference_matrix_values(self):
+        sets = [arr(1, 2), arr(2, 3)]
+        mat = setops.symmetric_difference_matrix(sets)
+        assert mat[0, 1] == 2
+        assert mat[0, 0] == 0
+
+    def test_empty_list(self):
+        assert setops.intersection_matrix([]).shape == (0, 0)
+
+
+class TestProperties:
+    @given(a=index_sets, b=index_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_partition_identity(self, a, b):
+        """(a & b) and (a \\ b) partition a — the caching invariant."""
+        inter = setops.intersect(a, b)
+        diff = setops.difference(a, b)
+        assert setops.intersect(inter, diff).size == 0
+        assert np.array_equal(setops.union(inter, diff), a)
+
+    @given(a=index_sets, b=index_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_difference_size_formula(self, a, b):
+        expected = setops.symmetric_difference(a, b).size
+        assert setops.symmetric_difference_size(a, b) == expected
+
+    @given(a=index_sets, b=index_sets, c=index_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_symdiff_triangle_inequality(self, a, b, c):
+        """|a^c| <= |a^b| + |b^c| — the metric-TSP property (App A.1)."""
+        dab = setops.symmetric_difference_size(a, b)
+        dbc = setops.symmetric_difference_size(b, c)
+        dac = setops.symmetric_difference_size(a, c)
+        assert dac <= dab + dbc
+
+    @given(sets=st.lists(index_sets, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_matches_pairwise(self, sets):
+        mat = setops.symmetric_difference_matrix(sets)
+        for i in range(len(sets)):
+            for j in range(len(sets)):
+                assert mat[i, j] == setops.symmetric_difference_size(
+                    sets[i], sets[j]
+                )
+
+    @given(a=index_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_results_stay_canonical(self, a):
+        for op in (setops.union, setops.intersect, setops.difference,
+                   setops.symmetric_difference):
+            assert setops.is_sorted_unique(op(a, a))
