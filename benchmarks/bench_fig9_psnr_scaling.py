@@ -10,10 +10,11 @@ simulated GPU memory cap sized so the largest model only fits with CLM.
 
 from conftest import emit
 
+import repro
 from repro.analysis.reporting import format_table
 from repro.core.config import EngineConfig
 from repro.core.memory_model import MODEL_STATE_FULL_BPG
-from repro.core.trainer import Trainer, TrainerConfig
+from repro.core.trainer import TrainerConfig
 from repro.gaussians.model import GaussianModel
 from repro.scenes.images import make_trainable_scene
 
@@ -37,16 +38,16 @@ def compute():
         # GPU cap: below the full model-state footprint of the largest
         # model, so the baseline would OOM there but CLM trains.
         cap = 0.75 * MODEL_STATE_FULL_BPG * total + 2_000_000
-        trainer = Trainer(
+        sess = repro.session(
             scene,
-            engine_type="clm",
-            engine_config=EngineConfig(batch_size=6, seed=0,
-                                       gpu_capacity_bytes=cap),
+            engine="clm",
+            config=EngineConfig(batch_size=6, seed=0,
+                                gpu_capacity_bytes=cap),
             trainer_config=TrainerConfig(num_batches=NUM_BATCHES,
                                          batch_size=6, seed=0),
             initial_model=init,
         )
-        history = trainer.train()
+        history = sess.train()
         rows.append([keep, history.final_psnr])
     return rows
 

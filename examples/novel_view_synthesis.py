@@ -12,8 +12,9 @@ Run:
 
 import os
 
+import repro
 from repro.core.config import EngineConfig
-from repro.core.trainer import Trainer, TrainerConfig
+from repro.core.trainer import TrainerConfig
 from repro.gaussians.loss import psnr
 from repro.gaussians.render import render
 from repro.scenes.images import make_trainable_scene
@@ -26,22 +27,22 @@ def main() -> None:
     scene = make_trainable_scene(
         reference_gaussians=200, num_views=14, image_size=(48, 36), seed=9
     )
-    trainer = Trainer(
+    sess = repro.session(
         scene,
-        engine_type="clm",
-        engine_config=EngineConfig(batch_size=7, seed=0),
+        engine="clm",
+        config=EngineConfig(batch_size=7, seed=0),
         trainer_config=TrainerConfig(
             num_batches=30, batch_size=7, densify_every=10, densify_start=8,
             max_gaussians=400, eval_every=10, seed=0,
         ),
     )
-    history = trainer.train()
+    history = sess.train()
     print(f"  Gaussians: {history.gaussian_counts[0]} -> "
           f"{history.gaussian_counts[-1]} (densification)")
     print(f"  training-view PSNR: {history.final_psnr:.2f} dB")
 
     print("\nRendering a novel orbit (cameras never seen in training)...")
-    model = trainer.engine.snapshot_model()
+    model = sess.snapshot_model()
     novel_cams = orbit_trajectory(
         8, radius=2.6, height=1.3, width=64, height_px=48, jitter=0.0,
         seed=123,
@@ -49,16 +50,16 @@ def main() -> None:
     out_dir = os.path.join(os.path.dirname(__file__), "output")
     os.makedirs(out_dir, exist_ok=True)
     for cam in novel_cams:
-        image = render(cam, model, trainer.engine_config.raster).image
+        image = render(cam, model, sess.config.raster).image
         path = os.path.join(out_dir, f"novel_view_{cam.view_id:02d}.ppm")
         save_ppm(path, image)
     print(f"  wrote {len(novel_cams)} frames to {out_dir}/")
 
     # Compare a held-out reference render for a rough novel-view PSNR.
     ref_image = render(novel_cams[0], scene.reference,
-                       trainer.engine_config.raster).image
+                       sess.config.raster).image
     fit_image = render(novel_cams[0], model,
-                       trainer.engine_config.raster).image
+                       sess.config.raster).image
     print(f"  novel-view PSNR vs reference scene: "
           f"{psnr(fit_image, ref_image):.2f} dB")
 

@@ -6,28 +6,29 @@ hold the full model state, the GPU-only baseline OOMs immediately while CLM
 trains the very same model by keeping only selection-critical attributes
 (10 of 59 floats per Gaussian) plus the per-view working set on the GPU.
 
+Everything goes through the public API: engines come from the registry
+(``repro.create_engine``) and training runs through the
+``repro.session(...)`` facade.
+
 Run:
     python examples/quickstart.py
 """
 
 import os
 
+import repro
 from repro.core.config import EngineConfig
-from repro.core.engine import CLMEngine
-from repro.core.gpu_only import GpuOnlyEngine
 from repro.core.memory_model import CLM_CRITICAL_BPG, MODEL_STATE_FULL_BPG
-from repro.core.trainer import Trainer, TrainerConfig
+from repro.core.trainer import TrainerConfig
 from repro.gaussians.model import GaussianModel
-from repro.gaussians.render import render
 from repro.hardware.memory import OutOfMemoryError
 from repro.scenes.images import make_trainable_scene
-from repro.utils.image_io import save_ppm
 
 
-def measured_peak(engine_cls, init, scene, targets, **kwargs):
+def measured_peak(engine_name, init, scene, targets):
     """One throwaway training batch against an unlimited pool."""
     cfg = EngineConfig(batch_size=4, gpu_capacity_bytes=1e12)
-    engine = engine_cls(init, scene.cameras, cfg, **kwargs)
+    engine = repro.create_engine(engine_name, init, scene.cameras, cfg)
     engine.train_batch([0, 1, 2, 3], targets)
     return engine.pool.peak
 
@@ -45,9 +46,8 @@ def main() -> None:
     n = init.num_gaussians
     print(f"  {n} Gaussians, {scene.num_views} posed training images")
 
-    baseline_peak = measured_peak(GpuOnlyEngine, init, scene, targets,
-                                  enhanced=False)
-    clm_peak = measured_peak(CLMEngine, init, scene, targets)
+    baseline_peak = measured_peak("baseline", init, scene, targets)
+    clm_peak = measured_peak("clm", init, scene, targets)
     capacity = 0.5 * (clm_peak + baseline_peak)
     print(f"\nGPU memory needed — baseline: {baseline_peak / 1e6:.2f} MB "
           f"(model state alone: {MODEL_STATE_FULL_BPG * n / 1e6:.2f} MB), "
@@ -56,8 +56,8 @@ def main() -> None:
 
     print("\n[1/2] GPU-only baseline on that budget:")
     try:
-        engine = GpuOnlyEngine(
-            init, scene.cameras,
+        engine = repro.create_engine(
+            "baseline", init, scene.cameras,
             EngineConfig(batch_size=4, gpu_capacity_bytes=capacity),
         )
         engine.train_batch([0, 1, 2, 3], targets)
@@ -66,29 +66,28 @@ def main() -> None:
         print(f"  OOM, as the paper predicts -> {exc}")
 
     print("\n[2/2] CLM (offloaded) on the same budget:")
-    trainer = Trainer(
+    sess = repro.session(
         scene,
-        engine_type="clm",
-        engine_config=EngineConfig(batch_size=4,
-                                   gpu_capacity_bytes=capacity),
+        engine="clm",
+        config=EngineConfig(batch_size=4, gpu_capacity_bytes=capacity),
         trainer_config=TrainerConfig(num_batches=15, batch_size=4,
                                      eval_every=5),
         initial_model=init,
     )
-    history = trainer.train()
+    sess.train()
     print(f"  resident critical attributes: "
           f"{CLM_CRITICAL_BPG * n / 1e6:.2f} MB on the GPU; "
           f"SH+opacity offloaded to pinned CPU memory")
-    for step, psnr in zip(history.eval_batches, history.psnrs):
+    for step, psnr in zip(sess.metrics.eval_batches, sess.metrics.psnrs):
         print(f"  batch {step:3d}: PSNR {psnr:.2f} dB")
     print(f"  total parameters moved over 'PCIe': "
-          f"{history.loaded_bytes / 1e6:.1f} MB")
+          f"{sess.metrics.loaded_bytes / 1e6:.1f} MB")
 
     out_dir = os.path.join(os.path.dirname(__file__), "output")
     os.makedirs(out_dir, exist_ok=True)
-    model = trainer.engine.snapshot_model()
-    image = render(scene.cameras[0], model,
-                   trainer.engine_config.raster).image
+    image = sess.render_view(0).image
+    from repro.utils.image_io import save_ppm
+
     save_ppm(os.path.join(out_dir, "quickstart_render.ppm"), image)
     save_ppm(os.path.join(out_dir, "quickstart_target.ppm"), scene.images[0])
     print(f"\nSaved a trained render vs ground truth to {out_dir}/")

@@ -1,6 +1,7 @@
 """Legacy entry point so the package installs in offline environments
-lacking the ``wheel`` module (``python setup.py develop``); configuration
-lives in pyproject.toml."""
+lacking the ``wheel`` module (``python setup.py develop``); all packaging
+metadata — including the ``repro`` console script — lives in
+pyproject.toml."""
 
 from setuptools import setup
 

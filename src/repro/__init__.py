@@ -3,19 +3,34 @@
 
 Public API tour::
 
-    from repro import build_scene, CullingIndex, CLMEngine, run_timed
+    import repro
 
-    scene = build_scene("bigcity", scale=2e-4)          # synthetic dataset
-    index = CullingIndex.build(scene.model, scene.cameras)
-    result = run_timed("clm", scene, index)             # simulated testbed
+    # Functional training through the facade (any registered engine):
+    scene = repro.make_trainable_scene(reference_gaussians=400, num_views=12)
+    sess = repro.session(scene, engine="clm")
+    sess.train(batches=50)
+    print(sess.metrics.final_psnr)
+    sess.checkpoint("run.npz")
+
+    # The registry behind it — the four systems of §6.1 and counting:
+    repro.available_engines()     # ('clm', 'naive', 'baseline', 'enhanced')
+    engine = repro.create_engine("clm", model, cameras, config)
+
+    # Simulated-testbed performance experiments (Figures 8-15):
+    scene = repro.build_scene("bigcity", scale=2e-4)
+    index = repro.CullingIndex.build(scene.model, scene.cameras)
+    result = repro.run_timed("clm", scene, index)
     print(result.images_per_second)
 
 Subpackages:
 
+- :mod:`repro.engines` — the unified engine protocol, registry, the four
+  training systems, and the :class:`~repro.engines.session.TrainingSession`
+  facade;
 - :mod:`repro.gaussians` — the 3DGS substrate (differentiable rasterizer,
   losses, densification);
-- :mod:`repro.core` — CLM itself (offload, caching, TSP scheduling,
-  pipelining, memory model) plus the baseline systems;
+- :mod:`repro.core` — CLM's machinery (offload stores, caching, TSP
+  scheduling, pipelining, memory model) plus the training loop;
 - :mod:`repro.hardware` — the discrete-event testbed simulator;
 - :mod:`repro.scenes` — synthetic dataset generators;
 - :mod:`repro.optim` — dense and sparse (CPU) Adam;
@@ -23,33 +38,60 @@ Subpackages:
 """
 
 from repro.core import (
-    CLMEngine,
     CullingIndex,
     EngineConfig,
-    GpuOnlyEngine,
-    NaiveOffloadEngine,
     TimingConfig,
     Trainer,
     TrainerConfig,
 )
 from repro.core.timed import run_timed
+from repro.engines import (
+    BatchResult,
+    CLMEngine,
+    Engine,
+    EngineBase,
+    GpuOnlyEngine,
+    NaiveOffloadEngine,
+    TrainingSession,
+    available_engines,
+    create_engine,
+    engine_descriptions,
+    register_engine,
+    session,
+)
 from repro.gaussians import GaussianModel, render
 from repro.scenes import build_scene
+from repro.scenes.images import make_trainable_scene
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # facade + registry (the documented entry points)
+    "session",
+    "TrainingSession",
+    "Engine",
+    "EngineBase",
+    "BatchResult",
+    "available_engines",
+    "create_engine",
+    "engine_descriptions",
+    "register_engine",
+    # engine classes (prefer create_engine)
     "CLMEngine",
     "NaiveOffloadEngine",
     "GpuOnlyEngine",
-    "CullingIndex",
+    # configuration + loop
     "EngineConfig",
     "TimingConfig",
     "Trainer",
     "TrainerConfig",
+    # simulated-testbed experiments
+    "CullingIndex",
     "run_timed",
+    # substrate + scenes
     "GaussianModel",
     "render",
     "build_scene",
+    "make_trainable_scene",
     "__version__",
 ]

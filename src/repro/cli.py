@@ -6,10 +6,13 @@ Examples::
     python -m repro.cli max-size --scene bigcity --testbed rtx4090
     python -m repro.cli throughput --scene rubble --system clm --n 30.4e6
     python -m repro.cli comm-volume --scene ithaca --ordering tsp
-    python -m repro.cli train --batches 20
+    python -m repro.cli engines
+    python -m repro.cli train --engine clm --batches 20
 
 Every subcommand prints a small table; `--scale`/`--views` control the
-synthetic-scene fidelity (see DESIGN.md §5).
+synthetic-scene fidelity (see DESIGN.md §5).  Functional-training engines
+are resolved through the registry (`repro engines` lists them), so a newly
+registered engine shows up in `train --engine` with no CLI change.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from repro.core.config import TimingConfig
 from repro.core.culling_index import CullingIndex
 from repro.core.orders import STRATEGIES
 from repro.core.timed import SYSTEM_NAMES, communication_volume_per_batch, run_timed
+from repro.engines import available_engines, engine_descriptions
 from repro.hardware.specs import TESTBEDS
 from repro.scenes.datasets import build_scene, scene_names
 
@@ -120,29 +124,43 @@ def cmd_comm_volume(args) -> int:
     return 0
 
 
+def cmd_engines(args) -> int:
+    rows = [[name, desc] for name, desc in engine_descriptions().items()]
+    print(format_table(
+        ["engine", "description"], rows,
+        title="Registered training engines (repro train --engine NAME)",
+    ))
+    return 0
+
+
 def cmd_train(args) -> int:
+    from repro import session
     from repro.core.config import EngineConfig
-    from repro.core.trainer import Trainer, TrainerConfig
+    from repro.core.trainer import TrainerConfig
     from repro.scenes.images import make_trainable_scene
 
     scene = make_trainable_scene(
         reference_gaussians=args.gaussians, num_views=12,
         image_size=(32, 24), seed=args.seed,
     )
-    trainer = Trainer(
+    # Unknown engine names never reach this point: the --engine choices
+    # come from available_engines(), so argparse rejects them with the
+    # registry's name list.
+    sess = session(
         scene,
-        engine_type=args.system if args.system != "enhanced" else "enhanced",
-        engine_config=EngineConfig(batch_size=4, seed=args.seed),
+        engine=args.engine,
+        config=EngineConfig(batch_size=4, seed=args.seed),
         trainer_config=TrainerConfig(
             num_batches=args.batches, batch_size=4,
             eval_every=max(1, args.batches // 4), seed=args.seed,
         ),
     )
-    history = trainer.train()
-    rows = [[b, p] for b, p in zip(history.eval_batches, history.psnrs)]
+    sess.train()
+    rows = [[b, p] for b, p in
+            zip(sess.metrics.eval_batches, sess.metrics.psnrs)]
     print(format_table(
         ["batch", "PSNR dB"], rows,
-        title=f"Functional training with the {args.system} engine",
+        title=f"Functional training with the {args.engine} engine",
         floatfmt="{:.2f}",
     ))
     return 0
@@ -184,9 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=None)
     p.set_defaults(func=cmd_comm_volume)
 
+    p = sub.add_parser("engines", help="list registered training engines")
+    p.set_defaults(func=cmd_engines)
+
     p = sub.add_parser("train", help="functional training demo")
-    p.add_argument("--system", choices=("clm", "naive", "baseline",
-                                        "enhanced"), default="clm")
+    p.add_argument("--engine", "--system", dest="engine",
+                   choices=available_engines(), default="clm",
+                   help="training engine, from the registry "
+                        "(see `repro engines`)")
     p.add_argument("--batches", type=int, default=16)
     p.add_argument("--gaussians", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)

@@ -17,17 +17,17 @@ Sparsity-guided CPU offloading for 3DGS training:
   boundaries (Figures 8/10, Table 6);
 - :mod:`repro.core.stores` — functional pinned-CPU / GPU working-set
   parameter stores (the selective loading kernel equivalents, §5.2);
-- :mod:`repro.core.engine` / :mod:`repro.core.naive` /
-  :mod:`repro.core.gpu_only` — the four systems compared in §6;
 - :mod:`repro.core.trainer` — the training loop tying it together.
+
+The engine implementations themselves moved to :mod:`repro.engines`
+(CLM, naive offloading, GPU-only baseline/enhanced behind one
+:class:`~repro.engines.base.Engine` protocol and registry); the engine
+names re-exported here are lazy aliases kept for backward compatibility.
 """
 
 from repro.core.config import EngineConfig, TimingConfig
 from repro.core.culling_index import CullingIndex
 from repro.core.caching import MicrobatchStep, build_transfer_plan
-from repro.core.engine import CLMEngine
-from repro.core.naive import NaiveOffloadEngine
-from repro.core.gpu_only import GpuOnlyEngine
 from repro.core.memory_model import (
     SYSTEMS,
     max_model_size,
@@ -41,6 +41,25 @@ from repro.core.checkpoint import (
     save_checkpoint,
 )
 
+#: Engine re-exports resolved lazily (PEP 562) so that importing
+#: ``repro.core`` never drags in ``repro.engines`` — the engines import
+#: core submodules, and eager re-exports here would create a cycle.
+_ENGINE_EXPORTS = {
+    "CLMEngine": "repro.engines.clm",
+    "NaiveOffloadEngine": "repro.engines.naive",
+    "GpuOnlyEngine": "repro.engines.gpu_only",
+    "BatchResult": "repro.engines.base",
+}
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_ENGINE_EXPORTS[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "save_checkpoint",
     "load_model",
@@ -50,6 +69,7 @@ __all__ = [
     "CullingIndex",
     "MicrobatchStep",
     "build_transfer_plan",
+    "BatchResult",
     "CLMEngine",
     "NaiveOffloadEngine",
     "GpuOnlyEngine",

@@ -15,7 +15,7 @@ aligned in pinned memory).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 BYTES_PER_FLOAT = 4
 CACHE_LINE_BYTES = 64

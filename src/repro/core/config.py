@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 from repro.gaussians.rasterizer import RasterSettings
 from repro.hardware.specs import RTX4090_TESTBED, Testbed

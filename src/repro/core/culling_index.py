@@ -11,7 +11,7 @@ scheduler (symmetric differences), the overlapped-Adam planner
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 

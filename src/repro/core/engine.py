@@ -1,286 +1,15 @@
-"""The CLM engine: functional offloaded training (paper §4, Figure 6).
+"""Deprecated location — the CLM engine lives in :mod:`repro.engines.clm`.
 
-One :meth:`CLMEngine.train_batch` call executes the full CLM step on real
-NumPy arrays:
+This shim keeps historical imports (``from repro.core.engine import
+CLMEngine, BatchResult``) working; new code should use::
 
-1. frustum-cull every view of the batch against the GPU-resident critical
-   attributes (§4.1, §5.1);
-2. order the microbatches (TSP by default, §4.2.3);
-3. build the precise-caching transfer plan (§4.2.1) and the overlapped-Adam
-   finalization chunks (§4.2.2);
-4. run the microbatch loop: assemble the working set (cache copies +
-   pinned-store loads), render, compute loss, backprop, accumulate
-   gradients (GPU-resident for critical attributes, working-buffer for
-   non-critical with carried accumulation), offload finalized gradients,
-   and apply the eager CPU-Adam chunk;
-5. finish the batch: last Adam chunk, then the GPU-side Adam update of the
-   critical attributes.
+    from repro.engines import CLMEngine, BatchResult, create_engine
 
-Because the optimizer is per-row sparse Adam, the result is equivalent to
-GPU-only training of the same batch — the equivalence tests in
-``tests/core/test_equivalence.py`` check parameters bit-for-near-bit.
+``BatchResult`` is now the *unified* per-batch record shared by every
+engine (see :mod:`repro.engines.base`).
 """
 
-from __future__ import annotations
+from repro.engines.base import BatchResult
+from repro.engines.clm import CRITICAL, NONCRITICAL, CLMEngine
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
-
-from repro.core import adam_overlap, attributes, orders
-from repro.core.caching import MicrobatchStep, build_transfer_plan
-from repro.core.config import EngineConfig
-from repro.core.culling_index import CullingIndex
-from repro.core.stores import (
-    GpuCriticalStore,
-    GpuWorkingSet,
-    PinnedParameterStore,
-    TransferCounters,
-)
-from repro.gaussians.camera import Camera
-from repro.gaussians.loss import photometric_loss, psnr
-from repro.gaussians.model import GaussianModel
-from repro.gaussians.render import render, render_backward
-from repro.hardware.memory import MemoryPool
-from repro.optim.sparse_adam import SparseAdam
-from repro.utils.rng import make_rng
-
-CRITICAL = ("positions", "log_scales", "quaternions")
-NONCRITICAL = ("sh", "opacity_logits")
-
-
-@dataclass
-class BatchResult:
-    """Metrics of one CLM training batch."""
-
-    loss: float
-    per_view_loss: Dict[int, float]
-    order: List[int]
-    loaded_gaussians: int
-    stored_gaussians: int
-    cached_gaussians: int
-    touched_gaussians: int
-    adam_chunk_sizes: List[int]
-
-    @property
-    def loaded_bytes(self) -> float:
-        return attributes.noncritical_bytes(self.loaded_gaussians)
-
-    @property
-    def stored_bytes(self) -> float:
-        return attributes.noncritical_bytes(self.stored_gaussians)
-
-
-class CLMEngine:
-    """Offloaded 3DGS training over split parameter stores."""
-
-    def __init__(
-        self,
-        model: GaussianModel,
-        cameras: Sequence[Camera],
-        config: Optional[EngineConfig] = None,
-    ) -> None:
-        self.config = config or EngineConfig()
-        self.cameras: Dict[int, Camera] = {c.view_id: c for c in cameras}
-        self.pool: Optional[MemoryPool] = None
-        if self.config.gpu_capacity_bytes is not None:
-            self.pool = MemoryPool(self.config.gpu_capacity_bytes, name="gpu")
-        self.gpu_store = GpuCriticalStore(model, pool=self.pool)
-        self.cpu_store = PinnedParameterStore(model)
-        self.sh_degree = model.sh_degree
-        self._num_pixels = max(
-            (c.num_pixels for c in self.cameras.values()), default=0
-        )
-        self.adam_critical = SparseAdam(
-            self.gpu_store.params(), config=self.config.adam
-        )
-        self.adam_noncritical = SparseAdam(
-            {
-                "sh": model.sh,
-                "opacity_logits": model.opacity_logits,
-            },
-            config=self.config.adam,
-        )
-        self._rng = make_rng(self.config.seed)
-        self._render, self._render_backward = self.config.resolve_renderer()
-        self.batches_trained = 0
-
-    # ------------------------------------------------------------------
-    @property
-    def num_gaussians(self) -> int:
-        return self.gpu_store.num_rows
-
-    def snapshot_model(self) -> GaussianModel:
-        """Reassemble the full model from both stores (for eval/densify)."""
-        nc = self.cpu_store.gather_params(np.arange(self.num_gaussians))
-        return GaussianModel(
-            positions=self.gpu_store.positions.copy(),
-            log_scales=self.gpu_store.log_scales.copy(),
-            quaternions=self.gpu_store.quaternions.copy(),
-            sh=nc["sh"],
-            opacity_logits=nc["opacity_logits"],
-            sh_degree=self.sh_degree,
-        )
-
-    def cull_views(self, view_ids: Sequence[int]) -> List[np.ndarray]:
-        """Pre-rendering frustum culling using critical attributes only."""
-        from repro.gaussians.frustum import cull_gaussians
-
-        sets = []
-        for vid in view_ids:
-            cam = self.cameras[vid]
-            sets.append(
-                cull_gaussians(
-                    cam,
-                    self.gpu_store.positions,
-                    self.gpu_store.log_scales,
-                    self.gpu_store.quaternions,
-                )
-            )
-        return sets
-
-    # ------------------------------------------------------------------
-    def train_batch(
-        self,
-        view_ids: Sequence[int],
-        targets: Dict[int, np.ndarray],
-        position_grad_hook=None,
-    ) -> BatchResult:
-        """One full CLM training step over ``view_ids``.
-
-        ``targets`` maps view id -> ground-truth image.
-        ``position_grad_hook(view_id, working_set, position_grads)`` lets
-        the trainer collect densification statistics without the engine
-        knowing about them.
-        """
-        cfg = self.config
-        batch = len(view_ids)
-        raw_sets = self.cull_views(view_ids)
-        cams = [self.cameras[v] for v in view_ids]
-        order = orders.order_microbatches(
-            cfg.ordering, raw_sets, cams, seed=self._rng
-        )
-        ordered_sets = [raw_sets[k] for k in order]
-        ordered_views = [view_ids[k] for k in order]
-        steps = build_transfer_plan(
-            ordered_sets, ordered_views, enable_cache=cfg.enable_cache
-        )
-        chunks = adam_overlap.adam_chunks(ordered_sets, self.num_gaussians)
-        touched = adam_overlap.touched_union(ordered_sets)
-        self.cpu_store.zero_grads(touched)
-        self.gpu_store.zero_grads(touched)
-
-        working = GpuWorkingSet(
-            self.cpu_store,
-            self.gpu_store,
-            pool=self.pool,
-            num_pixels=self._num_pixels,
-        )
-        carried = None
-        total_loss = 0.0
-        per_view_loss: Dict[int, float] = {}
-
-        for step, chunk in zip(steps, chunks):
-            model_i = working.assemble(
-                step.working_set, step.loads, step.cached, carried
-            )
-            cam = self.cameras[step.view_id]
-            result = self._render(cam, model_i, cfg.raster)
-            loss, g_img = photometric_loss(
-                result.image, targets[step.view_id], cfg.ssim_lambda
-            )
-            per_view_loss[step.view_id] = loss
-            total_loss += loss / batch
-            grads = self._render_backward(result, model_i, g_img / batch)
-            working.add_grads(grads)
-            if position_grad_hook is not None:
-                position_grad_hook(
-                    step.view_id, step.working_set, grads["positions"]
-                )
-            carried = working.retire(step.stores, step.carried)
-            if cfg.enable_overlap_adam:
-                self._apply_noncritical_adam(chunk)
-
-        if not cfg.enable_overlap_adam:
-            for chunk in chunks:
-                self._apply_noncritical_adam(chunk)
-        self._apply_critical_adam(touched)
-        working.release()
-        self.batches_trained += 1
-
-        return BatchResult(
-            loss=total_loss,
-            per_view_loss=per_view_loss,
-            order=list(order),
-            loaded_gaussians=working.counters.loaded_gaussians,
-            stored_gaussians=working.counters.stored_gaussians,
-            cached_gaussians=working.counters.cached_gaussians,
-            touched_gaussians=int(touched.size),
-            adam_chunk_sizes=[int(c.size) for c in chunks],
-        )
-
-    # ------------------------------------------------------------------
-    def _apply_noncritical_adam(self, rows: np.ndarray) -> None:
-        """CPU Adam over one finalized chunk (the §5.4 thread's work)."""
-        if rows.size == 0:
-            return
-        params = self.cpu_store.gather_params(rows)
-        grads = self.cpu_store.gather_grads(rows)
-        self.adam_noncritical.step_gathered(params, grads, rows)
-        self.cpu_store.write_params(rows, params)
-
-    def _apply_critical_adam(self, rows: np.ndarray) -> None:
-        """GPU-side Adam over the resident critical attributes."""
-        if rows.size == 0:
-            return
-        self.adam_critical.step_rows(
-            self.gpu_store.params(), self.gpu_store.grads, rows
-        )
-
-    # ------------------------------------------------------------------
-    def render_view(self, view_id: int):
-        """Offloaded *inference*: render one view loading only its
-        in-frustum working set from the CPU store.
-
-        The paper's abstract claim ("render a large scene that requires 102
-        million Gaussians on a single RTX 4090") is exactly this path —
-        GPU memory holds critical attributes plus one view's non-critical
-        slice, never the full model.
-        """
-        sets = self.cull_views([view_id])
-        step = build_transfer_plan(sets, [view_id])[0]
-        working = GpuWorkingSet(
-            self.cpu_store, self.gpu_store, pool=self.pool,
-            num_pixels=self._num_pixels,
-        )
-        model_i = working.assemble(step.working_set, step.loads, step.cached)
-        result = self._render(self.cameras[view_id], model_i, self.config.raster)
-        working.release()
-        return result
-
-    def evaluate(self, view_ids: Sequence[int], targets: Dict[int, np.ndarray]) -> float:
-        """Mean PSNR over held-out views (renders through the same
-        working-set machinery would be equivalent; uses a snapshot)."""
-        model = self.snapshot_model()
-        values = []
-        for vid in view_ids:
-            img = self._render(self.cameras[vid], model, self.config.raster).image
-            values.append(psnr(img, targets[vid]))
-        return float(np.mean(values)) if values else 0.0
-
-    def rebuild(self, model: GaussianModel, keep_rows: np.ndarray) -> None:
-        """Reconstruct stores and optimizer state after densify/prune.
-
-        ``keep_rows`` maps new rows to old rows (-1 = new Gaussian).
-        """
-        pool = self.pool
-        if pool is not None:
-            self.gpu_store.release()
-        self.gpu_store = GpuCriticalStore(model, pool=pool)
-        self.cpu_store = PinnedParameterStore(model)
-        self.sh_degree = model.sh_degree
-        self.adam_critical.resize(self.gpu_store.params(), keep_rows)
-        self.adam_noncritical.resize(
-            {"sh": model.sh, "opacity_logits": model.opacity_logits}, keep_rows
-        )
+__all__ = ["BatchResult", "CLMEngine", "CRITICAL", "NONCRITICAL"]

@@ -1,177 +1,13 @@
-"""GPU-only training engines: the paper's two non-offloading comparators.
+"""Deprecated location — see :mod:`repro.engines.gpu_only`.
 
-- **baseline** — the Grendel-GS + gsplat configuration of §6.1: frustum
-  culling is fused into the rendering kernels, so every kernel streams all
-  ``N`` Gaussians and activation state is allocated for all of them.
-- **enhanced baseline** — baseline plus CLM's pre-rendering frustum culling
-  (§5.1): the in-frustum set is computed first and only those Gaussians
-  enter the rasterizer, cutting compute and activation memory.
-
-Functionally the two produce identical gradients (out-of-frustum Gaussians
-contribute nothing); they differ in the simulated cost/memory models and —
-in this functional implementation — in whether the rasterizer input is
-pre-gathered.  The equivalence test relies on exactly that property.
+``GpuOnlyBatchResult`` was folded into the unified
+:class:`repro.engines.base.BatchResult`; the alias below keeps old
+annotations importable.
 """
 
-from __future__ import annotations
+from repro.engines.base import BatchResult
+from repro.engines.gpu_only import GpuOnlyEngine
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+GpuOnlyBatchResult = BatchResult
 
-import numpy as np
-
-from repro.core import adam_overlap
-from repro.core.config import EngineConfig
-from repro.core.memory_model import (
-    ACT_PER_GAUSSIAN,
-    ACT_PER_PIXEL,
-    MODEL_STATE_FULL_BPG,
-)
-from repro.gaussians.camera import Camera
-from repro.gaussians.frustum import cull_gaussians
-from repro.gaussians.loss import photometric_loss, psnr
-from repro.gaussians.model import GaussianModel
-from repro.gaussians.render import render, render_backward
-from repro.hardware.memory import MemoryPool
-from repro.optim.sparse_adam import SparseAdam
-from repro.utils.rng import make_rng
-
-
-@dataclass
-class GpuOnlyBatchResult:
-    loss: float
-    per_view_loss: Dict[int, float]
-    touched_gaussians: int
-
-
-class GpuOnlyEngine:
-    """Whole-model-on-GPU training (baseline / enhanced baseline)."""
-
-    def __init__(
-        self,
-        model: GaussianModel,
-        cameras: Sequence[Camera],
-        config: Optional[EngineConfig] = None,
-        enhanced: bool = False,
-    ) -> None:
-        self.config = config or EngineConfig()
-        self.enhanced = enhanced
-        self.model = model.clone()
-        self.cameras: Dict[int, Camera] = {c.view_id: c for c in cameras}
-        self.optimizer = SparseAdam(self.model.parameters(), config=self.config.adam)
-        self._rng = make_rng(self.config.seed)
-        self._render, self._render_backward = self.config.resolve_renderer()
-        self._num_pixels = max(
-            (c.num_pixels for c in self.cameras.values()), default=0
-        )
-        self.pool: Optional[MemoryPool] = None
-        if self.config.gpu_capacity_bytes is not None:
-            self.pool = MemoryPool(self.config.gpu_capacity_bytes, name="gpu")
-            self._allocate()
-
-    def _allocate(self) -> None:
-        """Reserve the canonical GPU footprint; raises OutOfMemoryError when
-        the simulated card is too small (the Figure 8 mechanism)."""
-        assert self.pool is not None
-        n = self.model.num_gaussians
-        self.pool.alloc("model_states", MODEL_STATE_FULL_BPG * n)
-        act_gaussians = n  # fused path: activations for every Gaussian
-        if self.enhanced:
-            rho_max = 0.0
-            for cam in self.cameras.values():
-                s = cull_gaussians(
-                    cam,
-                    self.model.positions,
-                    self.model.log_scales,
-                    self.model.quaternions,
-                )
-                rho_max = max(rho_max, s.size / max(1, n))
-            act_gaussians = rho_max * n
-        self.pool.alloc(
-            "activations",
-            ACT_PER_GAUSSIAN * act_gaussians + ACT_PER_PIXEL * self._num_pixels,
-        )
-
-    @property
-    def num_gaussians(self) -> int:
-        return self.model.num_gaussians
-
-    def snapshot_model(self) -> GaussianModel:
-        return self.model.clone()
-
-    # ------------------------------------------------------------------
-    def train_batch(
-        self,
-        view_ids: Sequence[int],
-        targets: Dict[int, np.ndarray],
-        position_grad_hook=None,
-    ) -> GpuOnlyBatchResult:
-        """One batch with gradient accumulation and a single sparse-Adam
-        update over the touched union at batch end."""
-        cfg = self.config
-        batch = len(view_ids)
-        grads = self.model.zero_gradients()
-        total_loss = 0.0
-        per_view_loss: Dict[int, float] = {}
-        sets: List[np.ndarray] = []
-
-        for vid in view_ids:
-            cam = self.cameras[vid]
-            if self.enhanced:
-                s = cull_gaussians(
-                    cam,
-                    self.model.positions,
-                    self.model.log_scales,
-                    self.model.quaternions,
-                )
-                sub = self.model.gather(s)
-                result = self._render(cam, sub, cfg.raster)
-                loss, g_img = photometric_loss(
-                    result.image, targets[vid], cfg.ssim_lambda
-                )
-                sub_grads = self._render_backward(result, sub, g_img / batch)
-                for name, full in grads.items():
-                    full[s] += sub_grads[name]
-                if position_grad_hook is not None:
-                    position_grad_hook(vid, s, sub_grads["positions"])
-            else:
-                s = cull_gaussians(
-                    cam,
-                    self.model.positions,
-                    self.model.log_scales,
-                    self.model.quaternions,
-                )
-                result = self._render(cam, self.model, cfg.raster)
-                loss, g_img = photometric_loss(
-                    result.image, targets[vid], cfg.ssim_lambda
-                )
-                full_grads = self._render_backward(result, self.model, g_img / batch)
-                for name, full in grads.items():
-                    full += full_grads[name]
-                if position_grad_hook is not None:
-                    position_grad_hook(vid, s, full_grads["positions"][s])
-            sets.append(s)
-            per_view_loss[vid] = loss
-            total_loss += loss / batch
-
-        touched = adam_overlap.touched_union(sets)
-        self.optimizer.step_rows(self.model.parameters(), grads, touched)
-        return GpuOnlyBatchResult(
-            loss=total_loss,
-            per_view_loss=per_view_loss,
-            touched_gaussians=int(touched.size),
-        )
-
-    # ------------------------------------------------------------------
-    def evaluate(self, view_ids: Sequence[int], targets: Dict[int, np.ndarray]) -> float:
-        values = []
-        for vid in view_ids:
-            img = self._render(self.cameras[vid], self.model, self.config.raster).image
-            values.append(psnr(img, targets[vid]))
-        return float(np.mean(values)) if values else 0.0
-
-    def rebuild(self, model: GaussianModel, keep_rows: np.ndarray) -> None:
-        self.model = model.clone()
-        self.optimizer.resize(self.model.parameters(), keep_rows)
-        if self.pool is not None:
-            self._allocate()
+__all__ = ["GpuOnlyEngine", "GpuOnlyBatchResult"]

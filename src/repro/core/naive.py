@@ -1,176 +1,13 @@
-"""Naive (ZeRO-Offload-style) offloading — the paper's Figure 3 strawman.
+"""Deprecated location — see :mod:`repro.engines.naive`.
 
-Per batch: transfer *all* parameters CPU->GPU, train the batch one image at
-a time with gradient accumulation (activation saving), transfer *all*
-gradients GPU->CPU, then run CPU Adam.  No sparsity, no pipelining, no
-caching — the comparison point that isolates what CLM's techniques buy
-(§6.1 "Naive Offloading" is configured identically: pinned memory, the same
-CPU Adam, pre-rendering frustum culling for the kernels).
-
-Functional note: the paper's naive system runs CPU Adam over every
-Gaussian; with per-row sparse-Adam state that is *numerically equivalent*
-to updating the touched union (untouched rows have zero gradient and zero
-moments here because gradients are zeroed per batch), so we update the
-union and keep quality results comparable across engines.  The *cost*
-models (timed path) still charge the dense full-model Adam the paper
-describes.
+``NaiveBatchResult`` was folded into the unified
+:class:`repro.engines.base.BatchResult`; the alias below keeps old
+annotations importable.
 """
 
-from __future__ import annotations
+from repro.engines.base import BatchResult
+from repro.engines.naive import NaiveOffloadEngine
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+NaiveBatchResult = BatchResult
 
-import numpy as np
-
-from repro.core import adam_overlap, attributes
-from repro.core.config import EngineConfig
-from repro.core.memory_model import (
-    ACT_PER_GAUSSIAN,
-    ACT_PER_PIXEL,
-    NAIVE_MODEL_BPG,
-)
-from repro.gaussians.camera import Camera
-from repro.gaussians.frustum import cull_gaussians
-from repro.gaussians.loss import photometric_loss, psnr
-from repro.gaussians.model import GaussianModel
-from repro.gaussians.render import render, render_backward
-from repro.hardware.memory import MemoryPool
-from repro.optim.sparse_adam import SparseAdam
-from repro.utils.rng import make_rng
-
-
-@dataclass
-class NaiveBatchResult:
-    loss: float
-    per_view_loss: Dict[int, float]
-    touched_gaussians: int
-    loaded_gaussians: int  # = N per batch
-    stored_gaussians: int  # = N per batch
-
-    @property
-    def loaded_bytes(self) -> float:
-        """All 59 floats of every Gaussian cross the link (Figure 14's
-        'Naive Offloading' bars equal N x 59 x 4 bytes)."""
-        return self.loaded_gaussians * attributes.total_floats() * 4
-
-    @property
-    def stored_bytes(self) -> float:
-        return self.stored_gaussians * attributes.total_floats() * 4
-
-
-class NaiveOffloadEngine:
-    """Whole-model offloading with batch-granularity transfers."""
-
-    def __init__(
-        self,
-        model: GaussianModel,
-        cameras: Sequence[Camera],
-        config: Optional[EngineConfig] = None,
-    ) -> None:
-        self.config = config or EngineConfig()
-        # CPU master copy ("pinned"): all 59 floats live here between steps.
-        self.cpu_model = model.clone()
-        self.cameras: Dict[int, Camera] = {c.view_id: c for c in cameras}
-        self.optimizer = SparseAdam(
-            self.cpu_model.parameters(), config=self.config.adam
-        )
-        self._rng = make_rng(self.config.seed)
-        self._render, self._render_backward = self.config.resolve_renderer()
-        self._num_pixels = max(
-            (c.num_pixels for c in self.cameras.values()), default=0
-        )
-        self.pool: Optional[MemoryPool] = None
-        if self.config.gpu_capacity_bytes is not None:
-            self.pool = MemoryPool(self.config.gpu_capacity_bytes, name="gpu")
-            self._allocate()
-
-    def _allocate(self) -> None:
-        assert self.pool is not None
-        n = self.cpu_model.num_gaussians
-        self.pool.alloc("naive.params_and_grads", NAIVE_MODEL_BPG * n)
-        rho_max = 0.0
-        for cam in self.cameras.values():
-            s = cull_gaussians(
-                cam,
-                self.cpu_model.positions,
-                self.cpu_model.log_scales,
-                self.cpu_model.quaternions,
-            )
-            rho_max = max(rho_max, s.size / max(1, n))
-        self.pool.alloc(
-            "naive.activations",
-            ACT_PER_GAUSSIAN * rho_max * n + ACT_PER_PIXEL * self._num_pixels,
-        )
-
-    @property
-    def num_gaussians(self) -> int:
-        return self.cpu_model.num_gaussians
-
-    def snapshot_model(self) -> GaussianModel:
-        return self.cpu_model.clone()
-
-    # ------------------------------------------------------------------
-    def train_batch(
-        self,
-        view_ids: Sequence[int],
-        targets: Dict[int, np.ndarray],
-        position_grad_hook=None,
-    ) -> NaiveBatchResult:
-        cfg = self.config
-        batch = len(view_ids)
-        n = self.num_gaussians
-        # Step 1 (Figure 3): load ALL parameters to the GPU.
-        gpu_model = self.cpu_model.clone()
-        grads = gpu_model.zero_gradients()
-        total_loss = 0.0
-        per_view_loss: Dict[int, float] = {}
-        sets: List[np.ndarray] = []
-
-        # Step 2: per-image training with gradient accumulation; the naive
-        # system also adopts pre-rendering frustum culling (§6.1).
-        for vid in view_ids:
-            cam = self.cameras[vid]
-            s = cull_gaussians(
-                cam,
-                gpu_model.positions,
-                gpu_model.log_scales,
-                gpu_model.quaternions,
-            )
-            sets.append(s)
-            sub = gpu_model.gather(s)
-            result = self._render(cam, sub, cfg.raster)
-            loss, g_img = photometric_loss(
-                result.image, targets[vid], cfg.ssim_lambda
-            )
-            sub_grads = self._render_backward(result, sub, g_img / batch)
-            for name, full in grads.items():
-                full[s] += sub_grads[name]
-            if position_grad_hook is not None:
-                position_grad_hook(vid, s, sub_grads["positions"])
-            per_view_loss[vid] = loss
-            total_loss += loss / batch
-
-        # Steps 3-4: store ALL gradients back; CPU Adam updates parameters.
-        touched = adam_overlap.touched_union(sets)
-        self.optimizer.step_rows(self.cpu_model.parameters(), grads, touched)
-        return NaiveBatchResult(
-            loss=total_loss,
-            per_view_loss=per_view_loss,
-            touched_gaussians=int(touched.size),
-            loaded_gaussians=n,
-            stored_gaussians=n,
-        )
-
-    def evaluate(self, view_ids: Sequence[int], targets: Dict[int, np.ndarray]) -> float:
-        values = []
-        for vid in view_ids:
-            img = self._render(self.cameras[vid], self.cpu_model, self.config.raster).image
-            values.append(psnr(img, targets[vid]))
-        return float(np.mean(values)) if values else 0.0
-
-    def rebuild(self, model: GaussianModel, keep_rows: np.ndarray) -> None:
-        self.cpu_model = model.clone()
-        self.optimizer.resize(self.cpu_model.parameters(), keep_rows)
-        if self.pool is not None:
-            self._allocate()
+__all__ = ["NaiveOffloadEngine", "NaiveBatchResult"]

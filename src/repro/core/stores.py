@@ -25,7 +25,7 @@ OOMs the baseline trainer while CLM keeps fitting (the quickstart demo).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
@@ -39,7 +39,6 @@ from repro.core.memory_model import (
 )
 from repro.gaussians.model import GaussianModel
 from repro.hardware.memory import MemoryPool
-from repro.utils import setops
 
 
 @dataclass

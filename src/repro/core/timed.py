@@ -11,7 +11,7 @@ hardware utilization — i.e. everything Figures 11-15 and Tables 5/7 plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

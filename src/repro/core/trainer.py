@@ -1,23 +1,27 @@
 """The training loop: batches, densification, evaluation.
 
 This plays the role Grendel plays for the paper's artifact — the framework
-CLM plugs into (§5).  Any of the three engines (CLM, naive offloading,
-GPU-only baseline/enhanced) slots in behind the same interface, which is
-what makes the functional-equivalence tests and the Figure 9 quality
-experiment straightforward to express.
+CLM plugs into (§5).  Any engine registered with
+:mod:`repro.engines.registry` slots in behind the same
+:class:`repro.engines.base.Engine` interface, which is what makes the
+functional-equivalence tests and the Figure 9 quality experiment
+straightforward to express.  Engines are constructed by *name* only —
+this module deliberately imports no engine classes.
+
+Prefer the :class:`repro.engines.session.TrainingSession` facade
+(``repro.session(scene, engine="clm")``) for new code; ``Trainer`` remains
+the loop implementation underneath it.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.config import EngineConfig
-from repro.core.engine import CLMEngine
-from repro.core.gpu_only import GpuOnlyEngine
-from repro.core.naive import NaiveOffloadEngine
 from repro.gaussians.densify import (
     DensificationState,
     DensifyConfig,
@@ -25,12 +29,29 @@ from repro.gaussians.densify import (
 )
 from repro.gaussians.loss import psnr
 from repro.gaussians.model import GaussianModel
-from repro.gaussians.render import render
 from repro.optim.schedule import ExponentialDecay, ShWarmup
 from repro.scenes.images import TrainableScene
 from repro.utils.rng import make_rng
 
-ENGINE_TYPES = ("clm", "naive", "baseline", "enhanced")
+
+def _registry():
+    # Local import: repro.engines.session imports this module, so a
+    # module-scope import of repro.engines would close an import cycle.
+    from repro.engines import registry
+
+    return registry
+
+
+def __getattr__(name: str):
+    if name == "ENGINE_TYPES":
+        warnings.warn(
+            "repro.core.trainer.ENGINE_TYPES is deprecated; use "
+            "repro.engines.available_engines()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _registry().available_engines()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -74,18 +95,13 @@ def make_engine(
     cameras,
     config: EngineConfig,
 ):
-    """Factory over the four systems of §6.1."""
-    if engine_type == "clm":
-        return CLMEngine(model, cameras, config)
-    if engine_type == "naive":
-        return NaiveOffloadEngine(model, cameras, config)
-    if engine_type == "baseline":
-        return GpuOnlyEngine(model, cameras, config, enhanced=False)
-    if engine_type == "enhanced":
-        return GpuOnlyEngine(model, cameras, config, enhanced=True)
-    raise ValueError(
-        f"unknown engine '{engine_type}'; choose from {ENGINE_TYPES}"
+    """Deprecated alias for :func:`repro.engines.registry.create_engine`."""
+    warnings.warn(
+        "make_engine is deprecated; use repro.engines.create_engine",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _registry().create_engine(engine_type, model, cameras, config)
 
 
 class Trainer:
@@ -117,7 +133,7 @@ class Trainer:
                 sh_degree=sh_degree,
                 seed=self.config.seed,
             )
-        self.engine = make_engine(
+        self.engine = _registry().create_engine(
             engine_type, initial_model, scene.cameras, self.engine_config
         )
         self.targets: Dict[int, np.ndarray] = {
@@ -158,10 +174,24 @@ class Trainer:
                 cfg.sh_warmup.degree(step)
             )
 
-    def train(self) -> TrainingHistory:
+    def train(
+        self,
+        num_batches: Optional[int] = None,
+        start_step: int = 0,
+    ) -> TrainingHistory:
+        """Run ``num_batches`` batches (default: the config value).
+
+        ``start_step`` offsets the global step counter so resumed /
+        incremental runs (the ``TrainingSession`` facade) keep schedules,
+        densification windows, and opacity resets on the same absolute
+        timeline as one uninterrupted run.  Recorded ``eval_batches`` are
+        absolute steps.  Neither argument mutates ``self.config``.
+        """
         history = TrainingHistory()
         cfg = self.config
-        for step in range(1, cfg.num_batches + 1):
+        total = cfg.num_batches if num_batches is None else num_batches
+        last_step = start_step + total
+        for step in range(start_step + 1, last_step + 1):
             self._apply_schedules(step - 1)
             batch = self._next_batch()
             result = self.engine.train_batch(
@@ -169,8 +199,8 @@ class Trainer:
             )
             history.losses.append(result.loss)
             history.gaussian_counts.append(self.engine.num_gaussians)
-            if hasattr(result, "loaded_bytes"):
-                history.loaded_bytes += result.loaded_bytes
+            # Unified BatchResult: non-offload engines report zero bytes.
+            history.loaded_bytes += result.loaded_bytes
 
             if (
                 cfg.densify_every
@@ -185,9 +215,9 @@ class Trainer:
             if cfg.eval_every and step % cfg.eval_every == 0:
                 history.psnrs.append(self.evaluate())
                 history.eval_batches.append(step)
-        if not history.eval_batches or history.eval_batches[-1] != cfg.num_batches:
+        if not history.eval_batches or history.eval_batches[-1] != last_step:
             history.psnrs.append(self.evaluate())
-            history.eval_batches.append(cfg.num_batches)
+            history.eval_batches.append(last_step)
         return history
 
     def _record_grads(self, view_id, working_set, position_grads) -> None:

@@ -1,0 +1,54 @@
+"""repro.engines — the unified training-engine API.
+
+The four systems compared in the paper's §6.1 all implement the same
+:class:`~repro.engines.base.Engine` protocol and return the same
+:class:`~repro.engines.base.BatchResult`; they are constructed by name
+through the registry::
+
+    from repro.engines import available_engines, create_engine
+
+    available_engines()   # ('clm', 'naive', 'baseline', 'enhanced')
+    engine = create_engine("clm", model, cameras, config)
+
+For end-to-end training prefer the facade::
+
+    import repro
+
+    sess = repro.session(scene, engine="clm")
+    sess.train(batches=50)
+
+Adding a fifth system is one file: subclass
+:class:`~repro.engines.base.EngineBase` and decorate it with
+:func:`~repro.engines.registry.register_engine`.
+"""
+
+from repro.engines.base import BatchResult, Engine, EngineBase
+from repro.engines.registry import (
+    UnknownEngineError,
+    available_engines,
+    create_engine,
+    engine_descriptions,
+    register_engine,
+    unregister_engine,
+)
+from repro.engines.clm import CLMEngine
+from repro.engines.naive import NaiveOffloadEngine
+from repro.engines.gpu_only import GpuOnlyEngine
+from repro.engines.session import TrainingSession, session
+
+__all__ = [
+    "BatchResult",
+    "Engine",
+    "EngineBase",
+    "UnknownEngineError",
+    "available_engines",
+    "create_engine",
+    "engine_descriptions",
+    "register_engine",
+    "unregister_engine",
+    "CLMEngine",
+    "NaiveOffloadEngine",
+    "GpuOnlyEngine",
+    "TrainingSession",
+    "session",
+]

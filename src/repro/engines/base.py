@@ -1,0 +1,256 @@
+"""The engine contract shared by the four systems of §6.1.
+
+Three pieces live here:
+
+- :class:`BatchResult` — the *unified* per-batch metrics record.  Every
+  engine returns the same dataclass; transfer counters default to zero so
+  Figure 13/14-style reporting works uniformly (a GPU-only engine simply
+  reports ``loaded_bytes == 0``, the naive offloader reports ``N`` whole
+  Gaussians per direction, CLM reports its precise working-set traffic).
+- :class:`Engine` — the abstract protocol: ``train_batch``, ``evaluate``,
+  ``render_view``, ``snapshot_model``, ``rebuild``, ``num_gaussians``.
+  ``Trainer``, :class:`repro.engines.session.TrainingSession`, the CLI and
+  the checkpoint machinery program against this interface only.
+- :class:`EngineBase` — the shared skeleton: camera bookkeeping, renderer
+  resolution, the simulated GPU memory pool, pre-rendering frustum culling
+  (§5.1), the per-view forward/backward step, gather/scatter gradient
+  accumulation, and the batch-end sparse-Adam finalization.  Concrete
+  engines shrink to their actual policy differences.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import adam_overlap
+from repro.core.config import EngineConfig
+from repro.gaussians.camera import Camera
+from repro.gaussians.frustum import cull_gaussians
+from repro.gaussians.loss import photometric_loss, psnr
+from repro.gaussians.model import GaussianModel
+from repro.hardware.memory import MemoryPool
+from repro.utils.rng import make_rng
+
+#: Hook signature: ``hook(view_id, working_set, position_grads)``.
+PositionGradHook = Callable[[int, np.ndarray, np.ndarray], None]
+
+
+@dataclass(kw_only=True)
+class BatchResult:
+    """Metrics of one training batch, uniform across all engines.
+
+    ``loaded_bytes``/``stored_bytes`` are explicit fields (not derived from
+    the Gaussian counters) because engines move different per-Gaussian
+    payloads: CLM transfers only the 49 non-critical floats, the naive
+    offloader all 59, GPU-only engines none.
+
+    Keyword-only: the field set differs from the pre-unification
+    ``BatchResult``/``NaiveBatchResult``/``GpuOnlyBatchResult``
+    dataclasses, so positional construction against the old layouts fails
+    loudly instead of silently scrambling fields.
+    """
+
+    loss: float
+    per_view_loss: Dict[int, float]
+    touched_gaussians: int
+    order: List[int] = field(default_factory=list)
+    loaded_gaussians: int = 0
+    stored_gaussians: int = 0
+    cached_gaussians: int = 0
+    loaded_bytes: float = 0.0
+    stored_bytes: float = 0.0
+    adam_chunk_sizes: List[int] = field(default_factory=list)
+
+
+class Engine(abc.ABC):
+    """What every training system must provide (the §6.1 contract)."""
+
+    config: EngineConfig
+
+    @property
+    @abc.abstractmethod
+    def num_gaussians(self) -> int:
+        """Current model size."""
+
+    @abc.abstractmethod
+    def train_batch(
+        self,
+        view_ids: Sequence[int],
+        targets: Dict[int, np.ndarray],
+        position_grad_hook: Optional[PositionGradHook] = None,
+    ) -> BatchResult:
+        """One full training step over ``view_ids`` (targets by view id)."""
+
+    @abc.abstractmethod
+    def evaluate(
+        self, view_ids: Sequence[int], targets: Dict[int, np.ndarray]
+    ) -> float:
+        """Mean PSNR over ``view_ids``."""
+
+    @abc.abstractmethod
+    def render_view(self, view_id: int):
+        """Render one view; returns the renderer result (``.image``)."""
+
+    @abc.abstractmethod
+    def snapshot_model(self) -> GaussianModel:
+        """Full model reassembled from whatever stores the engine uses."""
+
+    @abc.abstractmethod
+    def rebuild(self, model: GaussianModel, keep_rows: np.ndarray) -> None:
+        """Reconstruct stores/optimizer state after densify/prune.
+
+        ``keep_rows`` maps new rows to old rows (-1 = new Gaussian).
+        """
+
+
+class EngineBase(Engine):
+    """Shared construction and microbatch-loop skeleton.
+
+    Subclasses implement :meth:`_setup` (build stores and optimizers from
+    the initial model) and :meth:`_culling_arrays` (where the
+    selection-critical attributes live), plus :meth:`train_batch`,
+    :meth:`snapshot_model` and :meth:`rebuild`.  ``evaluate`` and
+    ``render_view`` have snapshot-based defaults; CLM overrides
+    ``render_view`` with its offloaded working-set path.
+    """
+
+    def __init__(
+        self,
+        model: GaussianModel,
+        cameras: Sequence[Camera],
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.cameras: Dict[int, Camera] = {c.view_id: c for c in cameras}
+        self._num_pixels = max(
+            (c.num_pixels for c in self.cameras.values()), default=0
+        )
+        self._rng = make_rng(self.config.seed)
+        self._render, self._render_backward = self.config.resolve_renderer()
+        self.pool: Optional[MemoryPool] = None
+        if self.config.gpu_capacity_bytes is not None:
+            self.pool = MemoryPool(self.config.gpu_capacity_bytes, name="gpu")
+        self.batches_trained = 0
+        self._setup(model)
+
+    # -- subclass hooks -------------------------------------------------
+    @abc.abstractmethod
+    def _setup(self, model: GaussianModel) -> None:
+        """Build parameter stores and optimizers from ``model``."""
+
+    @abc.abstractmethod
+    def _culling_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """``(positions, log_scales, quaternions)`` used for culling."""
+
+    # -- shared machinery ----------------------------------------------
+    def cull_views(self, view_ids: Sequence[int]) -> List[np.ndarray]:
+        """Pre-rendering frustum culling using critical attributes only
+        (§5.1) — one in-frustum index set per view."""
+        positions, log_scales, quaternions = self._culling_arrays()
+        return [
+            cull_gaussians(
+                self.cameras[vid], positions, log_scales, quaternions
+            )
+            for vid in view_ids
+        ]
+
+    def _max_frustum_fraction(self) -> float:
+        """max_i |S_i| / N over all cameras (the rho_max of Table 2)."""
+        n = max(1, self.num_gaussians)
+        sets = self.cull_views(list(self.cameras))
+        return max((s.size / n for s in sets), default=0.0)
+
+    def _forward_backward(self, cam: Camera, model_like, target, batch: int):
+        """Render one view, compute the photometric loss, backpropagate.
+
+        Returns ``(loss, grads)`` with gradients already scaled by the
+        1/batch gradient-accumulation factor.
+        """
+        result = self._render(cam, model_like, self.config.raster)
+        loss, g_img = photometric_loss(
+            result.image, target, self.config.ssim_lambda
+        )
+        grads = self._render_backward(result, model_like, g_img / batch)
+        return loss, grads
+
+    def _accumulate_gathered(
+        self,
+        view_ids: Sequence[int],
+        targets: Dict[int, np.ndarray],
+        model: GaussianModel,
+        grads: Dict[str, np.ndarray],
+        position_grad_hook: Optional[PositionGradHook],
+    ):
+        """The cull -> gather -> render -> backprop -> scatter-add loop.
+
+        Shared by the naive offloader and the enhanced GPU-only engine:
+        per view, only the in-frustum subset enters the rasterizer and its
+        gradients are scatter-added into the full-model ``grads``.
+
+        Returns ``(sets, per_view_loss, total_loss)``.
+        """
+        batch = len(view_ids)
+        sets: List[np.ndarray] = []
+        per_view_loss: Dict[int, float] = {}
+        total_loss = 0.0
+        for vid in view_ids:
+            cam = self.cameras[vid]
+            (s,) = self.cull_views([vid])
+            sub = model.gather(s)
+            loss, sub_grads = self._forward_backward(
+                cam, sub, targets[vid], batch
+            )
+            for name, full in grads.items():
+                full[s] += sub_grads[name]
+            if position_grad_hook is not None:
+                position_grad_hook(vid, s, sub_grads["positions"])
+            sets.append(s)
+            per_view_loss[vid] = loss
+            total_loss += loss / batch
+        return sets, per_view_loss, total_loss
+
+    def _finalize_sparse_adam(
+        self,
+        optimizer,
+        params: Dict[str, np.ndarray],
+        grads: Dict[str, np.ndarray],
+        sets: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """Batch-end sparse-Adam update over the touched union; returns
+        the touched row set."""
+        touched = adam_overlap.touched_union(sets)
+        optimizer.step_rows(params, grads, touched)
+        return touched
+
+    # -- default evaluation / inference --------------------------------
+    def _eval_model(self) -> GaussianModel:
+        """Read-only model used by the default ``evaluate``/``render_view``.
+
+        Defaults to a snapshot; engines whose full model is already
+        resident override this to avoid copying N Gaussians per call.
+        """
+        return self.snapshot_model()
+
+    def evaluate(
+        self, view_ids: Sequence[int], targets: Dict[int, np.ndarray]
+    ) -> float:
+        model = self._eval_model()
+        values = [
+            psnr(
+                self._render(
+                    self.cameras[vid], model, self.config.raster
+                ).image,
+                targets[vid],
+            )
+            for vid in view_ids
+        ]
+        return float(np.mean(values)) if values else 0.0
+
+    def render_view(self, view_id: int):
+        return self._render(
+            self.cameras[view_id], self._eval_model(), self.config.raster
+        )

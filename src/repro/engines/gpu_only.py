@@ -1,0 +1,158 @@
+"""GPU-only training engines: the paper's two non-offloading comparators.
+
+- **baseline** — the Grendel-GS + gsplat configuration of §6.1: frustum
+  culling is fused into the rendering kernels, so every kernel streams all
+  ``N`` Gaussians and activation state is allocated for all of them.
+- **enhanced baseline** — baseline plus CLM's pre-rendering frustum culling
+  (§5.1): the in-frustum set is computed first and only those Gaussians
+  enter the rasterizer, cutting compute and activation memory.
+
+Functionally the two produce identical gradients (out-of-frustum Gaussians
+contribute nothing); they differ in the simulated cost/memory models and —
+in this functional implementation — in whether the rasterizer input is
+pre-gathered.  The equivalence test relies on exactly that property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import EngineConfig
+from repro.core.memory_model import (
+    ACT_PER_GAUSSIAN,
+    ACT_PER_PIXEL,
+    MODEL_STATE_FULL_BPG,
+)
+from repro.engines.base import BatchResult, EngineBase, PositionGradHook
+from repro.engines.registry import register_engine
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+from repro.optim.sparse_adam import SparseAdam
+
+
+@register_engine(
+    "baseline",
+    description="GPU-only baseline (Grendel-GS + gsplat): full model state "
+    "resident, culling fused into the kernels",
+)
+class GpuOnlyEngine(EngineBase):
+    """Whole-model-on-GPU training (baseline / enhanced baseline)."""
+
+    def __init__(
+        self,
+        model: GaussianModel,
+        cameras: Sequence[Camera],
+        config: Optional[EngineConfig] = None,
+        enhanced: bool = False,
+    ) -> None:
+        self.enhanced = enhanced
+        super().__init__(model, cameras, config)
+
+    def _setup(self, model: GaussianModel) -> None:
+        self.model = model.clone()
+        self.optimizer = SparseAdam(
+            self.model.parameters(), config=self.config.adam
+        )
+        if self.pool is not None:
+            self._allocate()
+
+    def _culling_arrays(self):
+        return (
+            self.model.positions,
+            self.model.log_scales,
+            self.model.quaternions,
+        )
+
+    def _allocate(self) -> None:
+        """Reserve the canonical GPU footprint; raises OutOfMemoryError when
+        the simulated card is too small (the Figure 8 mechanism)."""
+        assert self.pool is not None
+        n = self.model.num_gaussians
+        self.pool.alloc("model_states", MODEL_STATE_FULL_BPG * n)
+        act_gaussians = n  # fused path: activations for every Gaussian
+        if self.enhanced:
+            act_gaussians = self._max_frustum_fraction() * n
+        self.pool.alloc(
+            "activations",
+            ACT_PER_GAUSSIAN * act_gaussians + ACT_PER_PIXEL * self._num_pixels,
+        )
+
+    @property
+    def num_gaussians(self) -> int:
+        return self.model.num_gaussians
+
+    def snapshot_model(self) -> GaussianModel:
+        return self.model.clone()
+
+    def _eval_model(self) -> GaussianModel:
+        return self.model  # already resident; no copy needed
+
+    # ------------------------------------------------------------------
+    def train_batch(
+        self,
+        view_ids: Sequence[int],
+        targets: Dict[int, np.ndarray],
+        position_grad_hook: Optional[PositionGradHook] = None,
+    ) -> BatchResult:
+        """One batch with gradient accumulation and a single sparse-Adam
+        update over the touched union at batch end."""
+        batch = len(view_ids)
+        grads = self.model.zero_gradients()
+
+        if self.enhanced:
+            sets, per_view_loss, total_loss = self._accumulate_gathered(
+                view_ids, targets, self.model, grads, position_grad_hook
+            )
+        else:
+            # Fused-culling path: every kernel streams the full model; the
+            # per-view in-frustum set is still computed for the touched
+            # union and the densification hook.
+            sets = []
+            per_view_loss = {}
+            total_loss = 0.0
+            for vid in view_ids:
+                cam = self.cameras[vid]
+                (s,) = self.cull_views([vid])
+                loss, full_grads = self._forward_backward(
+                    cam, self.model, targets[vid], batch
+                )
+                for name, full in grads.items():
+                    full += full_grads[name]
+                if position_grad_hook is not None:
+                    position_grad_hook(vid, s, full_grads["positions"][s])
+                sets.append(s)
+                per_view_loss[vid] = loss
+                total_loss += loss / batch
+
+        touched = self._finalize_sparse_adam(
+            self.optimizer, self.model.parameters(), grads, sets
+        )
+        self.batches_trained += 1
+        return BatchResult(
+            loss=total_loss,
+            per_view_loss=per_view_loss,
+            touched_gaussians=int(touched.size),
+            order=list(range(batch)),
+        )
+
+    def rebuild(self, model: GaussianModel, keep_rows: np.ndarray) -> None:
+        self.model = model.clone()
+        self.optimizer.resize(self.model.parameters(), keep_rows)
+        if self.pool is not None:
+            self._allocate()
+
+
+@register_engine(
+    "enhanced",
+    description="enhanced baseline: GPU-only plus CLM's pre-rendering "
+    "frustum culling (§5.1)",
+)
+def _make_enhanced_baseline(
+    model: GaussianModel,
+    cameras: Sequence[Camera],
+    config: Optional[EngineConfig] = None,
+) -> GpuOnlyEngine:
+    """enhanced baseline: GPU-only plus pre-rendering frustum culling."""
+    return GpuOnlyEngine(model, cameras, config, enhanced=True)

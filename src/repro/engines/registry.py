@@ -1,0 +1,119 @@
+"""The engine registry: the single source of truth for training systems.
+
+Engines self-register with the :func:`register_engine` decorator::
+
+    @register_engine("clm", description="sparsity-guided CPU offloading")
+    class CLMEngine(EngineBase):
+        ...
+
+and consumers construct them by name::
+
+    engine = create_engine("clm", model, cameras, config)
+
+Anything callable as ``factory(model, cameras, config) -> Engine`` can be
+registered — a class, or a plain function for configuration variants (the
+"enhanced" baseline is ``GpuOnlyEngine`` with pre-rendering culling turned
+on).  Adding a fifth system is a one-file change: subclass
+:class:`repro.engines.base.EngineBase`, decorate it, and every consumer
+(``Trainer``, the CLI, ``TrainingSession``) picks it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.config import EngineConfig
+
+
+class UnknownEngineError(ValueError):
+    """Raised by :func:`create_engine` for names not in the registry."""
+
+
+@dataclass(frozen=True)
+class EngineEntry:
+    name: str
+    factory: Callable
+    description: str
+
+
+_REGISTRY: Dict[str, EngineEntry] = {}
+
+
+def _ensure_builtin_engines() -> None:
+    """Import the built-in engine modules so their registrations run.
+
+    Lets ``from repro.engines.registry import create_engine`` work even
+    when the caller never imported :mod:`repro.engines` itself.
+    """
+    from repro.engines import clm, gpu_only, naive  # noqa: F401
+
+
+def register_engine(name: str, *, description: str = ""):
+    """Class/factory decorator adding an engine to the registry.
+
+    ``description`` is the one-line summary shown by ``repro engines`` and
+    :func:`engine_descriptions`; it defaults to the factory's first
+    docstring line.
+    """
+
+    def decorator(factory: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(
+                f"engine '{name}' is already registered "
+                f"(by {_REGISTRY[name].factory!r})"
+            )
+        summary = description or (factory.__doc__ or "").strip().split("\n")[0]
+        _REGISTRY[name] = EngineEntry(name, factory, summary)
+        return factory
+
+    return decorator
+
+
+#: Engines shipped with the package.  Unregistering one would be permanent
+#: for the process (their modules stay cached in sys.modules, so the
+#: decorators never re-run), so unregister_engine refuses them.
+_BUILTIN_ENGINES = ("clm", "naive", "baseline", "enhanced")
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (mainly for tests/plugins).
+
+    Built-in engines cannot be removed; see ``_BUILTIN_ENGINES``.
+    """
+    if name in _BUILTIN_ENGINES:
+        raise ValueError(f"cannot unregister built-in engine '{name}'")
+    _REGISTRY.pop(name, None)
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    _ensure_builtin_engines()
+    return tuple(_REGISTRY)
+
+
+def engine_descriptions() -> Dict[str, str]:
+    """``{name: one-line description}`` for every registered engine."""
+    _ensure_builtin_engines()
+    return {name: entry.description for name, entry in _REGISTRY.items()}
+
+
+def create_engine(
+    name: str,
+    model,
+    cameras: Sequence,
+    config: Optional[EngineConfig] = None,
+):
+    """Construct the engine registered under ``name``.
+
+    Raises :class:`UnknownEngineError` (a ``ValueError``) with the list of
+    known names when ``name`` is not registered.
+    """
+    _ensure_builtin_engines()
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        raise UnknownEngineError(
+            f"unknown engine '{name}'; choose from {available_engines()}"
+        ) from None
+    return entry.factory(model, cameras, config)

@@ -30,7 +30,6 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.gaussians import quaternion
 from repro.gaussians.camera import Camera
 from repro.gaussians.frustum import CULL_SIGMA, frustum_planes, support_radii
 

@@ -17,8 +17,8 @@ Two levels of fidelity:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 
 class OutOfMemoryError(RuntimeError):

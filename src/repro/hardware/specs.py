@@ -19,7 +19,7 @@ and Adam trailing times (Table 5b).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.pcie import PCIE3_X16, PCIE4_X16, PcieSpec
 

@@ -11,7 +11,7 @@ and the "Random Order" ablation destroys exactly that adjacency.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

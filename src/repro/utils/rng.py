@@ -9,7 +9,7 @@ same scene, the same training order and the same schedule.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,9 +1,7 @@
 """Table rendering and results logging."""
 
 import json
-import os
 
-import pytest
 
 from repro.analysis.reporting import ResultsLog, format_table
 

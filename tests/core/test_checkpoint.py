@@ -5,8 +5,7 @@ import pytest
 
 from repro.core.checkpoint import load_model, restore_into_engine, save_checkpoint
 from repro.core.config import EngineConfig
-from repro.core.engine import CLMEngine
-from repro.core.gpu_only import GpuOnlyEngine
+from repro.engines import CLMEngine, GpuOnlyEngine
 from repro.gaussians.model import GaussianModel
 
 

@@ -46,6 +46,38 @@ def test_train_command(capsys):
     assert "PSNR" in out
 
 
+def test_train_command_engine_flag(capsys):
+    assert main(["train", "--engine", "enhanced", "--batches", "2",
+                 "--gaussians", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "enhanced" in out
+
+
+def test_train_command_legacy_system_flag(capsys):
+    assert main(["train", "--system", "naive", "--batches", "2",
+                 "--gaussians", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "naive" in out
+
+
+def test_engines_command_lists_registry(capsys):
+    from repro.engines import available_engines
+
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    for name in available_engines():
+        assert name in out
+
+
+def test_train_choices_follow_registry(capsys):
+    """Unknown engines are rejected with the registry's name list, not a
+    KeyError."""
+    with pytest.raises(SystemExit):
+        main(["train", "--engine", "bogus"])
+    err = capsys.readouterr().err
+    assert "invalid choice" in err and "clm" in err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])

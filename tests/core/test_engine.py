@@ -5,8 +5,8 @@ import pytest
 
 from repro.core.caching import build_transfer_plan, total_cached_count, total_load_count, total_store_count
 from repro.core.config import EngineConfig
-from repro.core.engine import CLMEngine
 from repro.core.memory_model import CLM_CRITICAL_BPG
+from repro.engines import CLMEngine
 from repro.gaussians.model import GaussianModel
 from repro.hardware.memory import OutOfMemoryError
 

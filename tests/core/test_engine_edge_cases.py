@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import EngineConfig
-from repro.core.engine import CLMEngine
-from repro.core.gpu_only import GpuOnlyEngine
+from repro.engines import CLMEngine, GpuOnlyEngine
 from repro.gaussians.camera import look_at_camera
 from repro.gaussians.model import GaussianModel
 

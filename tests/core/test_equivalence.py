@@ -4,15 +4,18 @@ claims, checked end-to-end on real training).
 CLM's ordering freedom, precise caching, deferred gradient offload and
 overlapped per-chunk Adam must all be *invisible* to the optimization: after
 the same batches, all engines hold (numerically) identical parameters.
+
+Since ISSUE 1 the engines are driven through the public facade —
+``repro.session(scene, engine=name)`` + ``session.train_batch`` — so this
+suite also pins that the registry/session path preserves bit-level
+behavior.
 """
 
 import numpy as np
 import pytest
 
+import repro
 from repro.core.config import EngineConfig
-from repro.core.engine import CLMEngine
-from repro.core.gpu_only import GpuOnlyEngine
-from repro.core.naive import NaiveOffloadEngine
 from repro.gaussians.model import GaussianModel
 
 BATCHES = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 0, 2], [1, 5, 7, 9]]
@@ -26,17 +29,23 @@ def setup(trainable_scene):
         sh_degree=1,
         seed=0,
     )
-    targets = {
-        c.view_id: img
-        for c, img in zip(trainable_scene.cameras, trainable_scene.images)
-    }
-    return trainable_scene, init, targets
+    return trainable_scene, init
 
 
-def run_engine(engine, targets):
+def make_session(setup, engine, config=None):
+    scene, init = setup
+    return repro.session(
+        scene,
+        engine=engine,
+        config=config or EngineConfig(batch_size=4),
+        initial_model=init,
+    )
+
+
+def run_session(sess):
     for batch in BATCHES:
-        engine.train_batch(batch, targets)
-    return engine.snapshot_model()
+        sess.train_batch(batch)
+    return sess.snapshot_model()
 
 
 def assert_models_close(a, b, atol=1e-10):
@@ -49,57 +58,51 @@ def assert_models_close(a, b, atol=1e-10):
 
 @pytest.fixture(scope="module")
 def baseline_result(setup):
-    scene, init, targets = setup
-    engine = GpuOnlyEngine(init, scene.cameras, EngineConfig(batch_size=4),
-                           enhanced=False)
-    return run_engine(engine, targets)
+    return run_session(make_session(setup, "baseline"))
 
 
 def test_enhanced_equals_baseline(setup, baseline_result):
     """Pre-rendering culling changes nothing functionally (§5.1)."""
-    scene, init, targets = setup
-    engine = GpuOnlyEngine(init, scene.cameras, EngineConfig(batch_size=4),
-                           enhanced=True)
-    assert_models_close(run_engine(engine, targets), baseline_result)
+    assert_models_close(
+        run_session(make_session(setup, "enhanced")), baseline_result
+    )
 
 
 def test_naive_offloading_equals_baseline(setup, baseline_result):
-    scene, init, targets = setup
-    engine = NaiveOffloadEngine(init, scene.cameras, EngineConfig(batch_size=4))
-    assert_models_close(run_engine(engine, targets), baseline_result)
+    assert_models_close(
+        run_session(make_session(setup, "naive")), baseline_result
+    )
 
 
 @pytest.mark.parametrize("ordering", ["tsp", "random", "camera", "gs_count"])
 def test_clm_equals_baseline_under_any_ordering(setup, baseline_result, ordering):
     """§4.2.3: microbatch order does not affect correctness."""
-    scene, init, targets = setup
     cfg = EngineConfig(batch_size=4, ordering=ordering, seed=99)
-    engine = CLMEngine(init, scene.cameras, cfg)
-    assert_models_close(run_engine(engine, targets), baseline_result)
+    assert_models_close(
+        run_session(make_session(setup, "clm", cfg)), baseline_result
+    )
 
 
 def test_clm_without_cache_equals_baseline(setup, baseline_result):
     """The "No Cache" ablation is functionally identical too."""
-    scene, init, targets = setup
     cfg = EngineConfig(batch_size=4, enable_cache=False)
-    engine = CLMEngine(init, scene.cameras, cfg)
-    assert_models_close(run_engine(engine, targets), baseline_result)
+    assert_models_close(
+        run_session(make_session(setup, "clm", cfg)), baseline_result
+    )
 
 
 def test_clm_without_overlap_adam_equals_baseline(setup, baseline_result):
-    scene, init, targets = setup
     cfg = EngineConfig(batch_size=4, enable_overlap_adam=False)
-    engine = CLMEngine(init, scene.cameras, cfg)
-    assert_models_close(run_engine(engine, targets), baseline_result)
+    assert_models_close(
+        run_session(make_session(setup, "clm", cfg)), baseline_result
+    )
 
 
 def test_clm_losses_match_baseline_per_view(setup):
-    scene, init, targets = setup
-    clm = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4))
-    base = GpuOnlyEngine(init, scene.cameras, EngineConfig(batch_size=4),
-                         enhanced=True)
-    r1 = clm.train_batch(BATCHES[0], targets)
-    r2 = base.train_batch(BATCHES[0], targets)
+    clm = make_session(setup, "clm")
+    base = make_session(setup, "enhanced")
+    r1 = clm.train_batch(BATCHES[0])
+    r2 = base.train_batch(BATCHES[0])
     for vid in BATCHES[0]:
         assert r1.per_view_loss[vid] == pytest.approx(
             r2.per_view_loss[vid], abs=1e-12

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.config import EngineConfig
-from repro.core.engine import CLMEngine
 from repro.core.memory_model import MODEL_STATE_FULL_BPG
+from repro.engines import CLMEngine
 from repro.gaussians.model import GaussianModel
 from repro.gaussians.render import render
 

@@ -1,0 +1,57 @@
+"""The pre-registry import surface keeps working through thin shims."""
+
+import pytest
+
+
+def test_engine_classes_importable_from_old_locations():
+    from repro.core.engine import BatchResult, CLMEngine
+    from repro.core.gpu_only import GpuOnlyBatchResult, GpuOnlyEngine
+    from repro.core.naive import NaiveBatchResult, NaiveOffloadEngine
+    import repro.engines as engines
+
+    assert CLMEngine is engines.CLMEngine
+    assert NaiveOffloadEngine is engines.NaiveOffloadEngine
+    assert GpuOnlyEngine is engines.GpuOnlyEngine
+    # The per-engine result dataclasses collapsed into one.
+    assert BatchResult is engines.BatchResult
+    assert NaiveBatchResult is engines.BatchResult
+    assert GpuOnlyBatchResult is engines.BatchResult
+
+
+def test_repro_core_lazy_reexports():
+    import repro.core as core
+    import repro.engines as engines
+
+    assert core.CLMEngine is engines.CLMEngine
+    assert core.BatchResult is engines.BatchResult
+    with pytest.raises(AttributeError):
+        core.DoesNotExist
+
+
+def test_make_engine_deprecated_but_working(trainable_scene):
+    from repro.core.config import EngineConfig
+    from repro.core.trainer import make_engine
+    from repro.engines import CLMEngine
+    from repro.gaussians.model import GaussianModel
+
+    model = GaussianModel.from_point_cloud(
+        trainable_scene.init_points, colors=trainable_scene.init_colors,
+        sh_degree=1, seed=0,
+    )
+    with pytest.warns(DeprecationWarning, match="create_engine"):
+        engine = make_engine("clm", model, trainable_scene.cameras,
+                             EngineConfig(batch_size=2))
+    assert isinstance(engine, CLMEngine)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError):
+            make_engine("bogus", model, trainable_scene.cameras,
+                        EngineConfig())
+
+
+def test_engine_types_deprecated_alias():
+    import repro.core.trainer as trainer
+    from repro.engines import available_engines
+
+    with pytest.warns(DeprecationWarning, match="available_engines"):
+        names = trainer.ENGINE_TYPES
+    assert names == available_engines()

@@ -10,7 +10,7 @@ from repro.core.pipeline import (
     add_naive_batch,
 )
 from repro.hardware.kernels import KernelCostModel
-from repro.hardware.metrics import GPU_COMM, GPU_COMPUTE
+from repro.hardware.metrics import GPU_COMM
 from repro.hardware.simulator import Simulator
 from repro.hardware.specs import RTX4090_TESTBED
 

@@ -1,6 +1,5 @@
 """Timed experiment runner: the §6.3 performance shapes, in miniature."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import TimingConfig

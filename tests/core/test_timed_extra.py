@@ -1,6 +1,5 @@
 """Additional timed-runner coverage: flags, 1F1B structure, batch chaining."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import TimingConfig

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.config import EngineConfig
-from repro.core.trainer import Trainer, TrainerConfig, make_engine
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.engines import available_engines, create_engine
 from repro.gaussians.model import GaussianModel
 
 
@@ -18,17 +19,19 @@ def make_trainer(scene, engine_type="clm", **trainer_kwargs):
     )
 
 
-def test_make_engine_types(trainable_scene):
+def test_trainer_constructs_every_registered_engine(trainable_scene):
     model = GaussianModel.from_point_cloud(
         trainable_scene.init_points, colors=trainable_scene.init_colors,
         sh_degree=1,
     )
-    for name in ("clm", "naive", "baseline", "enhanced"):
-        engine = make_engine(name, model, trainable_scene.cameras,
-                             EngineConfig(batch_size=2))
+    for name in available_engines():
+        engine = create_engine(name, model, trainable_scene.cameras,
+                               EngineConfig(batch_size=2))
         assert engine.num_gaussians == model.num_gaussians
     with pytest.raises(ValueError):
-        make_engine("bogus", model, trainable_scene.cameras, EngineConfig())
+        create_engine("bogus", model, trainable_scene.cameras, EngineConfig())
+    with pytest.raises(ValueError):
+        Trainer(trainable_scene, engine_type="bogus")
 
 
 def test_training_reduces_loss(trainable_scene):
@@ -72,7 +75,7 @@ def test_densification_keeps_training_stable(trainable_scene):
     )
     trainer.densify_config.grad_threshold = 1e-7
     h = trainer.train()
-    assert all(np.isfinite(l) for l in h.losses)
+    assert all(np.isfinite(loss) for loss in h.losses)
     assert np.isfinite(h.final_psnr)
 
 

@@ -1,0 +1,100 @@
+"""Engine registry: name round-trips, errors, and extensibility."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.engines import (
+    CLMEngine,
+    GpuOnlyEngine,
+    NaiveOffloadEngine,
+    UnknownEngineError,
+    available_engines,
+    create_engine,
+    engine_descriptions,
+    register_engine,
+    unregister_engine,
+)
+from repro.gaussians.model import GaussianModel
+
+
+@pytest.fixture()
+def model(trainable_scene):
+    return GaussianModel.from_point_cloud(
+        trainable_scene.init_points, colors=trainable_scene.init_colors,
+        sh_degree=1, seed=0,
+    )
+
+
+def test_all_paper_systems_registered():
+    assert set(available_engines()) >= {"clm", "naive", "baseline", "enhanced"}
+
+
+@pytest.mark.parametrize("name", ["clm", "naive", "baseline", "enhanced"])
+def test_create_engine_round_trip(name, model, trainable_scene):
+    engine = create_engine(name, model, trainable_scene.cameras,
+                           EngineConfig(batch_size=2))
+    assert engine.num_gaussians == model.num_gaussians
+
+
+def test_create_engine_resolves_expected_classes(model, trainable_scene):
+    cfg = EngineConfig(batch_size=2)
+    cams = trainable_scene.cameras
+    assert isinstance(create_engine("clm", model, cams, cfg), CLMEngine)
+    assert isinstance(create_engine("naive", model, cams, cfg),
+                      NaiveOffloadEngine)
+    baseline = create_engine("baseline", model, cams, cfg)
+    enhanced = create_engine("enhanced", model, cams, cfg)
+    assert isinstance(baseline, GpuOnlyEngine) and not baseline.enhanced
+    assert isinstance(enhanced, GpuOnlyEngine) and enhanced.enhanced
+
+
+def test_unknown_engine_is_a_clear_value_error(model, trainable_scene):
+    with pytest.raises(UnknownEngineError, match="bogus"):
+        create_engine("bogus", model, trainable_scene.cameras)
+    with pytest.raises(ValueError, match="choose from"):
+        create_engine("bogus", model, trainable_scene.cameras)
+
+
+def test_default_config_used_when_none(model, trainable_scene):
+    engine = create_engine("baseline", model, trainable_scene.cameras)
+    assert isinstance(engine.config, EngineConfig)
+
+
+def test_descriptions_cover_every_engine():
+    descriptions = engine_descriptions()
+    assert set(descriptions) == set(available_engines())
+    assert all(descriptions.values())  # every engine has a one-liner
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_engine("clm")(CLMEngine)
+
+
+def test_builtin_engines_cannot_be_unregistered():
+    """Built-ins could never be re-registered in-process (their modules
+    stay cached), so removal is refused outright."""
+    with pytest.raises(ValueError, match="built-in"):
+        unregister_engine("clm")
+    assert "clm" in available_engines()
+
+
+def test_register_custom_engine(model, trainable_scene):
+    """A fifth system is a registry entry away (the ROADMAP north-star)."""
+
+    @register_engine("test-variant", description="enhanced under an alias")
+    def factory(m, cameras, config=None):
+        return GpuOnlyEngine(m, cameras, config, enhanced=True)
+
+    try:
+        assert "test-variant" in available_engines()
+        engine = create_engine("test-variant", model, trainable_scene.cameras,
+                               EngineConfig(batch_size=2))
+        targets = {c.view_id: img for c, img in
+                   zip(trainable_scene.cameras, trainable_scene.images)}
+        result = engine.train_batch([0, 1], targets)
+        assert np.isfinite(result.loss)
+    finally:
+        unregister_engine("test-variant")
+    assert "test-variant" not in available_engines()

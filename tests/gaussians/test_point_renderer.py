@@ -93,8 +93,7 @@ def test_clm_equivalence_under_alternative_backend(trainable_scene):
     """§8's claim, end to end: swap the renderer, offloading stays
     invisible — CLM == enhanced baseline under the point backend."""
     from repro.core.config import EngineConfig
-    from repro.core.engine import CLMEngine
-    from repro.core.gpu_only import GpuOnlyEngine
+    from repro.engines import create_engine
 
     init = GaussianModel.from_point_cloud(
         trainable_scene.init_points, colors=trainable_scene.init_colors,
@@ -108,8 +107,8 @@ def test_clm_equivalence_under_alternative_backend(trainable_scene):
                             renderer=point_render,
                             renderer_backward=point_render_backward)
 
-    clm = CLMEngine(init, trainable_scene.cameras, cfg())
-    base = GpuOnlyEngine(init, trainable_scene.cameras, cfg(), enhanced=True)
+    clm = create_engine("clm", init, trainable_scene.cameras, cfg())
+    base = create_engine("enhanced", init, trainable_scene.cameras, cfg())
     for batch in ([0, 1, 2, 3], [4, 5, 6, 7]):
         r1 = clm.train_batch(batch, targets)
         r2 = base.train_batch(batch, targets)

@@ -10,7 +10,6 @@ Invariants that must hold for *any* task DAG:
   tasks has been ready since before the idle gap began.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -10,11 +10,8 @@ import numpy as np
 import pytest
 
 from repro.core.config import EngineConfig
-from repro.core.engine import CLMEngine
-from repro.core.gpu_only import GpuOnlyEngine
-from repro.core.naive import NaiveOffloadEngine
 from repro.core.memory_model import MODEL_STATE_FULL_BPG
-from repro.gaussians.model import GaussianModel
+from repro.engines import create_engine
 from repro.hardware.memory import OutOfMemoryError
 
 BATCH = [0, 1, 2, 3]
@@ -39,9 +36,9 @@ def setup():
     return scene, init, targets
 
 
-def measured_peak(engine_cls, init, scene, targets, **kwargs):
+def measured_peak(engine_name, init, scene, targets):
     cfg = EngineConfig(batch_size=4, gpu_capacity_bytes=1e12)
-    engine = engine_cls(init, scene.cameras, cfg, **kwargs)
+    engine = create_engine(engine_name, init, scene.cameras, cfg)
     engine.train_batch(BATCH, targets)
     return engine.pool.peak
 
@@ -50,12 +47,8 @@ def measured_peak(engine_cls, init, scene, targets, **kwargs):
 def peaks(setup):
     scene, init, targets = setup
     return {
-        "baseline": measured_peak(GpuOnlyEngine, init, scene, targets,
-                                  enhanced=False),
-        "enhanced": measured_peak(GpuOnlyEngine, init, scene, targets,
-                                  enhanced=True),
-        "naive": measured_peak(NaiveOffloadEngine, init, scene, targets),
-        "clm": measured_peak(CLMEngine, init, scene, targets),
+        name: measured_peak(name, init, scene, targets)
+        for name in ("baseline", "enhanced", "naive", "clm")
     }
 
 
@@ -69,9 +62,9 @@ def test_baseline_ooms_where_clm_fits(setup, peaks):
     cap = 0.5 * (peaks["clm"] + peaks["enhanced"])
     cfg = EngineConfig(batch_size=4, gpu_capacity_bytes=cap)
     with pytest.raises(OutOfMemoryError):
-        engine = GpuOnlyEngine(init, scene.cameras, cfg, enhanced=True)
+        engine = create_engine("enhanced", init, scene.cameras, cfg)
         engine.train_batch(BATCH, targets)
-    clm = CLMEngine(init, scene.cameras, cfg)
+    clm = create_engine("clm", init, scene.cameras, cfg)
     result = clm.train_batch(BATCH, targets)
     assert np.isfinite(result.loss)
 
@@ -83,10 +76,10 @@ def test_capacity_ladder_baseline_naive_clm(setup, peaks):
     cap = 0.5 * (peaks["naive"] + peaks["enhanced"])
     cfg = EngineConfig(batch_size=4, gpu_capacity_bytes=cap)
     with pytest.raises(OutOfMemoryError):
-        engine = GpuOnlyEngine(init, scene.cameras, cfg, enhanced=True)
+        engine = create_engine("enhanced", init, scene.cameras, cfg)
         engine.train_batch(BATCH, targets)
-    NaiveOffloadEngine(init, scene.cameras, cfg).train_batch(BATCH, targets)
-    CLMEngine(init, scene.cameras, cfg).train_batch(BATCH, targets)
+    create_engine("naive", init, scene.cameras, cfg).train_batch(BATCH, targets)
+    create_engine("clm", init, scene.cameras, cfg).train_batch(BATCH, targets)
 
 
 def test_clm_peak_tracks_working_set_not_model(setup):
@@ -97,7 +90,7 @@ def test_clm_peak_tracks_working_set_not_model(setup):
     peaks = {}
     for label, model in (("small", init), ("big", big)):
         cfg = EngineConfig(batch_size=4, gpu_capacity_bytes=1e12)
-        engine = CLMEngine(model, scene.cameras, cfg)
+        engine = create_engine("clm", model, scene.cameras, cfg)
         engine.train_batch(BATCH, targets)
         peaks[label] = engine.pool.peak
     slope = (peaks["big"] - peaks["small"]) / init.num_gaussians

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.culling_index import CullingIndex
 from repro.scenes.datasets import SCENE_SPECS, build_scene, get_scene_spec, scene_names
 
 

@@ -5,7 +5,6 @@ checked both on hand-built cases and via hypothesis-generated sets.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
