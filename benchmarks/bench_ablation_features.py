@@ -13,9 +13,9 @@ throughput on the simulated 4090 for BigCity at naive-max size:
 - naive offloading (nothing at all).
 """
 
-from conftest import PAPER_MODEL_SIZES, emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import PAPER_MODEL_SIZES
 from repro.core.config import TimingConfig
 from repro.core.timed import run_timed
 from repro.hardware.specs import RTX4090_TESTBED
@@ -30,38 +30,55 @@ VARIANTS = (
 )
 
 
-def compute(bench_scenes):
-    scene, index = bench_scenes("bigcity")
+@register_benchmark("ablation_features", figure="Design ablation",
+                    tags=("throughput", "ablation"))
+def compute(ctx):
+    """Feature ablation of CLM's §4.2 optimizations on BigCity."""
+    scene, index = ctx.scenes("bigcity")
     n = PAPER_MODEL_SIZES["rtx4090"]["naive_max"]["bigcity"]
     rows = []
     for label, overrides in VARIANTS:
         cfg = TimingConfig(testbed=RTX4090_TESTBED, paper_num_gaussians=n,
-                           num_batches=6, seed=0, **overrides)
+                           num_batches=ctx.num_batches, seed=ctx.seed,
+                           **overrides)
         res = run_timed("clm", scene, index, cfg)
         rows.append([label, res.images_per_second,
                      res.load_bytes_per_batch / 1e9,
                      res.adam_trailing_s * 1e3])
+        ctx.record(
+            scene="bigcity", engine="clm", variant=label,
+            images_per_second=res.images_per_second,
+            transfer_bytes=res.load_bytes_per_batch
+            + res.store_bytes_per_batch,
+        )
     naive = run_timed(
         "naive", scene, index,
         TimingConfig(testbed=RTX4090_TESTBED, paper_num_gaussians=n,
-                     num_batches=6, seed=0),
+                     num_batches=ctx.num_batches, seed=ctx.seed),
     )
     rows.append(["naive offloading", naive.images_per_second,
                  naive.load_bytes_per_batch / 1e9,
                  naive.adam_trailing_s * 1e3])
+    ctx.record(
+        scene="bigcity", engine="naive", variant="naive offloading",
+        images_per_second=naive.images_per_second,
+        transfer_bytes=naive.load_bytes_per_batch
+        + naive.store_bytes_per_batch,
+    )
+    ctx.emit(
+        "Design ablation — BigCity @ naive-max on RTX 4090",
+        format_table(
+            ["variant", "img/s", "load GB/batch", "Adam trailing ms"],
+            rows, floatfmt="{:.2f}",
+        ),
+    )
+    ctx.log_raw("ablation_features", {"rows": rows})
     return rows
 
 
-def test_ablation_features(benchmark, bench_scenes, results_log):
-    rows = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+def test_ablation_features(benchmark, bench_ctx):
+    rows = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                               iterations=1)
-    table = format_table(
-        ["variant", "img/s", "load GB/batch", "Adam trailing ms"],
-        rows, floatfmt="{:.2f}",
-    )
-    emit("Design ablation — BigCity @ naive-max on RTX 4090", table)
-    results_log.record("ablation_features", {"rows": rows})
-
     by = {r[0]: r for r in rows}
     full = by["full CLM"][1]
     # Every ablation is at most as fast as full CLM (small tolerance for

@@ -8,9 +8,9 @@ the effective capacity stays near the ideal.
 """
 
 import numpy as np
-from conftest import emit
 
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
 from repro.hardware.memory import BlockAllocator, OutOfMemoryError
 
 CAPACITY = 100_000
@@ -50,29 +50,37 @@ def churn(alloc, seed):
     return peak_frag, failures, alloc.stats()
 
 
-def compute():
+@register_benchmark("appendix_fragmentation", figure="Appendix A.3",
+                    tags=("memory", "allocator"))
+def compute(ctx):
+    """Allocator fragmentation under densify/prune churn."""
     rows = []
     for expandable in (False, True):
         alloc = BlockAllocator(CAPACITY, expandable_segments=expandable)
         peak_frag, failures, stats = churn(alloc, seed=7)
+        label = "expandable" if expandable else "caching"
         rows.append([
-            "expandable" if expandable else "caching",
+            label,
             100 * peak_frag, failures,
             stats.allocated / CAPACITY * 100,
         ])
+        ctx.record(variant=label, peak_fragmentation_pct=100 * peak_frag,
+                   oom_events=failures)
+    ctx.emit(
+        "Appendix A.3 — fragmentation under densify/prune churn",
+        format_table(
+            ["allocator", "peak fragmentation %", "OOM events",
+             "final occupancy %"],
+            rows, floatfmt="{:.1f}",
+        ),
+    )
+    ctx.log_raw("appendix_fragmentation", {"rows": rows})
     return rows
 
 
-def test_appendix_fragmentation(benchmark, results_log):
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    table = format_table(
-        ["allocator", "peak fragmentation %", "OOM events",
-         "final occupancy %"],
-        rows, floatfmt="{:.1f}",
-    )
-    emit("Appendix A.3 — fragmentation under densify/prune churn", table)
-    results_log.record("appendix_fragmentation", {"rows": rows})
-
+def test_appendix_fragmentation(benchmark, bench_ctx):
+    rows = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
+                              iterations=1)
     caching, expandable = rows
     # The caching allocator fragments badly and OOMs despite ample total
     # free memory; expandable segments compact on demand and never OOM

@@ -10,9 +10,9 @@ makes the instance easy.
 import time
 
 import numpy as np
-from conftest import emit
 
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
 from repro.core import scheduler
 from repro.utils.setops import as_index_set
 
@@ -30,7 +30,10 @@ def random_view_sets(batch, universe, size, seed):
     return sets
 
 
-def compute():
+@register_benchmark("appendix_tsp", figure="Appendix A.1",
+                    tags=("scheduling", "micro"))
+def compute(ctx):
+    """SLS TSP solver quality/time vs the Held-Karp optimum."""
     rows = []
     for batch in (4, 8, 10, 12):
         sets = random_view_sets(batch, 5000, 600, seed=batch)
@@ -44,6 +47,8 @@ def compute():
         opt_cost = scheduler.path_cost(dist, exact)
         gap = 0.0 if opt_cost == 0 else 100 * (sls_cost - opt_cost) / opt_cost
         rows.append([batch, sls_cost, opt_cost, gap, sls_time * 1e3])
+        ctx.record(variant=f"b{batch}", wall_time_s=sls_time,
+                   gap_pct=gap)
     # A paper-scale batch (64 nodes, BigCity) — no oracle, just cost/time.
     sets64 = random_view_sets(64, 20000, 300, seed=64)
     dist64 = scheduler.distance_matrix(sets64)
@@ -56,19 +61,22 @@ def compute():
     )
     rows.append([64, scheduler.path_cost(dist64, order), nn_cost,
                  float("nan"), t64 * 1e3])
+    ctx.record(variant="b64", wall_time_s=t64)
+    ctx.emit(
+        "Appendix A.1 — SLS vs Held-Karp (last row: 64-node instance, "
+        "reference = NN construction)",
+        format_table(
+            ["batch", "SLS cost", "optimal/NN cost", "gap %", "time ms"],
+            rows, floatfmt="{:.1f}",
+        ),
+    )
+    ctx.log_raw("appendix_tsp", {"rows": rows})
     return rows
 
 
-def test_appendix_tsp_solver(benchmark, results_log):
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    table = format_table(
-        ["batch", "SLS cost", "optimal/NN cost", "gap %", "time ms"],
-        rows, floatfmt="{:.1f}",
-    )
-    emit("Appendix A.1 — SLS vs Held-Karp (last row: 64-node instance, "
-         "reference = NN construction)", table)
-    results_log.record("appendix_tsp", {"rows": rows})
-
+def test_appendix_tsp_solver(benchmark, bench_ctx):
+    rows = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
+                              iterations=1)
     for row in rows[:-1]:
         assert row[3] == 0.0, f"SLS missed the optimum at B={row[0]}"
     # 64-node instance: improves on plain nearest-neighbour, finishes fast.

@@ -10,22 +10,30 @@ tests only run on the boundary shell.
 import time
 
 import numpy as np
-from conftest import emit
 
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import SCENE_SEED
 from repro.gaussians.frustum import cull_gaussians
 from repro.gaussians.spatial import CullingGrid
 from repro.scenes.datasets import build_scene
 
 
-def compute():
-    scene = build_scene("bigcity", scale=2e-3, num_views=16, seed=1)
+@register_benchmark("extension_spatial_culling", figure="§8 extension",
+                    tags=("micro", "culling"))
+def compute(ctx):
+    """Grid-accelerated vs linear frustum culling on a city-scale cloud."""
+    # Builds its own larger cloud: culling cost only becomes visible well
+    # above the tier's default scene scale.
+    scene = build_scene("bigcity", scale=ctx.tier.spatial_scale,
+                        num_views=2 * ctx.tier.spatial_views,
+                        seed=SCENE_SEED)
     model = scene.model
     grid = CullingGrid(model.positions, model.log_scales, model.quaternions,
                        target_cells_per_axis=24)
     rows = []
     linear_total = grid_total = 0.0
-    for cam in scene.cameras[:8]:
+    for cam in scene.cameras[:ctx.tier.spatial_views]:
         t0 = time.perf_counter()
         linear = cull_gaussians(cam, model.positions, model.log_scales,
                                 model.quaternions)
@@ -44,24 +52,27 @@ def compute():
         ])
     summary = [model.num_gaussians, grid.num_cells,
                linear_total / grid_total]
-    return rows, summary
-
-
-def test_extension_spatial_culling(benchmark, results_log):
-    rows, summary = benchmark.pedantic(compute, rounds=1, iterations=1)
-    table = format_table(
-        ["view", "|S|", "linear ms", "grid ms", "speedup",
-         "exact-tested %"],
-        rows, floatfmt="{:.2f}",
-    )
-    emit(
+    ctx.record(scene="bigcity", variant="grid-vs-linear",
+               wall_time_s=linear_total + grid_total,
+               speedup=summary[2], num_gaussians=model.num_gaussians)
+    ctx.emit(
         f"§8 extension — spatial culling on a {summary[0]:,}-Gaussian "
         f"BigCity cloud ({summary[1]} cells); overall speedup "
         f"{summary[2]:.1f}x",
-        table,
+        format_table(
+            ["view", "|S|", "linear ms", "grid ms", "speedup",
+             "exact-tested %"],
+            rows, floatfmt="{:.2f}",
+        ),
     )
-    results_log.record("extension_spatial_culling",
-                       {"rows": rows, "summary": summary})
+    ctx.log_raw("extension_spatial_culling",
+                {"rows": rows, "summary": summary})
+    return rows, summary
+
+
+def test_extension_spatial_culling(benchmark, bench_ctx):
+    rows, summary = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
+                                       iterations=1)
     # Exactness was asserted inside compute(); the win must be real on a
     # sparse city-scale scene.
     assert summary[2] > 2.0

@@ -6,19 +6,20 @@ every system fits with baseline > enhanced > naive > CLM; at the middle
 size only the offloaders fit; at the largest only CLM fits.
 """
 
-from conftest import emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
 from repro.core import memory_model as mm
 from repro.hardware.specs import RTX4090_TESTBED
 
 SCENES = ("rubble", "bigcity")
 
 
-def compute(bench_scenes):
+@register_benchmark("fig10", figure="Figure 10", tags=("memory",))
+def compute(ctx):
+    """GPU memory breakdown at each system's maximum size (RTX 4090)."""
     out = {}
     for scene_name in SCENES:
-        scene, index = bench_scenes(scene_name)
+        scene, index = ctx.scenes(scene_name)
         profile = mm.profile_from_scene(scene, index)
         # The paper uses each system's own maximum size (baseline/naive/CLM
         # maxima); we derive them from our memory model the same way.
@@ -38,20 +39,25 @@ def compute(bench_scenes):
                         parts["model_states"], parts["others"], parts["total"],
                     ])
         out[scene_name] = rows
+        ctx.record(
+            scene=scene_name, variant="rtx4090",
+            sizes_m=[n / 1e6 for n in sizes],
+        )
+        ctx.emit(
+            f"Figure 10 ({scene_name}) — GPU memory breakdown, RTX 4090",
+            format_table(
+                ["model size", "system", "model states GB", "others GB",
+                 "total GB"],
+                rows, floatfmt="{:.1f}",
+            ),
+        )
+    ctx.log_raw("fig10", out)
     return out
 
 
-def test_fig10_memory_breakdown(benchmark, bench_scenes, results_log):
-    out = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+def test_fig10_memory_breakdown(benchmark, bench_ctx):
+    out = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                              iterations=1)
-    for scene_name, rows in out.items():
-        table = format_table(
-            ["model size", "system", "model states GB", "others GB", "total GB"],
-            rows, floatfmt="{:.1f}",
-        )
-        emit(f"Figure 10 ({scene_name}) — GPU memory breakdown, RTX 4090", table)
-    results_log.record("fig10", out)
-
     for scene_name, rows in out.items():
         state = {(r[0], r[1]): r[4] for r in rows}
         sizes = sorted({r[0] for r in rows}, key=lambda s: float(s[:-1]))

@@ -6,9 +6,9 @@ Paper shape: CLM wins everywhere, up to 1.92x (BigCity, 2080 Ti) and
 scenes because offload overhead hides under longer compute.
 """
 
-from conftest import PAPER_MODEL_SIZES, emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import PAPER_MODEL_SIZES
 from repro.core.config import TimingConfig
 from repro.core.timed import run_timed
 from repro.hardware.specs import TESTBEDS
@@ -24,17 +24,27 @@ PAPER = {
 }
 
 
-def compute(bench_scenes):
+@register_benchmark("fig11", figure="Figure 11", tags=("throughput",))
+def compute(ctx):
+    """CLM vs naive-offloading throughput at naive-max model sizes."""
     out = {}
     for tb_name, testbed in TESTBEDS.items():
         rows = []
         for scene_name in scene_names():
-            scene, index = bench_scenes(scene_name)
+            scene, index = ctx.scenes(scene_name)
             n = PAPER_MODEL_SIZES[tb_name]["naive_max"][scene_name]
-            cfg = dict(testbed=testbed, paper_num_gaussians=n, num_batches=6,
-                       seed=0)
+            cfg = dict(testbed=testbed, paper_num_gaussians=n,
+                       num_batches=ctx.num_batches, seed=ctx.seed)
             naive = run_timed("naive", scene, index, TimingConfig(**cfg))
             clm = run_timed("clm", scene, index, TimingConfig(**cfg))
+            for label, res in (("naive", naive), ("clm", clm)):
+                ctx.record(
+                    scene=scene_name, engine=label, variant=tb_name,
+                    images_per_second=res.images_per_second,
+                    transfer_bytes=res.load_bytes_per_batch
+                    + res.store_bytes_per_batch,
+                    paper_n=n,
+                )
             rows.append([
                 scene_name, n / 1e6,
                 naive.images_per_second, clm.images_per_second,
@@ -42,21 +52,21 @@ def compute(bench_scenes):
                 PAPER[tb_name][scene_name][0], PAPER[tb_name][scene_name][1],
             ])
         out[tb_name] = rows
+        ctx.emit(
+            f"Figure 11 ({tb_name}) — CLM vs naive offloading",
+            format_table(
+                ["scene", "N (M)", "naive img/s", "clm img/s", "speedup",
+                 "paper naive", "paper clm"],
+                rows, floatfmt="{:.2f}",
+            ),
+        )
+    ctx.log_raw("fig11", out)
     return out
 
 
-def test_fig11_throughput_vs_naive(benchmark, bench_scenes, results_log):
-    out = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+def test_fig11_throughput_vs_naive(benchmark, bench_ctx):
+    out = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                              iterations=1)
-    for tb_name, rows in out.items():
-        table = format_table(
-            ["scene", "N (M)", "naive img/s", "clm img/s", "speedup",
-             "paper naive", "paper clm"],
-            rows, floatfmt="{:.2f}",
-        )
-        emit(f"Figure 11 ({tb_name}) — CLM vs naive offloading", table)
-    results_log.record("fig11", out)
-
     for tb_name, rows in out.items():
         for row in rows:
             scene_name, _, naive_ips, clm_ips, speedup = row[:5]

@@ -9,9 +9,9 @@ Model sizes = the baseline's maxima (Figure 8).  Paper shape:
   compute time to hide communication and CPU Adam under.
 """
 
-from conftest import PAPER_MODEL_SIZES, emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import PAPER_MODEL_SIZES
 from repro.core.config import TimingConfig
 from repro.core.timed import run_timed
 from repro.hardware.specs import TESTBEDS
@@ -27,19 +27,29 @@ PAPER = {  # (baseline, enhanced, clm) img/s
 }
 
 
-def compute(bench_scenes):
+@register_benchmark("fig12", figure="Figure 12", tags=("throughput",))
+def compute(ctx):
+    """CLM vs GPU-only baselines at the baseline's maximum sizes."""
     out = {}
     for tb_name, testbed in TESTBEDS.items():
         rows = []
         for scene_name in scene_names():
-            scene, index = bench_scenes(scene_name)
+            scene, index = ctx.scenes(scene_name)
             n = PAPER_MODEL_SIZES[tb_name]["baseline_max"][scene_name]
-            cfg = dict(testbed=testbed, paper_num_gaussians=n, num_batches=6,
-                       seed=0)
+            cfg = dict(testbed=testbed, paper_num_gaussians=n,
+                       num_batches=ctx.num_batches, seed=ctx.seed)
             results = {
                 system: run_timed(system, scene, index, TimingConfig(**cfg))
                 for system in ("baseline", "enhanced", "clm")
             }
+            for system, res in results.items():
+                ctx.record(
+                    scene=scene_name, engine=system, variant=tb_name,
+                    images_per_second=res.images_per_second,
+                    transfer_bytes=res.load_bytes_per_batch
+                    + res.store_bytes_per_batch,
+                    paper_n=n,
+                )
             rows.append([
                 scene_name, n / 1e6,
                 results["baseline"].images_per_second,
@@ -49,20 +59,21 @@ def compute(bench_scenes):
                 / results["enhanced"].images_per_second,
             ])
         out[tb_name] = rows
+        ctx.emit(
+            f"Figure 12 ({tb_name}) — CLM vs GPU-only baselines",
+            format_table(
+                ["scene", "N (M)", "baseline", "enhanced", "clm",
+                 "clm/enhanced"],
+                rows, floatfmt="{:.2f}",
+            ),
+        )
+    ctx.log_raw("fig12", out)
     return out
 
 
-def test_fig12_throughput_vs_gpu_only(benchmark, bench_scenes, results_log):
-    out = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+def test_fig12_throughput_vs_gpu_only(benchmark, bench_ctx):
+    out = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                              iterations=1)
-    for tb_name, rows in out.items():
-        table = format_table(
-            ["scene", "N (M)", "baseline", "enhanced", "clm", "clm/enhanced"],
-            rows, floatfmt="{:.2f}",
-        )
-        emit(f"Figure 12 ({tb_name}) — CLM vs GPU-only baselines", table)
-    results_log.record("fig12", out)
-
     for tb_name, rows in out.items():
         by_scene = {r[0]: r for r in rows}
         for scene_name, row in by_scene.items():

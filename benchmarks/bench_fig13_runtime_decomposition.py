@@ -7,9 +7,9 @@ culling index) is marginal; CLM's non-overlapped Adam tail is visible but
 small.
 """
 
-from conftest import PAPER_MODEL_SIZES, emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import PAPER_MODEL_SIZES
 from repro.core.config import TimingConfig
 from repro.core.timed import run_timed
 from repro.hardware.specs import RTX4090_TESTBED
@@ -17,14 +17,16 @@ from repro.hardware.specs import RTX4090_TESTBED
 SCENES = ("rubble", "bigcity")
 
 
-def compute(bench_scenes):
+@register_benchmark("fig13", figure="Figure 13", tags=("throughput",))
+def compute(ctx):
+    """Per-batch runtime decomposition, naive vs CLM (RTX 4090)."""
     rows = []
     raw = {}
     for scene_name in SCENES:
-        scene, index = bench_scenes(scene_name)
+        scene, index = ctx.scenes(scene_name)
         n = PAPER_MODEL_SIZES["rtx4090"]["naive_max"][scene_name]
         cfg = dict(testbed=RTX4090_TESTBED, paper_num_gaussians=n,
-                   num_batches=6, seed=0)
+                   num_batches=ctx.num_batches, seed=ctx.seed)
         naive = run_timed("naive", scene, index, TimingConfig(**cfg))
         clm = run_timed("clm", scene, index, TimingConfig(**cfg))
         nd, cd = naive.decomposition, clm.decomposition
@@ -43,21 +45,29 @@ def compute(bench_scenes):
             cd["total"] / total,
         ])
         raw[scene_name] = {"naive": nd, "clm": cd}
+        for label, res, d in (("naive", naive, nd), ("clm", clm, cd)):
+            ctx.record(
+                scene=scene_name, engine=label, variant="rtx4090",
+                images_per_second=res.images_per_second,
+                normalized_total=d["total"] / total,
+                compute_busy_s=d["compute_busy"],
+                comm_busy_s=d["comm_busy"],
+            )
+    ctx.emit(
+        "Figure 13 — runtime decomposition (normalized to naive total)",
+        format_table(
+            ["scene", "system", "compute", "comm busy", "cpu adam (shown)",
+             "scheduling", "total (norm.)"],
+            rows, floatfmt="{:.3f}",
+        ),
+    )
+    ctx.log_raw("fig13", {"rows": rows})
     return rows, raw
 
 
-def test_fig13_runtime_decomposition(benchmark, bench_scenes, results_log):
-    rows, raw = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+def test_fig13_runtime_decomposition(benchmark, bench_ctx):
+    rows, raw = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                                    iterations=1)
-    table = format_table(
-        ["scene", "system", "compute", "comm busy", "cpu adam (shown)",
-         "scheduling", "total (norm.)"],
-        rows, floatfmt="{:.3f}",
-    )
-    emit("Figure 13 — runtime decomposition (normalized to naive total)",
-         table)
-    results_log.record("fig13", {"rows": rows})
-
     by_key = {(r[0], r[1]): r for r in rows}
     for scene_name in SCENES:
         naive = by_key[(scene_name, "naive")]

@@ -7,9 +7,9 @@ where views overlap (33% extra on Bicycle, 12% on BigCity); TSP order is
 the consistent minimum among orderings.
 """
 
-from conftest import PAPER_MODEL_SIZES, emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import PAPER_MODEL_SIZES
 from repro.core.config import TimingConfig
 from repro.core.timed import communication_volume_per_batch
 from repro.hardware.specs import RTX4090_TESTBED
@@ -26,37 +26,44 @@ VARIANTS = (
 )
 
 
-def compute(bench_scenes):
+@register_benchmark("fig14", figure="Figure 14", tags=("comm",))
+def compute(ctx):
+    """CPU->GPU parameter volume per batch across the six variants."""
     rows = []
     for scene_name in scene_names():
-        scene, index = bench_scenes(scene_name)
+        scene, index = ctx.scenes(scene_name)
         n = PAPER_MODEL_SIZES["rtx4090"]["naive_max"][scene_name]
         row = [scene_name]
-        for _label, system, ordering, enable_cache in VARIANTS:
+        for label, system, ordering, enable_cache in VARIANTS:
             cfg = TimingConfig(
                 testbed=RTX4090_TESTBED, paper_num_gaussians=n,
-                num_batches=8, seed=0, ordering=ordering,
-                enable_cache=enable_cache,
+                num_batches=ctx.comm_batches, seed=ctx.seed,
+                ordering=ordering, enable_cache=enable_cache,
             )
-            gb = communication_volume_per_batch(scene, index, cfg,
-                                                system=system) / 1e9
-            row.append(gb)
+            volume = communication_volume_per_batch(scene, index, cfg,
+                                                    system=system)
+            row.append(volume / 1e9)
+            ctx.record(
+                scene=scene_name, engine=system, variant=label,
+                transfer_bytes=volume, paper_n=n,
+            )
         rows.append(row)
+    ctx.emit(
+        "Figure 14 — CPU->GPU parameter volume per batch (RTX 4090, "
+        "naive-max sizes)",
+        format_table(
+            ["scene", "naive GB", "no-cache GB", "random GB", "camera GB",
+             "gs_count GB", "tsp GB"],
+            rows, floatfmt="{:.2f}",
+        ),
+    )
+    ctx.log_raw("fig14", {"rows": rows})
     return rows
 
 
-def test_fig14_comm_volume(benchmark, bench_scenes, results_log):
-    rows = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+def test_fig14_comm_volume(benchmark, bench_ctx):
+    rows = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                               iterations=1)
-    table = format_table(
-        ["scene", "naive GB", "no-cache GB", "random GB", "camera GB",
-         "gs_count GB", "tsp GB"],
-        rows, floatfmt="{:.2f}",
-    )
-    emit("Figure 14 — CPU->GPU parameter volume per batch (RTX 4090, "
-         "naive-max sizes)", table)
-    results_log.record("fig14", {"rows": rows})
-
     for row in rows:
         scene_name, naive, no_cache, random_, camera, gs_count, tsp = row
         # Selective loading alone cuts volume.

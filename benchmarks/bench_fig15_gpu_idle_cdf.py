@@ -7,9 +7,11 @@ the best utilization.
 """
 
 import numpy as np
-from conftest import PAPER_MODEL_SIZES, emit
 
+from repro.analysis.plotting import ascii_cdf
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import PAPER_MODEL_SIZES
 from repro.core.config import TimingConfig
 from repro.core.timed import run_timed
 from repro.hardware.metrics import average_gpu_utilization
@@ -17,14 +19,16 @@ from repro.hardware.specs import RTX4090_TESTBED
 from repro.scenes.datasets import scene_names
 
 
-def compute(bench_scenes):
+@register_benchmark("fig15", figure="Figure 15", tags=("utilization",))
+def compute(ctx):
+    """GPU idle-rate CDF summaries, naive vs CLM (RTX 4090)."""
     rows = []
     curves = {}
     for scene_name in scene_names():
-        scene, index = bench_scenes(scene_name)
+        scene, index = ctx.scenes(scene_name)
         n = PAPER_MODEL_SIZES["rtx4090"]["naive_max"][scene_name]
         cfg = dict(testbed=RTX4090_TESTBED, paper_num_gaussians=n,
-                   num_batches=6, seed=0)
+                   num_batches=ctx.num_batches, seed=ctx.seed)
         naive = run_timed("naive", scene, index, TimingConfig(**cfg))
         clm = run_timed("clm", scene, index, TimingConfig(**cfg))
         n_rates, n_cdf = naive.idle_cdf()
@@ -33,37 +37,37 @@ def compute(bench_scenes):
         # endpoint of the Figure 15 curves.
         n_busy = float(np.mean(n_rates == 0.0)) if n_rates.size else 0.0
         c_busy = float(np.mean(c_rates == 0.0)) if c_rates.size else 0.0
-        rows.append([
-            scene_name,
-            average_gpu_utilization(naive.schedule),
-            average_gpu_utilization(clm.schedule),
-            100 * n_busy, 100 * c_busy,
-        ])
+        n_util = average_gpu_utilization(naive.schedule)
+        c_util = average_gpu_utilization(clm.schedule)
+        rows.append([scene_name, n_util, c_util, 100 * n_busy, 100 * c_busy])
+        for label, util, busy in (("naive", n_util, n_busy),
+                                  ("clm", c_util, c_busy)):
+            ctx.record(scene=scene_name, engine=label, variant="rtx4090",
+                       avg_gpu_util_pct=util, busy_sample_pct=100 * busy)
         if scene_name == "bigcity":
             curves["naive"] = (n_rates, n_cdf)
             curves["clm"] = (c_rates, c_cdf)
-    return rows, curves
-
-
-def test_fig15_gpu_idle_cdf(benchmark, bench_scenes, results_log):
-    rows, curves = benchmark.pedantic(compute, args=(bench_scenes,),
-                                      rounds=1, iterations=1)
-    table = format_table(
-        ["scene", "naive avg util %", "clm avg util %",
-         "naive busy-sample %", "clm busy-sample %"],
-        rows, floatfmt="{:.1f}",
+    ctx.emit(
+        "Figure 15 — GPU idle-rate CDFs (summary: average SMs-active and "
+        "fraction of fully-busy samples)",
+        format_table(
+            ["scene", "naive avg util %", "clm avg util %",
+             "naive busy-sample %", "clm busy-sample %"],
+            rows, floatfmt="{:.1f}",
+        ),
     )
-    emit("Figure 15 — GPU idle-rate CDFs (summary: average SMs-active and "
-         "fraction of fully-busy samples)", table)
-    from repro.analysis.plotting import ascii_cdf
-
-    emit(
+    ctx.emit(
         "Figure 15 (bigcity) — idle-rate CDF curves",
         ascii_cdf(curves, x_label="GPU idle rate %", y_label="time fraction",
                   x_max=100.0),
     )
-    results_log.record("fig15", {"rows": rows})
+    ctx.log_raw("fig15", {"rows": rows})
+    return rows, curves
 
+
+def test_fig15_gpu_idle_cdf(benchmark, bench_ctx):
+    rows, curves = benchmark.pedantic(compute, args=(bench_ctx,),
+                                      rounds=1, iterations=1)
     for row in rows:
         scene_name, naive_util, clm_util, naive_busy, clm_busy = row
         # CLM's curve dominates: higher average utilization everywhere.

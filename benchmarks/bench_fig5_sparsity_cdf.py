@@ -4,45 +4,48 @@ Paper shape: BigCity hugs the y-axis (avg 0.39%, max 1.06%), Ithaca and
 Alameda next, Rubble wider, Bicycle extends to ~0.3.
 """
 
-from conftest import emit
-
+from repro.analysis.plotting import ascii_cdf
 from repro.analysis.reporting import format_table
 from repro.analysis.sparsity import sparsity_cdf, sparsity_summary
+from repro.bench import register_benchmark
 from repro.scenes.datasets import scene_names
 
 
-def compute(bench_scenes):
+@register_benchmark("fig5", figure="Figure 5", tags=("sparsity",))
+def compute(ctx):
+    """Per-view sparsity CDF summary points across the five scenes."""
     rows = []
     curves = {}
     for name in scene_names():
-        _, index = bench_scenes(name)
+        _, index = ctx.scenes(name)
         s = sparsity_summary(index)
         rhos, cdf = sparsity_cdf(index)
         curves[name] = (rhos, cdf)
         rows.append([name, 100 * s["mean"], 100 * s["p50"], 100 * s["p90"],
                      100 * s["max"]])
-    return rows, curves
-
-
-def test_fig5_sparsity_cdf(benchmark, bench_scenes, results_log):
-    rows, curves = benchmark.pedantic(
-        compute, args=(bench_scenes,), rounds=1, iterations=1
+        ctx.record(scene=name, mean_rho_pct=100 * s["mean"],
+                   max_rho_pct=100 * s["max"])
+    ctx.emit(
+        "Figure 5 — sparsity CDFs (summary points)",
+        format_table(
+            ["scene", "mean rho %", "p50 %", "p90 %", "max %"],
+            rows,
+            floatfmt="{:.2f}",
+        ),
     )
-    table = format_table(
-        ["scene", "mean rho %", "p50 %", "p90 %", "max %"],
-        rows,
-        floatfmt="{:.2f}",
-    )
-    emit("Figure 5 — sparsity CDFs (summary points)", table)
-    from repro.analysis.plotting import ascii_cdf
-
-    emit(
+    ctx.emit(
         "Figure 5 — the curves",
         ascii_cdf(curves, x_label="fraction of Gaussians (rho)",
                   y_label="proportion of views"),
     )
-    results_log.record("fig5", {"rows": rows})
+    ctx.log_raw("fig5", {"rows": rows})
+    return rows, curves
 
+
+def test_fig5_sparsity_cdf(benchmark, bench_ctx):
+    rows, curves = benchmark.pedantic(
+        compute, args=(bench_ctx,), rounds=1, iterations=1
+    )
     means = {r[0]: r[1] for r in rows}
     # Figure 5 ordering of the curves.
     assert means["bicycle"] > means["rubble"] > means["alameda"]

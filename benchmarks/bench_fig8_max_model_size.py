@@ -5,9 +5,8 @@
 ~2.2-2.3x larger than naive offloading.
 """
 
-from conftest import emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
 from repro.core import memory_model as mm
 from repro.hardware.specs import TESTBEDS
 from repro.scenes.datasets import scene_names
@@ -24,33 +23,41 @@ PAPER_4090 = {  # millions of Gaussians, Figure 8b
 }
 
 
-def compute(bench_scenes):
+@register_benchmark("fig8", figure="Figure 8", tags=("memory",))
+def compute(ctx):
+    """Max trainable model size per system/scene/testbed."""
     out = {}
     for tb_name, testbed in TESTBEDS.items():
         rows = []
         for scene_name in scene_names():
-            scene, index = bench_scenes(scene_name)
+            scene, index = ctx.scenes(scene_name)
             profile = mm.profile_from_scene(scene, index)
             row = [scene_name]
+            sizes = {}
             for system in mm.SYSTEMS:
-                row.append(mm.max_model_size(system, testbed, profile) / 1e6)
+                sizes[system] = mm.max_model_size(system, testbed, profile)
+                row.append(sizes[system] / 1e6)
             rows.append(row)
+            ctx.record(
+                scene=scene_name, variant=tb_name,
+                **{f"max_n_{s}": n for s, n in sizes.items()},
+            )
         out[tb_name] = rows
+        ctx.emit(
+            f"Figure 8 ({tb_name}) — max trainable model size",
+            format_table(
+                ["scene", "baseline M", "enhanced M", "naive M", "clm M"],
+                rows,
+                floatfmt="{:.1f}",
+            ),
+        )
+    ctx.log_raw("fig8", {k: v for k, v in out.items()})
     return out
 
 
-def test_fig8_max_model_size(benchmark, bench_scenes, results_log):
-    out = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+def test_fig8_max_model_size(benchmark, bench_ctx):
+    out = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                              iterations=1)
-    for tb_name, rows in out.items():
-        table = format_table(
-            ["scene", "baseline M", "enhanced M", "naive M", "clm M"],
-            rows,
-            floatfmt="{:.1f}",
-        )
-        emit(f"Figure 8 ({tb_name}) — max trainable model size", table)
-    results_log.record("fig8", {k: v for k, v in out.items()})
-
     for tb_name, rows in out.items():
         for row in rows:
             name, base, enh, naive, clm = row

@@ -6,12 +6,14 @@ Paper shape: PSNR grows monotonically with model size (23.0 -> 25.15 from
 This is the one *functional* (real-training) benchmark: we fit models of
 increasing size to a synthetic scene through the full CLM engine under a
 simulated GPU memory cap sized so the largest model only fits with CLM.
+The per-batch wall-time and transfer counters threaded through
+``TrainingSession``/``EngineBase`` surface here as measured functional
+throughput in the emitted records.
 """
-
-from conftest import emit
 
 import repro
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
 from repro.core.config import EngineConfig
 from repro.core.memory_model import MODEL_STATE_FULL_BPG
 from repro.core.trainer import TrainerConfig
@@ -19,10 +21,11 @@ from repro.gaussians.model import GaussianModel
 from repro.scenes.images import make_trainable_scene
 
 SIZES = (0.1, 0.3, 1.0)  # fractions of the available init cloud
-NUM_BATCHES = 18
 
 
-def compute():
+@register_benchmark("fig9", figure="Figure 9", tags=("functional", "quality"))
+def compute(ctx):
+    """PSNR vs model size through the real CLM engine (capped GPU)."""
     scene = make_trainable_scene(
         reference_gaussians=260, num_views=12, image_size=(32, 24), seed=21,
         init_fraction=0.9,
@@ -41,24 +44,39 @@ def compute():
         sess = repro.session(
             scene,
             engine="clm",
-            config=EngineConfig(batch_size=6, seed=0,
+            config=EngineConfig(batch_size=6, seed=ctx.seed,
                                 gpu_capacity_bytes=cap),
-            trainer_config=TrainerConfig(num_batches=NUM_BATCHES,
-                                         batch_size=6, seed=0),
+            trainer_config=TrainerConfig(num_batches=ctx.train_batches,
+                                         batch_size=6, seed=ctx.seed),
             initial_model=init,
         )
         history = sess.train()
         rows.append([keep, history.final_psnr])
+        # Measured functional throughput is wall-clock (machine-dependent),
+        # so it rides in `extra` where the regression gate ignores it; the
+        # deterministic metrics (PSNR, transfer volume) are gated.
+        ctx.record(
+            engine="clm", variant=f"n{keep}",
+            psnr=history.final_psnr,
+            transfer_bytes=sess.perf.transfer_bytes,
+            wall_time_s=sess.perf.wall_time_s,
+            model_size=keep,
+            measured_images_per_second=sess.perf.images_per_second,
+            measured_batches=sess.perf.batches,
+        )
+    ctx.emit(
+        "Figure 9 — PSNR vs model size (CLM under a GPU memory cap)",
+        format_table(
+            ["model size (Gaussians)", "PSNR (dB)"], rows, floatfmt="{:.2f}"
+        ),
+    )
+    ctx.log_raw("fig9", {"rows": rows})
     return rows
 
 
-def test_fig9_psnr_vs_model_size(benchmark, results_log):
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    table = format_table(
-        ["model size (Gaussians)", "PSNR (dB)"], rows, floatfmt="{:.2f}"
-    )
-    emit("Figure 9 — PSNR vs model size (CLM under a GPU memory cap)", table)
-    results_log.record("fig9", {"rows": rows})
+def test_fig9_psnr_vs_model_size(benchmark, bench_ctx):
+    rows = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
+                              iterations=1)
     psnrs = [r[1] for r in rows]
     # Monotone improvement with model size — the figure's shape.
     assert psnrs[0] < psnrs[1] < psnrs[2]

@@ -2,12 +2,19 @@
 
 Not a paper table — these time the actual reproduction substrate (render
 forward/backward, frustum culling, transfer planning, TSP) so regressions
-in the hot paths are visible.  Uses pytest-benchmark's real timing loop.
+in the hot paths are visible.  The pytest entry points use
+pytest-benchmark's real timing loop; the registered ``compute`` takes the
+best of a few repetitions so ``repro bench run`` records comparable
+wall times without pytest.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
 from repro.core.caching import build_transfer_plan
 from repro.core.scheduler import tsp_order
 from repro.gaussians.camera import look_at_camera
@@ -17,13 +24,60 @@ from repro.gaussians.model import GaussianModel
 from repro.gaussians.render import render, render_backward
 
 
-@pytest.fixture(scope="module")
-def render_setup():
+def _setup():
     model = GaussianModel.random(300, extent=0.8, sh_degree=1, seed=0)
     cam = look_at_camera(eye=(0, -2.5, 0.8), target=(0, 0, 0),
                          width=96, height=64, view_id=0)
     target = np.random.default_rng(0).uniform(0, 1, (64, 96, 3))
     return model, cam, target
+
+
+@pytest.fixture(scope="module")
+def render_setup():
+    return _setup()
+
+
+def _ops():
+    """(name, thunk) pairs — the hot paths worth tracking."""
+    model, cam, target = _setup()
+    result = render(cam, model)
+    _, g_img = photometric_loss(result.image, target)
+    big = GaussianModel.random(50_000, extent=3.0, sh_degree=1, seed=1)
+    rng = np.random.default_rng(0)
+    plan_sets = [np.unique(rng.integers(0, 200_000, 20_000))
+                 for _ in range(16)]
+    tsp_sets = [np.unique(rng.integers(0, 100_000, 3000))
+                for _ in range(64)]
+    return (
+        ("render_forward", lambda: render(cam, model)),
+        ("render_backward", lambda: render_backward(result, model, g_img)),
+        ("frustum_culling",
+         lambda: cull_gaussians(cam, big.positions, big.log_scales,
+                                big.quaternions)),
+        ("transfer_plan", lambda: build_transfer_plan(plan_sets)),
+        ("tsp_batch64", lambda: tsp_order(tsp_sets, time_limit_s=1e-3,
+                                          seed=0)),
+    )
+
+
+@register_benchmark("substrate_kernels", tags=("micro", "kernels"))
+def compute(ctx, repeats: int = 3):
+    """Best-of-N wall times of the substrate's hot NumPy kernels."""
+    rows = []
+    for name, thunk in _ops():
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            thunk()
+            best = min(best, time.perf_counter() - t0)
+        rows.append([name, best * 1e3])
+        ctx.record(variant=name, wall_time_s=best)
+    ctx.emit(
+        "Substrate kernels — best-of-{} wall time".format(repeats),
+        format_table(["kernel", "best ms"], rows, floatfmt="{:.2f}"),
+    )
+    ctx.log_raw("substrate_kernels", {"rows": rows})
+    return rows
 
 
 def test_bench_render_forward(benchmark, render_setup):

@@ -6,9 +6,8 @@ activation memory.  Only the shape (memory >> 24 GB for everything beyond
 Bicycle) must hold.
 """
 
-from conftest import emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
 from repro.core import memory_model as mm
 from repro.scenes.datasets import SCENE_SPECS, scene_names
 
@@ -17,13 +16,16 @@ PAPER_GB = {"bicycle": 10, "rubble": 50, "alameda": 60, "ithaca": 80,
 RTX4090_GB = 24
 
 
-def compute_rows(bench_scenes):
+@register_benchmark("table2", figure="Table 2", tags=("memory",))
+def compute(ctx):
+    """Training memory demand of the baseline at paper model sizes."""
     rows = []
     for name in scene_names():
-        scene, index = bench_scenes(name)
+        scene, index = ctx.scenes(name)
         spec = SCENE_SPECS[name]
         profile = mm.profile_from_scene(scene, index)
-        total = mm.peak_gpu_bytes("baseline", spec.paper_num_gaussians, profile)
+        total = mm.peak_gpu_bytes("baseline", spec.paper_num_gaussians,
+                                  profile)
         rows.append(
             [
                 name,
@@ -33,22 +35,23 @@ def compute_rows(bench_scenes):
                 PAPER_GB[name],
             ]
         )
+        ctx.record(scene=name, engine="baseline",
+                   measured_gb=total / 1e9, paper_gb=PAPER_GB[name])
+    ctx.emit(
+        "Table 2 — memory demand of 3DGS training",
+        format_table(
+            ["scene", "N (M)", "resolution", "measured GB", "paper GB"],
+            rows,
+            floatfmt="{:.1f}",
+        ),
+    )
+    ctx.log_raw("table2", {"rows": [[r[0], r[1], r[3], r[4]] for r in rows]})
     return rows
 
 
-def test_table2_memory_demand(benchmark, bench_scenes, results_log):
+def test_table2_memory_demand(benchmark, bench_ctx):
     rows = benchmark.pedantic(
-        compute_rows, args=(bench_scenes,), rounds=1, iterations=1
-    )
-    table = format_table(
-        ["scene", "N (M)", "resolution", "measured GB", "paper GB"],
-        rows,
-        floatfmt="{:.1f}",
-    )
-    emit("Table 2 — memory demand of 3DGS training", table)
-    results_log.record(
-        "table2",
-        {"rows": [[r[0], r[1], r[3], r[4]] for r in rows]},
+        compute, args=(bench_ctx,), rounds=1, iterations=1
     )
     # Shape assertions: every scene beyond Bicycle exceeds a 24 GB GPU and
     # demand is ordered by Gaussian count.

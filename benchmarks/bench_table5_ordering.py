@@ -7,9 +7,9 @@ GS-count tends to minimize the CPU Adam trailing time (it finalizes big
 views early).
 """
 
-from conftest import PAPER_MODEL_SIZES, emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import PAPER_MODEL_SIZES
 from repro.core.config import TimingConfig
 from repro.core.orders import STRATEGIES
 from repro.core.timed import run_timed
@@ -17,44 +17,52 @@ from repro.hardware.specs import RTX4090_TESTBED
 from repro.scenes.datasets import scene_names
 
 
-def compute(bench_scenes):
+@register_benchmark("table5", figure="Table 5", tags=("throughput",
+                                                      "ordering"))
+def compute(ctx):
+    """Ordering-strategy ablation: throughput and Adam trailing time."""
     throughput_rows = []
     trailing_rows = []
     for scene_name in scene_names():
-        scene, index = bench_scenes(scene_name)
+        scene, index = ctx.scenes(scene_name)
         n = PAPER_MODEL_SIZES["rtx4090"]["naive_max"][scene_name]
         t_row, tr_row = [scene_name], [scene_name]
         for strategy in STRATEGIES:
             cfg = TimingConfig(
                 testbed=RTX4090_TESTBED, paper_num_gaussians=n,
-                num_batches=6, seed=0, ordering=strategy,
+                num_batches=ctx.num_batches, seed=ctx.seed,
+                ordering=strategy,
             )
             res = run_timed("clm", scene, index, cfg)
             t_row.append(res.images_per_second)
             tr_row.append(res.adam_trailing_s * 1e3)
+            ctx.record(
+                scene=scene_name, engine="clm", variant=strategy,
+                images_per_second=res.images_per_second,
+                adam_trailing_ms=res.adam_trailing_s * 1e3,
+            )
         throughput_rows.append(t_row)
         trailing_rows.append(tr_row)
-    return throughput_rows, trailing_rows
-
-
-def test_table5_ordering_strategies(benchmark, bench_scenes, results_log):
-    throughput_rows, trailing_rows = benchmark.pedantic(
-        compute, args=(bench_scenes,), rounds=1, iterations=1
-    )
     headers = ["scene"] + [f"{s} " for s in STRATEGIES]
-    emit(
+    ctx.emit(
         "Table 5a — training throughput (img/s) by ordering",
         format_table(headers, throughput_rows, floatfmt="{:.2f}"),
     )
-    emit(
+    ctx.emit(
         "Table 5b — CPU Adam trailing time (ms) by ordering",
         format_table(headers, trailing_rows, floatfmt="{:.1f}"),
     )
-    results_log.record(
+    ctx.log_raw(
         "table5",
         {"throughput": throughput_rows, "trailing_ms": trailing_rows},
     )
+    return throughput_rows, trailing_rows
 
+
+def test_table5_ordering_strategies(benchmark, bench_ctx):
+    throughput_rows, trailing_rows = benchmark.pedantic(
+        compute, args=(bench_ctx,), rounds=1, iterations=1
+    )
     for row in throughput_rows:
         scene_name = row[0]
         by = dict(zip(STRATEGIES, row[1:]))

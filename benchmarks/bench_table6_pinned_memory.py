@@ -6,9 +6,8 @@ optimizer state stays in pageable RAM, keeping pinned usage under 30% of
 host memory.
 """
 
-from conftest import emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
 from repro.core import memory_model as mm
 from repro.hardware.specs import TESTBEDS
 from repro.scenes.datasets import scene_names
@@ -21,12 +20,14 @@ PAPER_GB = {
 }
 
 
-def compute(bench_scenes):
+@register_benchmark("table6", figure="Table 6", tags=("memory",))
+def compute(ctx):
+    """Pinned host memory at CLM's maximum model size per testbed."""
     out = {}
     for tb_name, testbed in TESTBEDS.items():
         rows = []
         for scene_name in scene_names():
-            scene, index = bench_scenes(scene_name)
+            scene, index = ctx.scenes(scene_name)
             profile = mm.profile_from_scene(scene, index)
             max_n = mm.max_model_size("clm", testbed, profile)
             pinned = mm.pinned_memory_bytes("clm", max_n)
@@ -35,23 +36,27 @@ def compute(bench_scenes):
                 PAPER_GB[tb_name][scene_name],
                 100 * pinned / testbed.cpu.ram_bytes,
             ])
+            ctx.record(
+                scene=scene_name, engine="clm", variant=tb_name,
+                pinned_gb=pinned / 1e9, max_n=max_n,
+            )
         out[tb_name] = rows
+        ctx.emit(
+            f"Table 6 ({tb_name}) — pinned memory at max model size",
+            format_table(
+                ["scene", "max N (M)", "pinned GB", "paper GB",
+                 "% of host RAM"],
+                rows, floatfmt="{:.1f}",
+            ),
+        )
+    ctx.log_raw("table6", out)
     return out
 
 
-def test_table6_pinned_memory(benchmark, bench_scenes, results_log):
-    out = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+def test_table6_pinned_memory(benchmark, bench_ctx):
+    out = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                              iterations=1)
     for tb_name, rows in out.items():
-        table = format_table(
-            ["scene", "max N (M)", "pinned GB", "paper GB", "% of host RAM"],
-            rows, floatfmt="{:.1f}",
-        )
-        emit(f"Table 6 ({tb_name}) — pinned memory at max model size", table)
-    results_log.record("table6", out)
-
-    for tb_name, rows in out.items():
-        ram = TESTBEDS[tb_name].cpu.ram_bytes
         for row in rows:
             scene_name, _max_n, pinned_gb, paper_gb, pct = row
             # §6.4's budget claim: well under host RAM on both testbeds.

@@ -9,22 +9,24 @@ dominates (BigCity).  CLM's PCIe RX >= TX because the accumulating
 gradient-offload kernel reads old gradients back (§5.3).
 """
 
-from conftest import PAPER_MODEL_SIZES, emit
-
 from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import PAPER_MODEL_SIZES
 from repro.core.config import TimingConfig
 from repro.core.timed import run_timed
 from repro.hardware.specs import RTX4090_TESTBED
 from repro.scenes.datasets import scene_names
 
 
-def compute(bench_scenes):
+@register_benchmark("table7", figure="Table 7", tags=("utilization",))
+def compute(ctx):
+    """Hardware utilization, naive vs CLM at naive-max sizes (RTX 4090)."""
     rows = []
     for scene_name in scene_names():
-        scene, index = bench_scenes(scene_name)
+        scene, index = ctx.scenes(scene_name)
         n = PAPER_MODEL_SIZES["rtx4090"]["naive_max"][scene_name]
         cfg = dict(testbed=RTX4090_TESTBED, paper_num_gaussians=n,
-                   num_batches=6, seed=0)
+                   num_batches=ctx.num_batches, seed=ctx.seed)
         naive = run_timed("naive", scene, index, TimingConfig(**cfg)).utilization
         clm = run_timed("clm", scene, index, TimingConfig(**cfg)).utilization
         for label, u in (("naive", naive), ("clm", clm)):
@@ -32,20 +34,25 @@ def compute(bench_scenes):
                 scene_name, label, u.cpu_util, u.dram_read, u.dram_write,
                 u.pcie_rx, u.pcie_tx,
             ])
+            ctx.record(
+                scene=scene_name, engine=label, variant="rtx4090",
+                cpu_util=u.cpu_util, pcie_rx=u.pcie_rx, pcie_tx=u.pcie_tx,
+            )
+    ctx.emit(
+        "Table 7 — hardware utilization (RTX 4090, naive-max sizes)",
+        format_table(
+            ["scene", "system", "CPU %", "DRAM rd %", "DRAM wr %",
+             "PCIe RX %", "PCIe TX %"],
+            rows, floatfmt="{:.2f}",
+        ),
+    )
+    ctx.log_raw("table7", {"rows": rows})
     return rows
 
 
-def test_table7_hardware_utilization(benchmark, bench_scenes, results_log):
-    rows = benchmark.pedantic(compute, args=(bench_scenes,), rounds=1,
+def test_table7_hardware_utilization(benchmark, bench_ctx):
+    rows = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                               iterations=1)
-    table = format_table(
-        ["scene", "system", "CPU %", "DRAM rd %", "DRAM wr %",
-         "PCIe RX %", "PCIe TX %"],
-        rows, floatfmt="{:.2f}",
-    )
-    emit("Table 7 — hardware utilization (RTX 4090, naive-max sizes)", table)
-    results_log.record("table7", {"rows": rows})
-
     by = {(r[0], r[1]): r for r in rows}
     for scene_name in scene_names():
         naive = by[(scene_name, "naive")]

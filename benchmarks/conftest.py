@@ -1,10 +1,15 @@
 """Shared benchmark fixtures.
 
-Benchmarks run at a larger scale than the unit tests (2e-4 of paper
-Gaussian counts, up to 256 views) so the measured sparsity/overlap
-statistics are stable.  Scenes and culling indexes are cached per session;
-each benchmark prints the paper-style table and appends a JSON record to
-``results/experiments.jsonl`` so EXPERIMENTS.md can quote a real run.
+The pytest entry points are thin wrappers now: every benchmark's
+``compute(ctx)`` is registered with :mod:`repro.bench` (so ``repro bench
+run`` executes the same code without pytest), and the tests here run it at
+the **full** tier — the scale the paper-shape assertions were calibrated
+at (2e-4 of paper Gaussian counts, up to 256 views) — then assert the
+figure/table shapes.
+
+Scenes and culling indexes are cached on the session-scoped context; raw
+rows are appended to ``results/experiments.jsonl`` (rotated) so
+EXPERIMENTS.md can quote a real run.
 """
 
 from __future__ import annotations
@@ -17,68 +22,25 @@ import pytest
 sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.analysis.reporting import ResultsLog
-from repro.core.culling_index import CullingIndex
-from repro.scenes.datasets import build_scene
+from repro.bench import FULL_TIER, BenchContext
 
-BENCH_SCALE = 2e-4
-BENCH_VIEWS = {
-    "bicycle": 200,  # the dataset only has 200 images
-    "rubble": 256,
-    "alameda": 256,
-    "ithaca": 256,
-    "bigcity": 256,
-}
+# Historical re-exports: these constants lived here before repro.bench
+# existed; scripts outside the repo imported them from conftest.
+from repro.bench.params import BENCH_VIEWS, PAPER_MODEL_SIZES  # noqa: F401
 
-#: Model sizes (Gaussians) used by the paper's performance figures.
-#: "baseline_max" feeds Figure 12, "naive_max" Figures 11/13/14/15 and
-#: Tables 5/7 (per §6.3's experimental protocol).
-PAPER_MODEL_SIZES = {
-    "rtx4090": {
-        "baseline_max": {
-            "bicycle": 15.4e6, "rubble": 15.3e6, "alameda": 16.2e6,
-            "ithaca": 16.4e6, "bigcity": 15.3e6,
-        },
-        "naive_max": {
-            "bicycle": 27.0e6, "rubble": 30.4e6, "alameda": 28.6e6,
-            "ithaca": 40.0e6, "bigcity": 46.0e6,
-        },
-    },
-    "rtx2080ti": {
-        "baseline_max": {
-            "bicycle": 6.5e6, "rubble": 6.5e6, "alameda": 7.1e6,
-            "ithaca": 7.2e6, "bigcity": 7.0e6,
-        },
-        "naive_max": {
-            "bicycle": 11.6e6, "rubble": 13.3e6, "alameda": 12.7e6,
-            "ithaca": 18.0e6, "bigcity": 20.6e6,
-        },
-    },
-}
+BENCH_SCALE = FULL_TIER.scale
 
 
 @pytest.fixture(scope="session")
-def bench_scenes():
-    cache = {}
-
-    def get(name):
-        if name not in cache:
-            scene = build_scene(
-                name, scale=BENCH_SCALE, num_views=BENCH_VIEWS[name], seed=1
+def bench_ctx():
+    """Full-tier benchmark context shared across the pytest session."""
+    return BenchContext(
+        FULL_TIER,
+        seed=0,
+        results_log=ResultsLog(
+            os.path.join(
+                os.path.dirname(__file__), "..", "results",
+                "experiments.jsonl",
             )
-            index = CullingIndex.build(scene.model, scene.cameras)
-            cache[name] = (scene, index)
-        return cache[name]
-
-    return get
-
-
-@pytest.fixture(scope="session")
-def results_log():
-    return ResultsLog(os.path.join(os.path.dirname(__file__), "..",
-                                   "results", "experiments.jsonl"))
-
-
-def emit(title: str, table: str) -> None:
-    """Print a rendered table so `pytest -s` (and the tee'd bench log)
-    carries the reproduced rows."""
-    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{table}\n")
+        ),
+    )

@@ -42,10 +42,22 @@ def format_table(
 
 
 class ResultsLog:
-    """Append-only JSONL log of experiment records."""
+    """Append-mostly JSONL log of experiment records, with rotation.
 
-    def __init__(self, path: str = "results/experiments.jsonl") -> None:
+    Every benchmark run appends here, so without a bound the file grows
+    forever (and used to creep into commits).  ``max_bytes`` caps the file:
+    when an append pushes it past the cap, the oldest lines are dropped
+    until the newest ones fit in half the budget — recent runs survive,
+    ancient ones age out.  ``max_bytes=None`` disables rotation.
+    """
+
+    def __init__(
+        self,
+        path: str = "results/experiments.jsonl",
+        max_bytes: Optional[int] = 1_000_000,
+    ) -> None:
         self.path = path
+        self.max_bytes = max_bytes
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -54,6 +66,30 @@ class ResultsLog:
         entry = {"experiment": experiment, "timestamp": time.time(), **data}
         with open(self.path, "a") as f:
             f.write(json.dumps(entry) + "\n")
+        self._rotate()
+
+    def _rotate(self) -> None:
+        """Drop oldest lines once the file exceeds ``max_bytes``."""
+        if self.max_bytes is None:
+            return
+        try:
+            if os.path.getsize(self.path) <= self.max_bytes:
+                return
+        except OSError:
+            return
+        with open(self.path) as f:
+            lines = f.readlines()
+        budget = self.max_bytes // 2
+        kept: List[str] = []
+        used = 0
+        for line in reversed(lines):
+            if used + len(line) > budget and kept:
+                break
+            kept.append(line)
+            used += len(line)
+        kept.reverse()
+        with open(self.path, "w") as f:
+            f.writelines(kept)
 
     def read_all(self) -> List[Dict]:
         if not os.path.exists(self.path):

@@ -1,0 +1,94 @@
+"""repro.bench — registry-driven benchmark orchestration.
+
+The perf counterpart of :mod:`repro.engines`: benchmarks self-register
+with :func:`register_benchmark`, a :class:`BenchRunner` executes them at a
+tier (``quick`` for CI smoke, ``full`` for the paper-shape suite), every
+run emits schema-validated :class:`BenchRecord` rows into
+``BENCH_results.json``, and :func:`compare_results` gates regressions
+against a baseline::
+
+    from repro.bench import BenchRunner, discover_benchmarks
+
+    discover_benchmarks("benchmarks")
+    report = BenchRunner(tier="quick").run()
+
+or from a shell: ``repro bench [list|run|compare|validate]``.
+"""
+
+from repro.bench.compare import (
+    CompareReport,
+    CompareThresholds,
+    compare_results,
+)
+from repro.bench.context import BenchContext
+from repro.bench.params import (
+    FULL_TIER,
+    PAPER_MODEL_SIZES,
+    QUICK_TIER,
+    TIERS,
+    BenchTier,
+    resolve_tier,
+)
+from repro.bench.record import (
+    BENCH_RECORD_SCHEMA,
+    BENCH_RESULTS_SCHEMA,
+    RESULTS_SCHEMA_VERSION,
+    BenchRecord,
+    dump_results,
+    git_revision,
+    load_results,
+    results_document,
+    validate_record,
+    validate_results,
+)
+from repro.bench.registry import (
+    BenchmarkEntry,
+    DuplicateBenchmarkError,
+    UnknownBenchmarkError,
+    available_benchmarks,
+    benchmark_entries,
+    get_benchmark,
+    register_benchmark,
+    unregister_benchmark,
+)
+from repro.bench.runner import (
+    BenchReport,
+    BenchRunner,
+    default_benchmarks_dir,
+    discover_benchmarks,
+)
+
+__all__ = [
+    "BENCH_RECORD_SCHEMA",
+    "BENCH_RESULTS_SCHEMA",
+    "RESULTS_SCHEMA_VERSION",
+    "BenchContext",
+    "BenchRecord",
+    "BenchReport",
+    "BenchRunner",
+    "BenchTier",
+    "BenchmarkEntry",
+    "CompareReport",
+    "CompareThresholds",
+    "DuplicateBenchmarkError",
+    "FULL_TIER",
+    "PAPER_MODEL_SIZES",
+    "QUICK_TIER",
+    "TIERS",
+    "UnknownBenchmarkError",
+    "available_benchmarks",
+    "benchmark_entries",
+    "compare_results",
+    "default_benchmarks_dir",
+    "discover_benchmarks",
+    "dump_results",
+    "get_benchmark",
+    "git_revision",
+    "load_results",
+    "register_benchmark",
+    "resolve_tier",
+    "results_document",
+    "unregister_benchmark",
+    "validate_record",
+    "validate_results",
+]

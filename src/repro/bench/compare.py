@@ -1,0 +1,209 @@
+"""Baseline comparison — the CI perf gate behind ``repro bench compare``.
+
+Records are matched across runs by ``(benchmark, scene, engine, variant)``.
+Throughput and PSNR regressions beyond the configured thresholds *fail*
+the comparison; wall-time growth only *warns* by default because CI
+machines are noisy (pass ``fail_on_wall_time=True`` to harden it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.record import validate_results
+
+
+@dataclass(frozen=True)
+class CompareThresholds:
+    """Relative tolerances before a metric counts as a regression.
+
+    ``throughput_drop=0.20`` means a >20% drop in ``images_per_second``
+    fails; ``transfer_increase=0.20`` means a >20% growth in
+    ``transfer_bytes`` fails (communication volume is deterministic — the
+    Figure 14 axis); ``psnr_drop_db`` is absolute dB;
+    ``wall_time_increase=0.5`` flags a >50% slowdown.
+    """
+
+    throughput_drop: float = 0.20
+    transfer_increase: float = 0.20
+    psnr_drop_db: float = 0.5
+    wall_time_increase: float = 0.5
+
+
+@dataclass
+class Delta:
+    """One compared metric of one matched record pair."""
+
+    key: Tuple
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Signed relative change (current vs baseline)."""
+        if self.baseline == 0:
+            return 0.0
+        return (self.current - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        benchmark, scene, engine, variant = self.key
+        where = "/".join(
+            str(part) for part in (benchmark, scene, engine, variant)
+            if part is not None
+        )
+        return (
+            f"{where} {self.metric}: {self.baseline:.4g} -> "
+            f"{self.current:.4g} ({self.change:+.1%})"
+        )
+
+
+@dataclass
+class CompareReport:
+    regressions: List[Delta] = field(default_factory=list)
+    warnings: List[Delta] = field(default_factory=list)
+    improvements: List[Delta] = field(default_factory=list)
+    matched: int = 0
+    only_in_baseline: List[Tuple] = field(default_factory=list)
+    only_in_current: List[Tuple] = field(default_factory=list)
+    schema_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.schema_errors
+
+
+def _by_key(doc: Dict) -> Dict[Tuple, Dict]:
+    out: Dict[Tuple, Dict] = {}
+    for record in doc.get("records", ()):
+        key = (
+            record.get("benchmark"),
+            record.get("scene"),
+            record.get("engine"),
+            record.get("variant"),
+        )
+        out[key] = record
+    return out
+
+
+def compare_results(
+    current: Dict,
+    baseline: Dict,
+    thresholds: Optional[CompareThresholds] = None,
+    *,
+    fail_on_wall_time: bool = False,
+) -> CompareReport:
+    """Compare two ``BENCH_results.json`` documents.
+
+    Both documents are schema-validated first; schema problems fail the
+    report outright (a CI gate must not pass on records it cannot read).
+    Comparing runs from different tiers is refused — the scales are not
+    commensurable.
+    """
+    thresholds = thresholds or CompareThresholds()
+    report = CompareReport()
+    for label, doc in (("baseline", baseline), ("current", current)):
+        report.schema_errors.extend(
+            f"{label}: {err}" for err in validate_results(doc)
+        )
+    if report.schema_errors:
+        return report
+    if current["tier"] != baseline["tier"]:
+        report.schema_errors.append(
+            f"tier mismatch: current is '{current['tier']}', baseline is "
+            f"'{baseline['tier']}' — runs are not comparable"
+        )
+        return report
+
+    base_records = _by_key(baseline)
+    cur_records = _by_key(current)
+    report.only_in_baseline = sorted(
+        k for k in base_records if k not in cur_records
+    )
+    report.only_in_current = sorted(
+        k for k in cur_records if k not in base_records
+    )
+
+    for key, base in base_records.items():
+        cur = cur_records.get(key)
+        if cur is None:
+            continue
+        report.matched += 1
+        _compare_higher_better(
+            report, key, "images_per_second", base, cur,
+            thresholds.throughput_drop,
+        )
+        _compare_lower_better(
+            report, key, "transfer_bytes", base, cur,
+            thresholds.transfer_increase,
+        )
+        _compare_psnr(report, key, base, cur, thresholds.psnr_drop_db)
+        _compare_wall_time(
+            report, key, base, cur, thresholds.wall_time_increase,
+            fail=fail_on_wall_time,
+        )
+    return report
+
+
+def _metric_pair(base: Dict, cur: Dict, metric: str):
+    b, c = base.get(metric), cur.get(metric)
+    if b is None or c is None:
+        return None
+    return float(b), float(c)
+
+
+def _compare_higher_better(
+    report: CompareReport, key, metric: str, base: Dict, cur: Dict,
+    drop_threshold: float,
+) -> None:
+    pair = _metric_pair(base, cur, metric)
+    if pair is None or pair[0] <= 0:
+        return
+    b, c = pair
+    delta = Delta(key=key, metric=metric, baseline=b, current=c)
+    if c < (1.0 - drop_threshold) * b:
+        report.regressions.append(delta)
+    elif c > (1.0 + drop_threshold) * b:
+        report.improvements.append(delta)
+
+
+def _compare_lower_better(
+    report: CompareReport, key, metric: str, base: Dict, cur: Dict,
+    increase_threshold: float,
+) -> None:
+    pair = _metric_pair(base, cur, metric)
+    if pair is None or pair[0] <= 0:
+        return
+    b, c = pair
+    delta = Delta(key=key, metric=metric, baseline=b, current=c)
+    if c > (1.0 + increase_threshold) * b:
+        report.regressions.append(delta)
+    elif c < (1.0 - increase_threshold) * b:
+        report.improvements.append(delta)
+
+
+def _compare_psnr(
+    report: CompareReport, key, base: Dict, cur: Dict, drop_db: float
+) -> None:
+    pair = _metric_pair(base, cur, "psnr")
+    if pair is None:
+        return
+    b, c = pair
+    if b - c > drop_db:
+        report.regressions.append(
+            Delta(key=key, metric="psnr", baseline=b, current=c)
+        )
+
+
+def _compare_wall_time(
+    report: CompareReport, key, base: Dict, cur: Dict,
+    increase_threshold: float, *, fail: bool,
+) -> None:
+    pair = _metric_pair(base, cur, "wall_time_s")
+    if pair is None or pair[0] <= 0:
+        return
+    b, c = pair
+    if c > (1.0 + increase_threshold) * b:
+        delta = Delta(key=key, metric="wall_time_s", baseline=b, current=c)
+        (report.regressions if fail else report.warnings).append(delta)

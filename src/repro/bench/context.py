@@ -1,0 +1,123 @@
+"""`BenchContext` — everything a registered benchmark needs at run time.
+
+One context is shared across a whole suite run so scenes and culling
+indexes are built once (the expensive part); the tier decides their scale.
+Benchmarks read tier knobs (``ctx.num_batches`` etc.), fetch cached scenes
+(``ctx.scenes(name)``), print paper-style tables (``ctx.emit``), append
+raw rows to the JSONL experiment log (``ctx.log_raw``) and — the part the
+perf trajectory is built from — emit metric points via ``ctx.record``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.params import SCENE_SEED, BenchTier, resolve_tier
+
+
+class BenchContext:
+    """Execution context handed to every registered benchmark."""
+
+    def __init__(
+        self,
+        tier="full",
+        *,
+        seed: int = 0,
+        results_log=None,
+        quiet: bool = False,
+    ) -> None:
+        self.tier: BenchTier = resolve_tier(tier)
+        self.seed = seed
+        self.results_log = results_log
+        self.quiet = quiet
+        #: Partial record dicts drained by the runner after each benchmark.
+        self.records: List[Dict] = []
+        self._scene_cache: Dict[str, Tuple] = {}
+
+    # -- tier shorthands -------------------------------------------------
+    @property
+    def num_batches(self) -> int:
+        """Simulated batches per ``run_timed`` call."""
+        return self.tier.num_batches
+
+    @property
+    def comm_batches(self) -> int:
+        """Batches averaged for communication-volume measurements."""
+        return self.tier.comm_batches
+
+    @property
+    def train_batches(self) -> int:
+        """Functional-training batches (the Figure 9 benchmark)."""
+        return self.tier.train_batches
+
+    # -- scene cache -----------------------------------------------------
+    def scenes(self, name: str):
+        """``(scene, culling_index)`` for ``name`` at this tier, cached."""
+        if name not in self._scene_cache:
+            # Local imports keep `repro.bench.record`-only consumers (the
+            # compare CLI path) from paying the scene-stack import cost.
+            from repro.core.culling_index import CullingIndex
+            from repro.scenes.datasets import build_scene
+
+            scene = build_scene(
+                name,
+                scale=self.tier.scale,
+                num_views=self.tier.views(name),
+                seed=SCENE_SEED,
+            )
+            index = CullingIndex.build(scene.model, scene.cameras)
+            self._scene_cache[name] = (scene, index)
+        return self._scene_cache[name]
+
+    # -- output channels -------------------------------------------------
+    def emit(self, title: str, table: str) -> None:
+        """Print a rendered paper-style table (suppressed by ``quiet``)."""
+        if not self.quiet:
+            print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{table}\n")
+
+    def log_raw(self, experiment: str, data: Dict) -> None:
+        """Append the raw benchmark output to the JSONL experiment log
+        (``results/experiments.jsonl``) when one is attached."""
+        if self.results_log is not None:
+            self.results_log.record(experiment, data)
+
+    def record(
+        self,
+        *,
+        scene: Optional[str] = None,
+        engine: Optional[str] = None,
+        variant: Optional[str] = None,
+        images_per_second: Optional[float] = None,
+        transfer_bytes: Optional[float] = None,
+        psnr: Optional[float] = None,
+        wall_time_s: Optional[float] = None,
+        **extra,
+    ) -> Dict:
+        """Emit one metric point.
+
+        The runner completes it into a full
+        :class:`~repro.bench.record.BenchRecord` (benchmark name, figure,
+        tier, seed, git revision, and — when ``wall_time_s`` is omitted —
+        the benchmark's own wall time).
+        """
+        point = {
+            "scene": scene,
+            "engine": engine,
+            "variant": variant,
+            "images_per_second": _opt_float(images_per_second),
+            "transfer_bytes": _opt_float(transfer_bytes),
+            "psnr": _opt_float(psnr),
+            "wall_time_s": _opt_float(wall_time_s),
+            "extra": extra,
+        }
+        self.records.append(point)
+        return point
+
+    def drain_records(self) -> List[Dict]:
+        """Return and clear the accumulated metric points."""
+        out, self.records = self.records, []
+        return out
+
+
+def _opt_float(value) -> Optional[float]:
+    return None if value is None else float(value)

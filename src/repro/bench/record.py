@@ -1,0 +1,202 @@
+"""`BenchRecord` — the machine-readable unit of the perf trajectory.
+
+Every benchmark run emits a list of records; ``repro bench run`` writes
+them to ``BENCH_results.json`` under a small envelope.  The schema is
+expressed as a JSON-Schema-style dict (``BENCH_RECORD_SCHEMA``) and
+enforced by a dependency-free validator so CI can fail on malformed
+records without installing ``jsonschema``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Bumped whenever the record or envelope layout changes incompatibly.
+RESULTS_SCHEMA_VERSION = 1
+
+
+@dataclass
+class BenchRecord:
+    """One measured data point of one benchmark run.
+
+    ``scene``/``engine``/``variant`` discriminate records within a
+    benchmark (variant carries the testbed, ordering, or model-size label);
+    ``images_per_second``/``transfer_bytes``/``psnr`` are ``None`` when the
+    benchmark does not measure that axis.  ``extra`` holds benchmark-
+    specific payloads that the comparator ignores.
+    """
+
+    benchmark: str
+    tier: str
+    seed: int
+    git_rev: str
+    wall_time_s: float
+    figure: Optional[str] = None
+    scene: Optional[str] = None
+    engine: Optional[str] = None
+    variant: Optional[str] = None
+    images_per_second: Optional[float] = None
+    transfer_bytes: Optional[float] = None
+    psnr: Optional[float] = None
+    extra: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BenchRecord":
+        return cls(**data)
+
+    def key(self) -> tuple:
+        """Identity used to match records across runs."""
+        return (self.benchmark, self.scene, self.engine, self.variant)
+
+
+BENCH_RECORD_SCHEMA = {
+    "type": "object",
+    "required": ["benchmark", "tier", "seed", "git_rev", "wall_time_s"],
+    "additionalProperties": False,
+    "properties": {
+        "benchmark": {"type": "string"},
+        "figure": {"type": ["string", "null"]},
+        "tier": {"type": "string", "enum": ["quick", "full"]},
+        "seed": {"type": "integer"},
+        "git_rev": {"type": "string"},
+        "wall_time_s": {"type": "number", "minimum": 0},
+        "scene": {"type": ["string", "null"]},
+        "engine": {"type": ["string", "null"]},
+        "variant": {"type": ["string", "null"]},
+        "images_per_second": {"type": ["number", "null"], "minimum": 0},
+        "transfer_bytes": {"type": ["number", "null"], "minimum": 0},
+        "psnr": {"type": ["number", "null"]},
+        "extra": {"type": "object"},
+    },
+}
+
+BENCH_RESULTS_SCHEMA = {
+    "type": "object",
+    "required": ["schema_version", "tier", "git_rev", "created_unix",
+                 "records"],
+    "properties": {
+        "schema_version": {"type": "integer"},
+        "tier": {"type": "string", "enum": ["quick", "full"]},
+        "git_rev": {"type": "string"},
+        "created_unix": {"type": "number"},
+        "records": {"type": "array", "items": BENCH_RECORD_SCHEMA},
+    },
+}
+
+_JSON_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "null": type(None),
+}
+
+
+def _type_ok(value, type_spec) -> bool:
+    names = [type_spec] if isinstance(type_spec, str) else list(type_spec)
+    for name in names:
+        expected = _JSON_TYPES[name]
+        if isinstance(value, bool):
+            # JSON booleans are not integers/numbers.
+            if name not in ("integer", "number"):
+                continue
+            return False
+        if isinstance(value, expected):
+            return True
+    return False
+
+
+def validate_against(schema: Dict, value, path: str = "$") -> List[str]:
+    """Validate ``value`` against the subset of JSON Schema used here
+    (type / required / properties / additionalProperties / enum / minimum /
+    items).  Returns a list of human-readable problems (empty = valid)."""
+    errors: List[str] = []
+    type_spec = schema.get("type")
+    if type_spec is not None and not _type_ok(value, type_spec):
+        return [f"{path}: expected {type_spec}, got {type(value).__name__}"]
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value!r} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required key '{name}'")
+        properties = schema.get("properties", {})
+        for name, sub in value.items():
+            if name in properties:
+                errors.extend(
+                    validate_against(properties[name], sub, f"{path}.{name}")
+                )
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}: unexpected key '{name}'")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(
+                validate_against(schema["items"], item, f"{path}[{i}]")
+            )
+    return errors
+
+
+def validate_record(record: Dict) -> List[str]:
+    """Schema problems of one record dict (empty list = valid)."""
+    return validate_against(BENCH_RECORD_SCHEMA, record, "record")
+
+
+def validate_results(doc: Dict) -> List[str]:
+    """Schema problems of a whole ``BENCH_results.json`` document."""
+    errors = validate_against(BENCH_RESULTS_SCHEMA, doc, "results")
+    if not errors and doc["schema_version"] != RESULTS_SCHEMA_VERSION:
+        errors.append(
+            f"results.schema_version: {doc['schema_version']} != "
+            f"{RESULTS_SCHEMA_VERSION}"
+        )
+    return errors
+
+
+def git_revision(default: str = "unknown") -> str:
+    """Short git revision of the working tree, or ``default``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except OSError:
+        return default
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else default
+
+
+def results_document(
+    records: Sequence[BenchRecord],
+    tier: str,
+    git_rev: Optional[str] = None,
+) -> Dict:
+    """Assemble the ``BENCH_results.json`` envelope."""
+    return {
+        "schema_version": RESULTS_SCHEMA_VERSION,
+        "tier": tier,
+        "git_rev": git_rev if git_rev is not None else git_revision(),
+        "created_unix": time.time(),
+        "records": [r.to_dict() for r in records],
+    }
+
+
+def dump_results(path: str, doc: Dict) -> None:
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_results(path: str) -> Dict:
+    with open(path) as f:
+        return json.load(f)

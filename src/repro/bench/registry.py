@@ -1,0 +1,95 @@
+"""The benchmark registry — ``repro.engines.registry``'s pattern applied
+to performance experiments.
+
+Benchmark modules self-register their ``compute`` function::
+
+    @register_benchmark("fig11", figure="Figure 11",
+                        tags=("throughput", "simulated"))
+    def compute(ctx):
+        ...
+
+and consumers (the :class:`~repro.bench.runner.BenchRunner`, the
+``repro bench`` CLI, the pytest wrappers) look them up by name.  The
+registered callable takes one argument — a
+:class:`~repro.bench.context.BenchContext` — and returns its raw output
+(tables/rows) for the pytest shape assertions; measured metrics flow out
+through ``ctx.record(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+class DuplicateBenchmarkError(ValueError):
+    """Raised when two benchmarks register under the same name."""
+
+
+class UnknownBenchmarkError(ValueError):
+    """Raised by :func:`get_benchmark` for names not in the registry."""
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    name: str
+    fn: Callable
+    figure: str
+    tags: Tuple[str, ...]
+    description: str
+
+
+_REGISTRY: Dict[str, BenchmarkEntry] = {}
+
+
+def register_benchmark(
+    name: str,
+    *,
+    figure: str = "",
+    tags: Tuple[str, ...] = (),
+    description: str = "",
+):
+    """Decorator adding a ``compute(ctx)`` callable to the registry.
+
+    ``figure`` names the paper figure/table the benchmark reproduces;
+    ``tags`` are free-form labels for selection (the runner skips
+    ``"full-only"``-tagged benchmarks at the quick tier); ``description``
+    defaults to the function's first docstring line.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise DuplicateBenchmarkError(
+                f"benchmark '{name}' is already registered "
+                f"(by {_REGISTRY[name].fn!r})"
+            )
+        summary = description or (fn.__doc__ or "").strip().split("\n")[0]
+        _REGISTRY[name] = BenchmarkEntry(
+            name, fn, figure, tuple(tags), summary
+        )
+        return fn
+
+    return decorator
+
+
+def unregister_benchmark(name: str) -> None:
+    """Remove a registered benchmark (tests/plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_benchmarks() -> Tuple[str, ...]:
+    """Registered benchmark names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def benchmark_entries() -> Tuple[BenchmarkEntry, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def get_benchmark(name: str) -> BenchmarkEntry:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBenchmarkError(
+            f"unknown benchmark '{name}'; choose from {available_benchmarks()}"
+        ) from None

@@ -8,11 +8,16 @@ Examples::
     python -m repro.cli comm-volume --scene ithaca --ordering tsp
     python -m repro.cli engines
     python -m repro.cli train --engine clm --batches 20
+    python -m repro.cli bench list
+    python -m repro.cli bench run --quick
+    python -m repro.cli bench compare --baseline BENCH_results.json
 
 Every subcommand prints a small table; `--scale`/`--views` control the
 synthetic-scene fidelity (see DESIGN.md §5).  Functional-training engines
 are resolved through the registry (`repro engines` lists them), so a newly
-registered engine shows up in `train --engine` with no CLI change.
+registered engine shows up in `train --engine` with no CLI change; the
+`bench` group drives the benchmark registry the same way (`repro bench
+list` shows whatever the benchmarks directory registers).
 """
 
 from __future__ import annotations
@@ -166,6 +171,186 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _bench_tier(args) -> str:
+    if getattr(args, "full", False):
+        return "full"
+    if getattr(args, "quick", False):
+        return "quick"
+    return args.tier
+
+
+def cmd_bench_list(args) -> int:
+    from repro.bench import discover_benchmarks, benchmark_entries
+
+    discover_benchmarks(args.dir)
+    rows = [
+        [e.name, e.figure or "-", ",".join(e.tags) or "-", e.description]
+        for e in benchmark_entries()
+    ]
+    print(format_table(
+        ["benchmark", "figure", "tags", "description"], rows,
+        title="Registered benchmarks (repro bench run --only NAME)",
+    ))
+    return 0
+
+
+def cmd_bench_run(args) -> int:
+    from repro.analysis.reporting import ResultsLog
+    from repro.bench import (
+        BenchRunner,
+        UnknownBenchmarkError,
+        discover_benchmarks,
+        dump_results,
+        results_document,
+        validate_results,
+    )
+
+    discover_benchmarks(args.dir)
+    tier = _bench_tier(args)
+    runner = BenchRunner(
+        tier=tier,
+        seed=args.seed,
+        quiet=args.quiet,
+        results_log=None if args.no_log else ResultsLog(),
+    )
+    try:
+        report = runner.run(only=args.only or None)
+    except UnknownBenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    summary = {}
+    for record in report.records:
+        stats = summary.setdefault(record.benchmark, [0, 0.0])
+        stats[0] += 1
+        stats[1] = max(stats[1], record.wall_time_s)
+    rows = [[name, count, wall] for name, (count, wall) in summary.items()]
+    print(format_table(
+        ["benchmark", "records", "wall s"], rows,
+        title=f"bench run — tier={tier} seed={args.seed} "
+              f"rev={report.git_rev} ({report.wall_time_s:.1f}s total)",
+        floatfmt="{:.2f}",
+    ))
+
+    doc = results_document(report.records, tier=tier,
+                           git_rev=report.git_rev)
+    errors = validate_results(doc)
+    for err in errors:
+        print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+    dump_results(args.output, doc)
+    print(f"wrote {len(report.records)} records to {args.output}")
+
+    for failure in report.failures:
+        print(f"\nFAILED {failure.benchmark}: {failure.error}",
+              file=sys.stderr)
+        print(failure.trace, file=sys.stderr)
+    return 0 if (report.ok and not errors) else 1
+
+
+def cmd_bench_compare(args) -> int:
+    from repro.bench import (
+        CompareThresholds,
+        compare_results,
+        load_results,
+    )
+
+    current = load_results(args.current)
+    baseline = load_results(args.baseline)
+    thresholds = CompareThresholds(
+        throughput_drop=args.threshold,
+        transfer_increase=args.transfer_threshold,
+        psnr_drop_db=args.psnr_threshold,
+        wall_time_increase=args.wall_threshold,
+    )
+    report = compare_results(
+        current, baseline, thresholds,
+        fail_on_wall_time=args.fail_on_wall_time,
+    )
+    for err in report.schema_errors:
+        print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+    for delta in report.regressions:
+        print(f"REGRESSION: {delta.describe()}")
+    for delta in report.warnings:
+        print(f"warning: {delta.describe()}")
+    for delta in report.improvements:
+        print(f"improvement: {delta.describe()}")
+    print(
+        f"compared {report.matched} records "
+        f"({len(report.regressions)} regressions, "
+        f"{len(report.warnings)} warnings, "
+        f"{len(report.improvements)} improvements; "
+        f"{len(report.only_in_baseline)} baseline-only, "
+        f"{len(report.only_in_current)} current-only)"
+    )
+    return 0 if report.ok else 1
+
+
+def cmd_bench_validate(args) -> int:
+    from repro.bench import load_results, validate_results
+
+    doc = load_results(args.path)
+    errors = validate_results(doc)
+    for err in errors:
+        print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+    if not errors:
+        print(
+            f"{args.path}: {len(doc['records'])} schema-valid records "
+            f"(tier={doc['tier']}, rev={doc['git_rev']})"
+        )
+    return 0 if not errors else 1
+
+
+def _add_bench_parser(sub) -> None:
+    p = sub.add_parser("bench", help="benchmark orchestration (repro.bench)")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    lp = bench_sub.add_parser("list", help="list registered benchmarks")
+    lp.add_argument("--dir", default=None,
+                    help="benchmarks directory (default: auto-detect)")
+    lp.set_defaults(func=cmd_bench_list)
+
+    rp = bench_sub.add_parser("run", help="run benchmarks, write records")
+    rp.add_argument("--dir", default=None,
+                    help="benchmarks directory (default: auto-detect)")
+    rp.add_argument("--tier", choices=("quick", "full"), default="quick")
+    rp.add_argument("--quick", action="store_true",
+                    help="shorthand for --tier quick (the CI smoke tier)")
+    rp.add_argument("--full", action="store_true",
+                    help="shorthand for --tier full (paper-shape scale)")
+    rp.add_argument("--only", nargs="*", default=None,
+                    help="run only these registered benchmarks")
+    rp.add_argument("--output", default="BENCH_results.json")
+    rp.add_argument("--seed", type=int, default=0)
+    rp.add_argument("--quiet", action="store_true",
+                    help="suppress the per-benchmark tables")
+    rp.add_argument("--no-log", action="store_true",
+                    help="skip appending to results/experiments.jsonl")
+    rp.set_defaults(func=cmd_bench_run)
+
+    cp = bench_sub.add_parser("compare",
+                              help="gate a run against a baseline")
+    cp.add_argument("--baseline", required=True,
+                    help="baseline BENCH_results.json")
+    cp.add_argument("--current", default="BENCH_results.json")
+    cp.add_argument("--threshold", type=float, default=0.20,
+                    help="relative images/s drop that fails (default 0.20)")
+    cp.add_argument("--transfer-threshold", type=float, default=0.20,
+                    help="relative transfer-bytes growth that fails "
+                         "(default 0.20)")
+    cp.add_argument("--psnr-threshold", type=float, default=0.5,
+                    help="absolute PSNR dB drop that fails (default 0.5)")
+    cp.add_argument("--wall-threshold", type=float, default=0.5,
+                    help="relative wall-time growth that warns (default 0.5)")
+    cp.add_argument("--fail-on-wall-time", action="store_true",
+                    help="treat wall-time growth as a failure, not a warning")
+    cp.set_defaults(func=cmd_bench_compare)
+
+    vp = bench_sub.add_parser("validate",
+                              help="schema-check a BENCH_results.json")
+    vp.add_argument("path", nargs="?", default="BENCH_results.json")
+    vp.set_defaults(func=cmd_bench_validate)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CLM reproduction experiments"
@@ -214,6 +399,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gaussians", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_train)
+
+    _add_bench_parser(sub)
     return parser
 
 

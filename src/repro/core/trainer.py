@@ -83,10 +83,23 @@ class TrainingHistory:
     eval_batches: List[int] = field(default_factory=list)
     gaussian_counts: List[int] = field(default_factory=list)
     loaded_bytes: float = 0.0
+    stored_bytes: float = 0.0
+    #: Summed wall-clock time of the engine's train_batch calls (eval and
+    #: densification time excluded — this is the throughput denominator).
+    wall_time_s: float = 0.0
 
     @property
     def final_psnr(self) -> float:
         return self.psnrs[-1] if self.psnrs else float("nan")
+
+    @property
+    def batches_per_second(self) -> float:
+        """Functional throughput over the recorded batches (the history
+        does not know the batch size; ``engine.perf.images_per_second``
+        reports per-image throughput)."""
+        if self.wall_time_s <= 0.0 or not self.losses:
+            return 0.0
+        return len(self.losses) / self.wall_time_s
 
 
 def make_engine(
@@ -201,6 +214,8 @@ class Trainer:
             history.gaussian_counts.append(self.engine.num_gaussians)
             # Unified BatchResult: non-offload engines report zero bytes.
             history.loaded_bytes += result.loaded_bytes
+            history.stored_bytes += result.stored_bytes
+            history.wall_time_s += result.wall_time_s
 
             if (
                 cfg.densify_every

@@ -22,7 +22,7 @@ Adding a fifth system is one file: subclass
 :func:`~repro.engines.registry.register_engine`.
 """
 
-from repro.engines.base import BatchResult, Engine, EngineBase
+from repro.engines.base import BatchResult, Engine, EngineBase, PerfCounters
 from repro.engines.registry import (
     UnknownEngineError,
     available_engines,
@@ -40,6 +40,7 @@ __all__ = [
     "BatchResult",
     "Engine",
     "EngineBase",
+    "PerfCounters",
     "UnknownEngineError",
     "available_engines",
     "create_engine",

@@ -21,6 +21,7 @@ Three pieces live here:
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -64,6 +65,51 @@ class BatchResult:
     loaded_bytes: float = 0.0
     stored_bytes: float = 0.0
     adam_chunk_sizes: List[int] = field(default_factory=list)
+    #: Wall-clock seconds of this batch, stamped by
+    #: :meth:`EngineBase.train_batch` (not by the engine implementations).
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class PerfCounters:
+    """Cumulative training-loop counters, one instance per engine.
+
+    :meth:`EngineBase.train_batch` folds every :class:`BatchResult` in, so
+    after any number of batches the engine can answer the questions a
+    :class:`repro.bench.record.BenchRecord` asks — throughput, transfer
+    volume, batch count — without the caller keeping its own tallies.
+    """
+
+    batches: int = 0
+    images: int = 0
+    wall_time_s: float = 0.0
+    loaded_bytes: float = 0.0
+    stored_bytes: float = 0.0
+    loaded_gaussians: int = 0
+    stored_gaussians: int = 0
+    cached_gaussians: int = 0
+
+    @property
+    def transfer_bytes(self) -> float:
+        """Total CPU<->GPU parameter/gradient traffic, both directions."""
+        return self.loaded_bytes + self.stored_bytes
+
+    @property
+    def images_per_second(self) -> float:
+        """Measured functional-training throughput (0 before any batch)."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.images / self.wall_time_s
+
+    def observe(self, result: "BatchResult", images: int) -> None:
+        self.batches += 1
+        self.images += images
+        self.wall_time_s += result.wall_time_s
+        self.loaded_bytes += result.loaded_bytes
+        self.stored_bytes += result.stored_bytes
+        self.loaded_gaussians += result.loaded_gaussians
+        self.stored_gaussians += result.stored_gaussians
+        self.cached_gaussians += result.cached_gaussians
 
 
 class Engine(abc.ABC):
@@ -112,8 +158,10 @@ class EngineBase(Engine):
 
     Subclasses implement :meth:`_setup` (build stores and optimizers from
     the initial model) and :meth:`_culling_arrays` (where the
-    selection-critical attributes live), plus :meth:`train_batch`,
-    :meth:`snapshot_model` and :meth:`rebuild`.  ``evaluate`` and
+    selection-critical attributes live), plus :meth:`_train_batch`,
+    :meth:`snapshot_model` and :meth:`rebuild`.  The public
+    :meth:`train_batch` wraps :meth:`_train_batch` with wall-clock timing
+    and the cumulative :class:`PerfCounters`.  ``evaluate`` and
     ``render_view`` have snapshot-based defaults; CLM overrides
     ``render_view`` with its offloaded working-set path.
     """
@@ -135,12 +183,43 @@ class EngineBase(Engine):
         if self.config.gpu_capacity_bytes is not None:
             self.pool = MemoryPool(self.config.gpu_capacity_bytes, name="gpu")
         self.batches_trained = 0
+        self.perf = PerfCounters()
         self._setup(model)
 
     # -- subclass hooks -------------------------------------------------
     @abc.abstractmethod
     def _setup(self, model: GaussianModel) -> None:
         """Build parameter stores and optimizers from ``model``."""
+
+    @abc.abstractmethod
+    def _train_batch(
+        self,
+        view_ids: Sequence[int],
+        targets: Dict[int, np.ndarray],
+        position_grad_hook: Optional[PositionGradHook] = None,
+    ) -> BatchResult:
+        """The engine-specific batch step (no bookkeeping)."""
+
+    # -- the instrumented batch step ------------------------------------
+    def train_batch(
+        self,
+        view_ids: Sequence[int],
+        targets: Dict[int, np.ndarray],
+        position_grad_hook: Optional[PositionGradHook] = None,
+    ) -> BatchResult:
+        """One training batch, instrumented.
+
+        Template method: delegates to :meth:`_train_batch`, stamps the
+        measured ``wall_time_s`` onto the result, and folds it into
+        :attr:`perf` — every engine gets uniform per-batch timing and
+        transfer accounting for free.
+        """
+        start = time.perf_counter()
+        result = self._train_batch(view_ids, targets, position_grad_hook)
+        result.wall_time_s = time.perf_counter() - start
+        self.batches_trained += 1
+        self.perf.observe(result, len(view_ids))
+        return result
 
     @abc.abstractmethod
     def _culling_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":

@@ -91,7 +91,7 @@ class CLMEngine(EngineBase):
         )
 
     # ------------------------------------------------------------------
-    def train_batch(
+    def _train_batch(
         self,
         view_ids: Sequence[int],
         targets: Dict[int, np.ndarray],
@@ -155,7 +155,6 @@ class CLMEngine(EngineBase):
                 self._apply_noncritical_adam(chunk)
         self._apply_critical_adam(touched)
         working.release()
-        self.batches_trained += 1
 
         return BatchResult(
             loss=total_loss,

@@ -90,7 +90,7 @@ class GpuOnlyEngine(EngineBase):
         return self.model  # already resident; no copy needed
 
     # ------------------------------------------------------------------
-    def train_batch(
+    def _train_batch(
         self,
         view_ids: Sequence[int],
         targets: Dict[int, np.ndarray],
@@ -129,7 +129,6 @@ class GpuOnlyEngine(EngineBase):
         touched = self._finalize_sparse_adam(
             self.optimizer, self.model.parameters(), grads, sets
         )
-        self.batches_trained += 1
         return BatchResult(
             loss=total_loss,
             per_view_loss=per_view_loss,

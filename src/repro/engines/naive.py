@@ -79,7 +79,7 @@ class NaiveOffloadEngine(EngineBase):
         return self.cpu_model  # CPU master copy; no clone for read-only use
 
     # ------------------------------------------------------------------
-    def train_batch(
+    def _train_batch(
         self,
         view_ids: Sequence[int],
         targets: Dict[int, np.ndarray],
@@ -100,7 +100,6 @@ class NaiveOffloadEngine(EngineBase):
         touched = self._finalize_sparse_adam(
             self.optimizer, self.cpu_model.parameters(), grads, sets
         )
-        self.batches_trained += 1
         return BatchResult(
             loss=total_loss,
             per_view_loss=per_view_loss,

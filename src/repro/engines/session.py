@@ -77,6 +77,13 @@ class TrainingSession:
     def num_gaussians(self) -> int:
         return self.engine.num_gaussians
 
+    @property
+    def perf(self):
+        """The engine's cumulative :class:`repro.engines.base.PerfCounters`
+        (wall time, throughput, transfer volume) — what the benchmark
+        subsystem reads into a ``BenchRecord``."""
+        return self.engine.perf
+
     # ------------------------------------------------------------------
     def train(self, batches: Optional[int] = None):
         """Run ``batches`` training batches (default: the trainer config's
@@ -99,6 +106,8 @@ class TrainingSession:
         self.metrics.psnrs.extend(history.psnrs)
         self.metrics.eval_batches.extend(history.eval_batches)
         self.metrics.loaded_bytes += history.loaded_bytes
+        self.metrics.stored_bytes += history.stored_bytes
+        self.metrics.wall_time_s += history.wall_time_s
         self.batches_trained += count
         return history
 
@@ -113,6 +122,8 @@ class TrainingSession:
         self.metrics.losses.append(result.loss)
         self.metrics.gaussian_counts.append(self.engine.num_gaussians)
         self.metrics.loaded_bytes += result.loaded_bytes
+        self.metrics.stored_bytes += result.stored_bytes
+        self.metrics.wall_time_s += result.wall_time_s
         self.batches_trained += 1
         return result
 

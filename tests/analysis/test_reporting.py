@@ -64,3 +64,35 @@ def test_results_log_valid_jsonl(tmp_path):
     with open(path) as f:
         for line in f:
             json.loads(line)
+
+
+def test_results_log_rotation_bounds_file(tmp_path):
+    path = tmp_path / "r.jsonl"
+    log = ResultsLog(str(path), max_bytes=4096)
+    for i in range(200):
+        log.record("x", {"i": i, "pad": "p" * 50})
+    assert path.stat().st_size <= 4096
+    entries = log.read_all()
+    # Newest entries survive, oldest age out.
+    assert entries[-1]["i"] == 199
+    assert entries[0]["i"] > 0
+    # Everything on disk is still one JSON object per line.
+    indices = [e["i"] for e in entries]
+    assert indices == sorted(indices)
+
+
+def test_results_log_rotation_keeps_an_oversized_entry(tmp_path):
+    path = tmp_path / "r.jsonl"
+    log = ResultsLog(str(path), max_bytes=200)
+    log.record("big", {"pad": "p" * 500})
+    entries = log.read_all()
+    assert len(entries) == 1
+    assert entries[0]["experiment"] == "big"
+
+
+def test_results_log_rotation_disabled(tmp_path):
+    path = tmp_path / "r.jsonl"
+    log = ResultsLog(str(path), max_bytes=None)
+    for i in range(50):
+        log.record("x", {"i": i, "pad": "p" * 100})
+    assert len(log.read_all()) == 50

@@ -1,0 +1,96 @@
+"""Benchmark registry: registration, dedup, lookup, removal."""
+
+import pytest
+
+from repro.bench import (
+    DuplicateBenchmarkError,
+    UnknownBenchmarkError,
+    available_benchmarks,
+    benchmark_entries,
+    get_benchmark,
+    register_benchmark,
+    unregister_benchmark,
+)
+
+
+@pytest.fixture
+def clean_registry():
+    """Track and remove benchmarks registered during a test."""
+    registered = []
+
+    def register(name, **kwargs):
+        deco = register_benchmark(name, **kwargs)
+
+        def wrapper(fn):
+            out = deco(fn)
+            registered.append(name)
+            return out
+
+        return wrapper
+
+    yield register
+    for name in registered:
+        unregister_benchmark(name)
+
+
+def test_register_and_lookup(clean_registry):
+    @clean_registry("t-reg-alpha", figure="Figure X", tags=("a", "b"))
+    def compute(ctx):
+        """Alpha benchmark."""
+        return 1
+
+    entry = get_benchmark("t-reg-alpha")
+    assert entry.name == "t-reg-alpha"
+    assert entry.figure == "Figure X"
+    assert entry.tags == ("a", "b")
+    assert entry.description == "Alpha benchmark."
+    assert entry.fn is compute
+    assert "t-reg-alpha" in available_benchmarks()
+
+
+def test_duplicate_registration_raises(clean_registry):
+    @clean_registry("t-reg-dup")
+    def compute(ctx):
+        return 1
+
+    with pytest.raises(DuplicateBenchmarkError, match="t-reg-dup"):
+        register_benchmark("t-reg-dup")(lambda ctx: 2)
+    # The original registration survives the failed attempt.
+    assert get_benchmark("t-reg-dup").fn is compute
+
+
+def test_unknown_lookup_raises():
+    with pytest.raises(UnknownBenchmarkError, match="no-such-benchmark"):
+        get_benchmark("no-such-benchmark")
+
+
+def test_unregister_is_idempotent(clean_registry):
+    @clean_registry("t-reg-gone")
+    def compute(ctx):
+        return 1
+
+    unregister_benchmark("t-reg-gone")
+    unregister_benchmark("t-reg-gone")  # no error
+    assert "t-reg-gone" not in available_benchmarks()
+
+
+def test_explicit_description_wins(clean_registry):
+    @clean_registry("t-reg-desc", description="short label")
+    def compute(ctx):
+        """Docstring that should NOT be used."""
+        return 1
+
+    assert get_benchmark("t-reg-desc").description == "short label"
+
+
+def test_entries_preserve_registration_order(clean_registry):
+    @clean_registry("t-reg-first")
+    def first(ctx):
+        return 1
+
+    @clean_registry("t-reg-second")
+    def second(ctx):
+        return 2
+
+    names = [e.name for e in benchmark_entries()]
+    assert names.index("t-reg-first") < names.index("t-reg-second")

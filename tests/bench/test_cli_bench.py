@@ -1,0 +1,95 @@
+"""The `repro bench` CLI group, end to end over a toy benchmarks dir."""
+
+import json
+
+import pytest
+
+from repro.bench import unregister_benchmark
+from repro.cli import main
+
+BENCH_MODULE = '''
+"""Toy benchmark module for CLI tests."""
+
+from repro.bench import register_benchmark
+
+
+@register_benchmark("t-cli-toy", figure="Figure CLI", tags=("toy",))
+def compute(ctx):
+    """Toy CLI benchmark."""
+    ctx.record(scene="bigcity", engine="clm", images_per_second=5.0)
+    return "done"
+'''
+
+
+@pytest.fixture(scope="module")
+def bench_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("toybench")
+    (path / "bench_t_cli_toy.py").write_text(BENCH_MODULE)
+    yield str(path)
+    unregister_benchmark("t-cli-toy")
+
+
+def test_bench_list_shows_registered(bench_dir, capsys):
+    assert main(["bench", "list", "--dir", bench_dir]) == 0
+    out = capsys.readouterr().out
+    assert "t-cli-toy" in out
+    assert "Figure CLI" in out
+    assert "Toy CLI benchmark." in out
+
+
+def test_bench_run_writes_valid_results(bench_dir, tmp_path, capsys):
+    out_path = str(tmp_path / "BENCH_results.json")
+    rc = main([
+        "bench", "run", "--dir", bench_dir, "--only", "t-cli-toy",
+        "--quick", "--quiet", "--no-log", "--output", out_path,
+    ])
+    assert rc == 0
+    doc = json.loads(open(out_path).read())
+    assert doc["tier"] == "quick"
+    names = {r["benchmark"] for r in doc["records"]}
+    assert names == {"t-cli-toy"}
+    assert main(["bench", "validate", out_path]) == 0
+    out = capsys.readouterr().out
+    assert "schema-valid" in out
+
+
+def test_bench_compare_gates_regressions(bench_dir, tmp_path, capsys):
+    base_path = str(tmp_path / "base.json")
+    cur_path = str(tmp_path / "cur.json")
+    assert main([
+        "bench", "run", "--dir", bench_dir, "--only", "t-cli-toy",
+        "--quick", "--quiet", "--no-log", "--output", base_path,
+    ]) == 0
+    # Identical runs pass.
+    assert main([
+        "bench", "compare", "--baseline", base_path, "--current", base_path,
+    ]) == 0
+    # An injected >20% throughput drop fails.
+    doc = json.loads(open(base_path).read())
+    for record in doc["records"]:
+        if record["images_per_second"]:
+            record["images_per_second"] *= 0.5
+    with open(cur_path, "w") as f:
+        json.dump(doc, f)
+    rc = main([
+        "bench", "compare", "--baseline", base_path, "--current", cur_path,
+    ])
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_bench_run_unknown_name_is_a_clean_error(bench_dir, capsys):
+    rc = main([
+        "bench", "run", "--dir", bench_dir, "--only", "no-such-benchmark",
+        "--quick", "--quiet", "--no-log",
+    ])
+    assert rc == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_bench_validate_rejects_garbage(tmp_path, capsys):
+    path = str(tmp_path / "bad.json")
+    with open(path, "w") as f:
+        json.dump({"schema_version": 1, "records": "not-a-list"}, f)
+    assert main(["bench", "validate", path]) == 1
+    assert "SCHEMA ERROR" in capsys.readouterr().err

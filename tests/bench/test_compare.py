@@ -1,0 +1,148 @@
+"""Baseline comparison: thresholds, regressions, schema gating."""
+
+from repro.bench import (
+    BenchRecord,
+    CompareThresholds,
+    compare_results,
+    results_document,
+)
+
+
+def record(**overrides):
+    base = dict(
+        benchmark="fig11",
+        tier="quick",
+        seed=0,
+        git_rev="abc1234",
+        wall_time_s=1.0,
+        scene="bigcity",
+        engine="clm",
+        images_per_second=100.0,
+        psnr=25.0,
+    )
+    base.update(overrides)
+    return BenchRecord(**base)
+
+
+def doc(records, tier="quick"):
+    return results_document(records, tier=tier, git_rev="abc1234")
+
+
+def test_identical_runs_pass():
+    base = doc([record()])
+    report = compare_results(doc([record()]), base)
+    assert report.ok
+    assert report.matched == 1
+    assert report.regressions == []
+
+
+def test_throughput_drop_beyond_threshold_fails():
+    base = doc([record()])
+    cur = doc([record(images_per_second=75.0)])  # -25% > 20% threshold
+    report = compare_results(cur, base)
+    assert not report.ok
+    assert report.regressions[0].metric == "images_per_second"
+    assert "fig11/bigcity/clm" in report.regressions[0].describe()
+
+
+def test_throughput_drop_within_threshold_passes():
+    base = doc([record()])
+    cur = doc([record(images_per_second=85.0)])  # -15% < 20% threshold
+    assert compare_results(cur, base).ok
+
+
+def test_custom_threshold():
+    base = doc([record()])
+    cur = doc([record(images_per_second=85.0)])
+    report = compare_results(
+        cur, base, CompareThresholds(throughput_drop=0.10)
+    )
+    assert not report.ok
+
+
+def test_throughput_gain_reported_as_improvement():
+    base = doc([record()])
+    cur = doc([record(images_per_second=150.0)])
+    report = compare_results(cur, base)
+    assert report.ok
+    assert report.improvements[0].metric == "images_per_second"
+
+
+def test_transfer_growth_beyond_threshold_fails():
+    base = doc([record(transfer_bytes=1e9)])
+    cur = doc([record(transfer_bytes=1.5e9)])  # +50% > 20% threshold
+    report = compare_results(cur, base)
+    assert not report.ok
+    assert report.regressions[0].metric == "transfer_bytes"
+
+
+def test_transfer_growth_within_threshold_passes():
+    base = doc([record(transfer_bytes=1e9)])
+    cur = doc([record(transfer_bytes=1.1e9)])
+    assert compare_results(cur, base).ok
+
+
+def test_transfer_shrink_reported_as_improvement():
+    base = doc([record(transfer_bytes=1e9)])
+    cur = doc([record(transfer_bytes=0.5e9)])
+    report = compare_results(cur, base)
+    assert report.ok
+    assert report.improvements[0].metric == "transfer_bytes"
+
+
+def test_psnr_drop_fails():
+    base = doc([record()])
+    cur = doc([record(psnr=24.0)])  # -1 dB > 0.5 dB threshold
+    report = compare_results(cur, base)
+    assert not report.ok
+    assert report.regressions[0].metric == "psnr"
+
+
+def test_wall_time_growth_warns_by_default():
+    base = doc([record()])
+    cur = doc([record(wall_time_s=2.0)])
+    report = compare_results(cur, base)
+    assert report.ok
+    assert report.warnings[0].metric == "wall_time_s"
+
+
+def test_wall_time_growth_can_fail():
+    base = doc([record()])
+    cur = doc([record(wall_time_s=2.0)])
+    report = compare_results(cur, base, fail_on_wall_time=True)
+    assert not report.ok
+
+
+def test_unmatched_records_are_listed_not_compared():
+    base = doc([record(), record(scene="rubble")])
+    cur = doc([record(), record(scene="ithaca")])
+    report = compare_results(cur, base)
+    assert report.ok
+    assert report.matched == 1
+    assert ("fig11", "rubble", "clm", None) in report.only_in_baseline
+    assert ("fig11", "ithaca", "clm", None) in report.only_in_current
+
+
+def test_none_metrics_are_skipped():
+    base = doc([record(images_per_second=None, psnr=None)])
+    cur = doc([record(images_per_second=None, psnr=None,
+                      wall_time_s=100.0)])
+    report = compare_results(cur, base)
+    assert report.ok
+    assert report.matched == 1
+
+
+def test_tier_mismatch_is_an_error():
+    base = doc([record()], tier="quick")
+    cur = doc([record(tier="full")], tier="full")
+    report = compare_results(cur, base)
+    assert not report.ok
+    assert any("tier mismatch" in e for e in report.schema_errors)
+
+
+def test_schema_invalid_baseline_fails():
+    base = doc([record()])
+    base["records"][0]["wall_time_s"] = "oops"
+    report = compare_results(doc([record()]), base)
+    assert not report.ok
+    assert any(e.startswith("baseline:") for e in report.schema_errors)

@@ -1,0 +1,108 @@
+"""BenchRecord schema and validation."""
+
+import pytest
+
+from repro.bench import (
+    RESULTS_SCHEMA_VERSION,
+    BenchRecord,
+    dump_results,
+    load_results,
+    results_document,
+    validate_record,
+    validate_results,
+)
+
+
+def make_record(**overrides):
+    base = dict(
+        benchmark="fig11",
+        tier="quick",
+        seed=0,
+        git_rev="abc1234",
+        wall_time_s=0.5,
+        scene="bigcity",
+        engine="clm",
+        images_per_second=42.0,
+    )
+    base.update(overrides)
+    return BenchRecord(**base)
+
+
+def test_valid_record_passes():
+    assert validate_record(make_record().to_dict()) == []
+
+
+def test_missing_required_key_fails():
+    d = make_record().to_dict()
+    del d["git_rev"]
+    errors = validate_record(d)
+    assert any("git_rev" in e for e in errors)
+
+
+def test_wrong_type_fails():
+    d = make_record().to_dict()
+    d["wall_time_s"] = "fast"
+    assert validate_record(d)
+
+
+def test_bool_is_not_a_number():
+    d = make_record().to_dict()
+    d["images_per_second"] = True
+    assert validate_record(d)
+
+
+def test_unknown_tier_fails():
+    d = make_record().to_dict()
+    d["tier"] = "warp-speed"
+    assert validate_record(d)
+
+
+def test_negative_wall_time_fails():
+    d = make_record().to_dict()
+    d["wall_time_s"] = -1.0
+    assert validate_record(d)
+
+
+def test_unexpected_key_fails():
+    d = make_record().to_dict()
+    d["bonus_metric"] = 1.0
+    errors = validate_record(d)
+    assert any("bonus_metric" in e for e in errors)
+
+
+def test_extra_payload_is_free_form():
+    d = make_record(extra={"testbed": "rtx4090", "n": [1, 2]}).to_dict()
+    assert validate_record(d) == []
+
+
+def test_results_document_roundtrip(tmp_path):
+    doc = results_document([make_record()], tier="quick", git_rev="abc1234")
+    assert doc["schema_version"] == RESULTS_SCHEMA_VERSION
+    assert validate_results(doc) == []
+    path = str(tmp_path / "BENCH_results.json")
+    dump_results(path, doc)
+    loaded = load_results(path)
+    assert validate_results(loaded) == []
+    assert loaded["records"][0]["benchmark"] == "fig11"
+
+
+def test_results_document_rejects_bad_record():
+    doc = results_document([make_record()], tier="quick", git_rev="abc1234")
+    doc["records"][0]["tier"] = 7
+    assert validate_results(doc)
+
+
+def test_results_document_rejects_wrong_version():
+    doc = results_document([make_record()], tier="quick", git_rev="abc1234")
+    doc["schema_version"] = RESULTS_SCHEMA_VERSION + 1
+    assert validate_results(doc)
+
+
+def test_from_dict_roundtrip():
+    record = make_record()
+    assert BenchRecord.from_dict(record.to_dict()) == record
+
+
+@pytest.mark.parametrize("tier", ["quick", "full"])
+def test_both_tiers_are_valid(tier):
+    assert validate_record(make_record(tier=tier).to_dict()) == []

@@ -1,0 +1,152 @@
+"""BenchRunner: execution, record completion, tiers, determinism."""
+
+import pytest
+
+from repro.bench import (
+    BenchRunner,
+    BenchTier,
+    register_benchmark,
+    unregister_benchmark,
+    validate_record,
+)
+
+#: A micro tier for tests: scenes of a few hundred Gaussians, one batch.
+#: Named "quick" so emitted records stay schema-valid (tier enum).
+MICRO_TIER = BenchTier(
+    name="quick",
+    scale=2e-5,
+    max_views=8,
+    num_batches=1,
+    comm_batches=1,
+    train_batches=2,
+    spatial_scale=1e-4,
+    spatial_views=2,
+)
+
+
+@pytest.fixture
+def registered():
+    names = []
+    yield names
+    for name in names:
+        unregister_benchmark(name)
+
+
+def test_runner_completes_records(registered):
+    @register_benchmark("t-run-basic", figure="Figure T", tags=("x",))
+    def compute(ctx):
+        ctx.record(scene="bigcity", engine="clm", images_per_second=3.0)
+        return "raw"
+
+    registered.append("t-run-basic")
+    report = BenchRunner(tier=MICRO_TIER, seed=7, quiet=True).run(
+        only=["t-run-basic"]
+    )
+    assert report.ok
+    # One per-benchmark summary record plus the emitted metric point.
+    assert len(report.records) == 2
+    summary, metric = report.records
+    assert summary.benchmark == metric.benchmark == "t-run-basic"
+    assert summary.scene is None and metric.scene == "bigcity"
+    assert metric.figure == "Figure T"
+    assert metric.tier == "quick"
+    assert metric.seed == 7
+    assert metric.images_per_second == 3.0
+    # Metric points inherit the benchmark's wall time when not overridden.
+    assert metric.wall_time_s == summary.wall_time_s > 0.0
+    assert report.schema_errors() == []
+    for record in report.records:
+        assert validate_record(record.to_dict()) == []
+
+
+def test_runner_captures_failures(registered):
+    @register_benchmark("t-run-boom")
+    def compute(ctx):
+        ctx.record(scene="x")  # emitted before the crash: must be dropped
+        raise RuntimeError("kaboom")
+
+    registered.append("t-run-boom")
+    report = BenchRunner(tier=MICRO_TIER, quiet=True).run(
+        only=["t-run-boom"]
+    )
+    assert not report.ok
+    assert report.failures[0].benchmark == "t-run-boom"
+    assert "kaboom" in report.failures[0].error
+    # Partial records of the failed benchmark do not leak into the output.
+    assert report.records == []
+
+
+def test_failure_does_not_poison_later_benchmarks(registered):
+    @register_benchmark("t-run-bad")
+    def bad(ctx):
+        raise ValueError("nope")
+
+    @register_benchmark("t-run-good")
+    def good(ctx):
+        ctx.record(scene="bigcity", images_per_second=1.0)
+
+    registered.extend(["t-run-bad", "t-run-good"])
+    report = BenchRunner(tier=MICRO_TIER, quiet=True).run(
+        only=["t-run-bad", "t-run-good"]
+    )
+    assert [f.benchmark for f in report.failures] == ["t-run-bad"]
+    assert {r.benchmark for r in report.records} == {"t-run-good"}
+
+
+def test_quick_tier_skips_full_only(registered):
+    @register_benchmark("t-run-heavy", tags=("full-only",))
+    def heavy(ctx):
+        return 1
+
+    registered.append("t-run-heavy")
+    runner = BenchRunner(tier=MICRO_TIER, quiet=True)
+    assert "t-run-heavy" not in [e.name for e in runner.select()]
+    # Explicit selection still works.
+    assert [e.name for e in runner.select(["t-run-heavy"])] == ["t-run-heavy"]
+
+
+def test_quick_tier_determinism_with_fixed_seed(registered):
+    """The same seed yields bit-identical simulated metrics."""
+    from repro.core.config import TimingConfig
+    from repro.core.timed import run_timed
+
+    @register_benchmark("t-run-sim")
+    def sim(ctx):
+        scene, index = ctx.scenes("bicycle")
+        res = run_timed(
+            "clm", scene, index,
+            TimingConfig(num_batches=ctx.num_batches, seed=ctx.seed),
+        )
+        ctx.record(scene="bicycle", engine="clm",
+                   images_per_second=res.images_per_second,
+                   transfer_bytes=res.load_bytes_per_batch)
+
+    registered.append("t-run-sim")
+    runs = [
+        BenchRunner(tier=MICRO_TIER, seed=3, quiet=True).run(
+            only=["t-run-sim"]
+        )
+        for _ in range(2)
+    ]
+    first = [r for r in runs[0].records if r.scene == "bicycle"][0]
+    second = [r for r in runs[1].records if r.scene == "bicycle"][0]
+    assert first.images_per_second == second.images_per_second
+    assert first.transfer_bytes == second.transfer_bytes
+
+
+def test_scene_cache_is_shared_within_a_run(registered):
+    seen = []
+
+    @register_benchmark("t-run-cache-a")
+    def a(ctx):
+        seen.append(ctx.scenes("bicycle")[0])
+
+    @register_benchmark("t-run-cache-b")
+    def b(ctx):
+        seen.append(ctx.scenes("bicycle")[0])
+
+    registered.extend(["t-run-cache-a", "t-run-cache-b"])
+    BenchRunner(tier=MICRO_TIER, quiet=True).run(
+        only=["t-run-cache-a", "t-run-cache-b"]
+    )
+    assert seen[0] is seen[1]
