@@ -11,7 +11,7 @@ from repro.analysis.reporting import format_table
 from repro.bench import register_benchmark
 from repro.bench.params import PAPER_MODEL_SIZES
 from repro.core.config import TimingConfig
-from repro.core.orders import STRATEGIES
+from repro.planning.orders import STRATEGIES
 from repro.core.timed import run_timed
 from repro.hardware.specs import RTX4090_TESTBED
 from repro.scenes.datasets import scene_names

@@ -15,7 +15,7 @@ Run:
 from repro.analysis.reporting import format_table
 from repro.core.config import TimingConfig
 from repro.core.culling_index import CullingIndex
-from repro.core.orders import STRATEGIES
+from repro.planning.orders import STRATEGIES
 from repro.core.timed import communication_volume_per_batch, run_timed
 from repro.hardware.specs import RTX4090_TESTBED
 from repro.scenes.datasets import build_scene

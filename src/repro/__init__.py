@@ -27,10 +27,15 @@ Subpackages:
 - :mod:`repro.engines` — the unified engine protocol, registry, the four
   training systems, and the :class:`~repro.engines.session.TrainingSession`
   facade;
+- :mod:`repro.planning` — the batch-planning layer: one
+  :class:`~repro.planning.BatchPlan` (ordering, precise caching,
+  overlapped-Adam chunks) built by a cached
+  :class:`~repro.planning.BatchPlanner` and executed by both the
+  functional engines and the simulator;
 - :mod:`repro.gaussians` — the 3DGS substrate (differentiable rasterizer,
   losses, densification);
-- :mod:`repro.core` — CLM's machinery (offload stores, caching, TSP
-  scheduling, pipelining, memory model) plus the training loop;
+- :mod:`repro.core` — CLM's machinery (offload stores, TSP solver,
+  pipelining, memory model) plus the training loop;
 - :mod:`repro.hardware` — the discrete-event testbed simulator;
 - :mod:`repro.scenes` — synthetic dataset generators;
 - :mod:`repro.optim` — dense and sparse (CPU) Adam;
@@ -60,6 +65,7 @@ from repro.engines import (
     session,
 )
 from repro.gaussians import GaussianModel, render
+from repro.planning import BatchPlan, BatchPlanner
 from repro.scenes import build_scene
 from repro.scenes.images import make_trainable_scene
 
@@ -85,6 +91,9 @@ __all__ = [
     "TimingConfig",
     "Trainer",
     "TrainerConfig",
+    # the batch-planning layer
+    "BatchPlan",
+    "BatchPlanner",
     # simulated-testbed experiments
     "CullingIndex",
     "run_timed",

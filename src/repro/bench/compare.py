@@ -87,6 +87,10 @@ def _by_key(doc: Dict) -> Dict[Tuple, Dict]:
     return out
 
 
+def _sort_key(key: Tuple) -> Tuple:
+    return tuple("" if part is None else str(part) for part in key)
+
+
 def compare_results(
     current: Dict,
     baseline: Dict,
@@ -118,11 +122,13 @@ def compare_results(
 
     base_records = _by_key(baseline)
     cur_records = _by_key(current)
+    # Key components may be None (e.g. a benchmark's whole-run record has
+    # no variant), so sort through a None-safe projection.
     report.only_in_baseline = sorted(
-        k for k in base_records if k not in cur_records
+        (k for k in base_records if k not in cur_records), key=_sort_key
     )
     report.only_in_current = sorted(
-        k for k in cur_records if k not in base_records
+        (k for k in cur_records if k not in base_records), key=_sort_key
     )
 
     for key, base in base_records.items():

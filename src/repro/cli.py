@@ -8,6 +8,7 @@ Examples::
     python -m repro.cli comm-volume --scene ithaca --ordering tsp
     python -m repro.cli engines
     python -m repro.cli train --engine clm --batches 20
+    python -m repro.cli train --engine clm --ordering gs_count --plan-cache 16
     python -m repro.cli bench list
     python -m repro.cli bench run --quick
     python -m repro.cli bench compare --baseline BENCH_results.json
@@ -31,8 +32,8 @@ from repro.analysis.sparsity import sparsity_summary
 from repro.core import memory_model as mm
 from repro.core.config import TimingConfig
 from repro.core.culling_index import CullingIndex
-from repro.core.orders import STRATEGIES
 from repro.core.timed import SYSTEM_NAMES, communication_volume_per_batch, run_timed
+from repro.planning.orders import STRATEGIES
 from repro.engines import available_engines, engine_descriptions
 from repro.hardware.specs import TESTBEDS
 from repro.scenes.datasets import build_scene, scene_names
@@ -154,7 +155,12 @@ def cmd_train(args) -> int:
     sess = session(
         scene,
         engine=args.engine,
-        config=EngineConfig(batch_size=4, seed=args.seed),
+        config=EngineConfig(
+            batch_size=4,
+            seed=args.seed,
+            ordering=args.ordering,
+            plan_cache_size=args.plan_cache,
+        ),
         trainer_config=TrainerConfig(
             num_batches=args.batches, batch_size=4,
             eval_every=max(1, args.batches // 4), seed=args.seed,
@@ -165,9 +171,17 @@ def cmd_train(args) -> int:
             zip(sess.metrics.eval_batches, sess.metrics.psnrs)]
     print(format_table(
         ["batch", "PSNR dB"], rows,
-        title=f"Functional training with the {args.engine} engine",
+        title=f"Functional training with the {args.engine} engine "
+              f"(ordering={args.ordering})",
         floatfmt="{:.2f}",
     ))
+    stats = sess.planner.stats()
+    print(
+        f"planner: {stats['plans_built']:.0f} plans built, "
+        f"{stats['cache_hits']:.0f} cache hits "
+        f"({100 * stats['hit_rate']:.0f}% of {stats['requests']:.0f} "
+        f"requests), {stats['build_time_s'] * 1e3:.1f} ms planning"
+    )
     return 0
 
 
@@ -398,6 +412,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batches", type=int, default=16)
     p.add_argument("--gaussians", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ordering", choices=STRATEGIES, default="tsp",
+                   help="microbatch ordering strategy (Table 4)")
+    p.add_argument("--plan-cache", type=int, default=8,
+                   help="BatchPlan cache capacity (0 disables memoization)")
     p.set_defaults(func=cmd_train)
 
     _add_bench_parser(sub)

@@ -6,12 +6,8 @@ Sparsity-guided CPU offloading for 3DGS training:
   attribute split (§4.1);
 - :mod:`repro.core.culling_index` — pre-rendering frustum culling producing
   per-view in-frustum index sets (§5.1);
-- :mod:`repro.core.caching` — precise Gaussian caching transfer plans
-  (§4.2.1);
-- :mod:`repro.core.adam_overlap` — finalization maps for overlapped CPU
-  Adam (§4.2.2);
-- :mod:`repro.core.scheduler` / :mod:`repro.core.orders` — TSP pipeline
-  order optimization and the ablation orderings (§4.2.3, Table 4);
+- :mod:`repro.core.scheduler` — the stochastic-local-search TSP solver
+  (§4.2.3, Appendix A.1);
 - :mod:`repro.core.pipeline` — the 1F1B microbatch pipeline DAG (Figure 6);
 - :mod:`repro.core.memory_model` — GPU/pinned memory accounting and OOM
   boundaries (Figures 8/10, Table 6);
@@ -21,13 +17,16 @@ Sparsity-guided CPU offloading for 3DGS training:
 
 The engine implementations themselves moved to :mod:`repro.engines`
 (CLM, naive offloading, GPU-only baseline/enhanced behind one
-:class:`~repro.engines.base.Engine` protocol and registry); the engine
-names re-exported here are lazy aliases kept for backward compatibility.
+:class:`~repro.engines.base.Engine` protocol and registry), and the
+planning modules (caching, orders, adam_overlap) moved to
+:mod:`repro.planning` behind the :class:`~repro.planning.BatchPlanner`;
+deprecation shims keep the old import paths alive, and the names
+re-exported here are kept for backward compatibility.
 """
 
 from repro.core.config import EngineConfig, TimingConfig
 from repro.core.culling_index import CullingIndex
-from repro.core.caching import MicrobatchStep, build_transfer_plan
+from repro.planning.caching import MicrobatchStep, build_transfer_plan
 from repro.core.memory_model import (
     SYSTEMS,
     max_model_size,

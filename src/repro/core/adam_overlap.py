@@ -1,67 +1,24 @@
-"""Overlapped CPU Adam planning (paper §4.2.2).
+"""Deprecated location — Adam planning moved to :mod:`repro.planning.adam_overlap`."""
 
-For a scheduled batch ``S_1 .. S_B``, a Gaussian ``g``'s *finalization
-microbatch* is ``L_g = max{i : g in S_i}`` — after microbatch ``L_g``
-completes, ``g``'s accumulated gradient can never change again within the
-batch, so its Adam update may run immediately on the CPU thread, hidden
-under the GPU compute of microbatches ``L_g+1 .. B``.  Only the chunk
-``F_B`` (Gaussians last touched by the final microbatch) cannot overlap
-(Figure 7).
+import warnings
 
-``adam_chunks`` returns ``F_1 .. F_B``; untouched Gaussians (``F_0`` in the
-paper's notation) receive no gradient and — under sparse-Adam semantics —
-no update, so they are not scheduled at all.
-"""
+from repro.planning.adam_overlap import (
+    adam_chunks,
+    finalization_positions,
+    overlap_fraction,
+    touched_union,
+)
 
-from __future__ import annotations
+warnings.warn(
+    "repro.core.adam_overlap is deprecated; use repro.planning (BatchPlanner "
+    "/ repro.planning.adam_overlap)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-from typing import List, Sequence
-
-import numpy as np
-
-from repro.utils import setops
-
-
-def finalization_positions(
-    sets: Sequence[np.ndarray], num_gaussians: int
-) -> np.ndarray:
-    """``L_g`` per Gaussian: 1-based position of its last touching
-    microbatch, 0 for untouched Gaussians."""
-    last = np.zeros(num_gaussians, dtype=np.int64)
-    for position, s in enumerate(sets, start=1):
-        last[s] = position
-    return last
-
-
-def adam_chunks(
-    sets: Sequence[np.ndarray], num_gaussians: int
-) -> List[np.ndarray]:
-    """Per-microbatch finalized sets ``F_1 .. F_B`` (sorted index arrays).
-
-    Invariants (property-tested): the chunks are pairwise disjoint, their
-    union is the union of all ``S_i``, and chunk ``j`` is a subset of
-    ``S_j``.
-    """
-    last = finalization_positions(sets, num_gaussians)
-    chunks = []
-    for position in range(1, len(sets) + 1):
-        chunks.append(np.nonzero(last == position)[0].astype(np.int64))
-    return chunks
-
-
-def touched_union(sets: Sequence[np.ndarray]) -> np.ndarray:
-    """All Gaussians any microbatch of the batch touches."""
-    out = np.empty(0, dtype=np.int64)
-    for s in sets:
-        out = setops.union(out, s)
-    return out
-
-
-def overlap_fraction(sets: Sequence[np.ndarray], num_gaussians: int) -> float:
-    """Fraction of touched Gaussians finalized *before* the last microbatch
-    — the share of CPU Adam work that can hide under GPU compute."""
-    chunks = adam_chunks(sets, num_gaussians)
-    total = sum(c.size for c in chunks)
-    if total == 0:
-        return 0.0
-    return 1.0 - chunks[-1].size / total
+__all__ = [
+    "adam_chunks",
+    "finalization_positions",
+    "overlap_fraction",
+    "touched_union",
+]

@@ -35,6 +35,11 @@ class EngineConfig:
     eager per-microbatch Adam chunks (§4.2.2) — with it off, all updates
     run at batch end (functionally identical, different timing).
 
+    ``plan_cache_size`` bounds the engine's
+    :class:`repro.planning.PlanCache` (number of memoized
+    :class:`~repro.planning.BatchPlan` objects; 0 disables memoization and
+    replans every batch).
+
     ``renderer`` / ``renderer_backward`` select the rendering backend
     (paper §8: CLM is backend-agnostic).  ``None`` means the full tile
     rasterizer; any pair with the same ``(camera, model, settings) ->
@@ -46,6 +51,7 @@ class EngineConfig:
     ordering: str = "tsp"
     enable_cache: bool = True
     enable_overlap_adam: bool = True
+    plan_cache_size: int = 8
     ssim_lambda: float = 0.2
     adam: AdamConfig = field(default_factory=default_adam_config)
     raster: RasterSettings = field(default_factory=RasterSettings)
@@ -83,4 +89,5 @@ class TimingConfig:
     ordering: str = "tsp"
     enable_cache: bool = True
     enable_overlap_adam: bool = True
+    plan_cache_size: int = 8  # BatchPlan memoization across batches
     seed: int = 0

@@ -9,7 +9,16 @@ CLMEngine, BatchResult``) working; new code should use::
 engine (see :mod:`repro.engines.base`).
 """
 
+import warnings
+
 from repro.engines.base import BatchResult
 from repro.engines.clm import CRITICAL, NONCRITICAL, CLMEngine
+
+warnings.warn(
+    "repro.core.engine is deprecated; use repro.engines "
+    "(CLMEngine / BatchResult / create_engine)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["BatchResult", "CLMEngine", "CRITICAL", "NONCRITICAL"]

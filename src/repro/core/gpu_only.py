@@ -5,8 +5,17 @@
 annotations importable.
 """
 
+import warnings
+
 from repro.engines.base import BatchResult
 from repro.engines.gpu_only import GpuOnlyEngine
+
+warnings.warn(
+    "repro.core.gpu_only is deprecated; use repro.engines "
+    "(GpuOnlyEngine / BatchResult)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 GpuOnlyBatchResult = BatchResult
 

@@ -5,8 +5,17 @@
 annotations importable.
 """
 
+import warnings
+
 from repro.engines.base import BatchResult
 from repro.engines.naive import NaiveOffloadEngine
+
+warnings.warn(
+    "repro.core.naive is deprecated; use repro.engines "
+    "(NaiveOffloadEngine / BatchResult)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 NaiveBatchResult = BatchResult
 

@@ -2,15 +2,17 @@
 
 Builds the task graphs the discrete-event simulator executes:
 
-- :func:`add_clm_batch` — CLM's pipelined batch: a scheduling task (TSP +
-  culling), selective loads and gradient stores on the prioritized
-  communication stream, forward/backward on the compute stream, eager CPU
-  Adam chunks on the CPU thread, and a GPU-side Adam for the resident
-  critical attributes.  Double buffering is encoded as ``LD_i`` depending
-  on ``BWD_{i-2}`` (the buffer being overwritten must have been fully
-  consumed); 1F1B interleaving on the single comm stream emerges from
-  dependencies + the load-over-store priority (prefetch params, postpone
-  gradient offload — §5.3).
+- :func:`add_clm_batch` — CLM's pipelined batch, built from the *same*
+  :class:`repro.planning.BatchPlan` the functional engine executes (so
+  simulated and functional transfer volumes reconcile by construction):
+  a scheduling task (TSP + culling), selective loads and gradient stores
+  on the prioritized communication stream, forward/backward on the
+  compute stream, eager CPU Adam chunks on the CPU thread, and a
+  GPU-side Adam for the resident critical attributes.  Double buffering
+  is encoded as ``LD_i`` depending on ``BWD_{i-2}`` (the buffer being
+  overwritten must have been fully consumed); 1F1B interleaving on the
+  single comm stream emerges from dependencies + the load-over-store
+  priority (prefetch params, postpone gradient offload — §5.3).
 - :func:`add_naive_batch` — Figure 3: bulk load, sequential per-image
   compute, bulk store, dense CPU Adam; nothing overlaps.
 - :func:`add_gpu_only_batch` — the baselines: pure compute, with either
@@ -26,10 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.caching import MicrobatchStep
 from repro.hardware.kernels import KernelCostModel
 from repro.hardware.metrics import CPU_ADAM, CPU_SCHED, GPU_COMM, GPU_COMPUTE
 from repro.hardware.simulator import Simulator
+from repro.planning.plan import BatchPlan
 
 LOAD_PRIORITY = 2  # prefetch parameters first ...
 STORE_PRIORITY = 1  # ... postpone gradient offloading (§5.3)
@@ -49,19 +51,19 @@ class BatchEndpoints:
 def add_clm_batch(
     sim: Simulator,
     costs: KernelCostModel,
-    steps: Sequence[MicrobatchStep],
-    adam_chunk_counts: Sequence[float],
+    plan: BatchPlan,
     count_scale: float,
     num_pixels: int,
     total_gaussians: float,
     deps: Sequence[int] = (),
-    ordering: str = "tsp",
     enable_overlap_adam: bool = True,
     batch_tag: str = "",
     prev_cpu_adam: Optional[int] = None,
     blocked_load_counts: Optional[Sequence[float]] = None,
 ) -> BatchEndpoints:
-    """Add one CLM training batch to the simulator.
+    """Add one CLM training batch to the simulator, task-for-step from
+    ``plan`` — the very :class:`~repro.planning.BatchPlan` the functional
+    engine would execute.
 
     ``prev_cpu_adam`` / ``blocked_load_counts`` implement cross-batch
     pipelining (Figure 6's "Next Batch" under "Adam Finished"): the portion
@@ -69,14 +71,18 @@ def add_clm_batch(
     CPU-Adam chunk waits for it; the rest starts as soon as culling is done,
     overlapping the previous batch's tail.
     """
+    steps = plan.steps
+    adam_chunk_counts = plan.adam_chunk_sizes
     batch = len(steps)
-    if len(adam_chunk_counts) != batch:
-        raise ValueError("one Adam chunk per microbatch required")
+    if blocked_load_counts is not None and len(blocked_load_counts) != batch:
+        raise ValueError("one blocked-load count per microbatch required")
 
     # Scheduling: frustum culling for the batch (GPU) + order optimization
     # (CPU).  The visibility-aware orders pay the TSP/sort cost (Table 4).
     sched_cost = (
-        costs.tsp_schedule_time(batch) if ordering in ("tsp", "gs_count") else 20e-6
+        costs.tsp_schedule_time(batch)
+        if plan.strategy in ("tsp", "gs_count")
+        else 20e-6
     )
     sched = sim.add(
         f"SCHED{batch_tag}", CPU_SCHED, sched_cost, deps=deps, kind="sched"

@@ -1,12 +1,14 @@
 """Timed experiment runner: simulate training on the paper's testbeds.
 
 Connects the pieces: a scaled synthetic scene supplies measured in-frustum
-index sets; the transfer planner and Adam planner turn a sampled batch into
-counts; the pipeline builders emit the task DAG at *paper-scale* counts
-(``count_scale`` multiplies every set size, DESIGN.md §5); the simulator
-schedules it; the metrics module reads off throughput, communication
-volume, runtime decomposition, GPU idle CDFs, Adam trailing time and
-hardware utilization — i.e. everything Figures 11-15 and Tables 5/7 plot.
+index sets; the :class:`repro.planning.BatchPlanner` turns each sampled
+batch into a :class:`~repro.planning.BatchPlan` — the same plan object the
+functional CLM engine executes; the pipeline builders emit the task DAG at
+*paper-scale* counts (``count_scale`` multiplies every set size, DESIGN.md
+§5); the simulator schedules it; the metrics module reads off throughput,
+communication volume, runtime decomposition, GPU idle CDFs, Adam trailing
+time and hardware utilization — i.e. everything Figures 11-15 and Tables
+5/7 plot.
 """
 
 from __future__ import annotations
@@ -16,8 +18,6 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core import adam_overlap, orders
-from repro.core.caching import build_transfer_plan, total_load_count, total_store_count
 from repro.core.config import TimingConfig
 from repro.core.culling_index import CullingIndex
 from repro.core.pipeline import add_clm_batch, add_gpu_only_batch, add_naive_batch
@@ -31,6 +31,7 @@ from repro.hardware.metrics import (
     runtime_decomposition,
 )
 from repro.hardware.simulator import ScheduleResult, Simulator
+from repro.planning.planner import BatchPlanner
 from repro.scenes.datasets import Scene
 from repro.utils.rng import make_rng
 
@@ -105,6 +106,12 @@ def run_timed(
     rng = make_rng(config.seed)
     batches = _sample_batches(index, batch_size, config.num_batches, rng)
     cam_by_id = {c.view_id: c for c in scene.cameras}
+    planner = BatchPlanner(
+        ordering=config.ordering,
+        enable_cache=config.enable_cache,
+        cache_size=config.plan_cache_size,
+        seed=rng,
+    )
 
     sim = Simulator()
     deps: Sequence[int] = ()
@@ -116,15 +123,10 @@ def run_timed(
         sets = index.sets_for(view_ids)
         if system == "clm":
             cams = [cam_by_id[v] for v in view_ids]
-            perm = orders.order_microbatches(
-                config.ordering, sets, cams, seed=rng
+            plan = planner.plan(
+                sets, view_ids, cameras=cams,
+                num_gaussians=index.num_gaussians,
             )
-            ordered_sets = [sets[k] for k in perm]
-            ordered_views = [view_ids[k] for k in perm]
-            steps = build_transfer_plan(
-                ordered_sets, ordered_views, enable_cache=config.enable_cache
-            )
-            chunks = adam_overlap.adam_chunks(ordered_sets, index.num_gaussians)
             # Cross-batch pipelining: only the loads whose rows are still
             # pending in the previous batch's final Adam chunk must wait.
             blocked = None
@@ -133,27 +135,25 @@ def run_timed(
                     float(np.intersect1d(
                         s.loads, prev_final_chunk, assume_unique=True
                     ).size)
-                    for s in steps
+                    for s in plan.steps
                 ]
             endpoints = add_clm_batch(
                 sim,
                 costs,
-                steps,
-                [c.size for c in chunks],
+                plan,
                 count_scale,
                 pixels,
                 paper_n,
                 deps=deps,
-                ordering=config.ordering,
                 enable_overlap_adam=config.enable_overlap_adam,
                 batch_tag=f".b{b}",
                 prev_cpu_adam=prev_cpu_adam,
                 blocked_load_counts=blocked,
             )
-            total_loads += total_load_count(steps)
-            total_stores += total_store_count(steps)
+            total_loads += plan.total_loads
+            total_stores += plan.total_stores
             prev_cpu_adam = endpoints.last_adam
-            prev_final_chunk = chunks[-1]
+            prev_final_chunk = plan.adam_chunks[-1]
             deps = [endpoints.last_compute]
             continue
         elif system == "naive":
@@ -238,15 +238,18 @@ def communication_volume_per_batch(
     rng = make_rng(config.seed)
     batches = _sample_batches(index, batch_size, config.num_batches, rng)
     cam_by_id = {c.view_id: c for c in scene.cameras}
+    planner = BatchPlanner(
+        ordering=config.ordering,
+        enable_cache=config.enable_cache,
+        cache_size=config.plan_cache_size,
+        seed=rng,
+    )
     loads = 0
     for view_ids in batches:
         sets = index.sets_for(view_ids)
         cams = [cam_by_id[v] for v in view_ids]
-        perm = orders.order_microbatches(config.ordering, sets, cams, seed=rng)
-        steps = build_transfer_plan(
-            [sets[k] for k in perm],
-            [view_ids[k] for k in perm],
-            enable_cache=config.enable_cache,
+        plan = planner.plan(
+            sets, view_ids, cameras=cams, num_gaussians=index.num_gaussians
         )
-        loads += total_load_count(steps)
+        loads += plan.total_loads
     return costs.load_bytes(loads * count_scale) / len(batches)

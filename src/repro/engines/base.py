@@ -27,13 +27,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core import adam_overlap
 from repro.core.config import EngineConfig
 from repro.gaussians.camera import Camera
 from repro.gaussians.frustum import cull_gaussians
 from repro.gaussians.loss import photometric_loss, psnr
 from repro.gaussians.model import GaussianModel
 from repro.hardware.memory import MemoryPool
+from repro.planning.plan import BatchPlan
+from repro.planning.planner import BatchPlanner
 from repro.utils.rng import make_rng
 
 #: Hook signature: ``hook(view_id, working_set, position_grads)``.
@@ -178,6 +179,11 @@ class EngineBase(Engine):
             (c.num_pixels for c in self.cameras.values()), default=0
         )
         self._rng = make_rng(self.config.seed)
+        #: The engine's batch planner (shared RNG stream, so the ``random``
+        #: ordering draws from the same sequence the pre-planner code did).
+        self.planner = BatchPlanner.from_engine_config(
+            self.config, seed=self._rng
+        )
         self._render, self._render_backward = self.config.resolve_renderer()
         self.pool: Optional[MemoryPool] = None
         if self.config.gpu_capacity_bytes is not None:
@@ -237,6 +243,27 @@ class EngineBase(Engine):
             for vid in view_ids
         ]
 
+    def plan_batch(
+        self, view_ids: Sequence[int], strategy: Optional[str] = None
+    ) -> BatchPlan:
+        """Cull ``view_ids`` and plan the batch through :attr:`planner`.
+
+        Every engine's ``train_batch`` (and CLM's offloaded render path)
+        goes through here, so functional execution and the simulator
+        consume plans with identical semantics.  ``strategy`` overrides
+        the configured ordering — the non-pipelined engines pass
+        ``"identity"`` to process batches exactly as sampled.
+        """
+        sets = self.cull_views(view_ids)
+        cams = [self.cameras[v] for v in view_ids]
+        return self.planner.plan(
+            sets,
+            list(view_ids),
+            cameras=cams,
+            num_gaussians=self.num_gaussians,
+            strategy=strategy,
+        )
+
     def _max_frustum_fraction(self) -> float:
         """max_i |S_i| / N over all cameras (the rho_max of Table 2)."""
         n = max(1, self.num_gaussians)
@@ -256,52 +283,52 @@ class EngineBase(Engine):
         grads = self._render_backward(result, model_like, g_img / batch)
         return loss, grads
 
-    def _accumulate_gathered(
+    def _accumulate_planned(
         self,
-        view_ids: Sequence[int],
+        plan: BatchPlan,
         targets: Dict[int, np.ndarray],
         model: GaussianModel,
         grads: Dict[str, np.ndarray],
         position_grad_hook: Optional[PositionGradHook],
     ):
-        """The cull -> gather -> render -> backprop -> scatter-add loop.
+        """The gather -> render -> backprop -> scatter-add loop over a
+        planned batch.
 
         Shared by the naive offloader and the enhanced GPU-only engine:
-        per view, only the in-frustum subset enters the rasterizer and its
-        gradients are scatter-added into the full-model ``grads``.
+        per microbatch step, only the in-frustum working set enters the
+        rasterizer and its gradients are scatter-added into the
+        full-model ``grads``.
 
-        Returns ``(sets, per_view_loss, total_loss)``.
+        Returns ``(per_view_loss, total_loss)``.
         """
-        batch = len(view_ids)
-        sets: List[np.ndarray] = []
+        batch = plan.batch_size
         per_view_loss: Dict[int, float] = {}
         total_loss = 0.0
-        for vid in view_ids:
-            cam = self.cameras[vid]
-            (s,) = self.cull_views([vid])
-            sub = model.gather(s)
+        for step in plan.steps:
+            cam = self.cameras[step.view_id]
+            sub = model.gather(step.working_set)
             loss, sub_grads = self._forward_backward(
-                cam, sub, targets[vid], batch
+                cam, sub, targets[step.view_id], batch
             )
             for name, full in grads.items():
-                full[s] += sub_grads[name]
+                full[step.working_set] += sub_grads[name]
             if position_grad_hook is not None:
-                position_grad_hook(vid, s, sub_grads["positions"])
-            sets.append(s)
-            per_view_loss[vid] = loss
+                position_grad_hook(
+                    step.view_id, step.working_set, sub_grads["positions"]
+                )
+            per_view_loss[step.view_id] = loss
             total_loss += loss / batch
-        return sets, per_view_loss, total_loss
+        return per_view_loss, total_loss
 
     def _finalize_sparse_adam(
         self,
         optimizer,
         params: Dict[str, np.ndarray],
         grads: Dict[str, np.ndarray],
-        sets: Sequence[np.ndarray],
+        touched: np.ndarray,
     ) -> np.ndarray:
-        """Batch-end sparse-Adam update over the touched union; returns
-        the touched row set."""
-        touched = adam_overlap.touched_union(sets)
+        """Batch-end sparse-Adam update over the plan's touched union;
+        returns the touched row set."""
         optimizer.step_rows(params, grads, touched)
         return touched
 

@@ -5,15 +5,17 @@ NumPy arrays:
 
 1. frustum-cull every view of the batch against the GPU-resident critical
    attributes (§4.1, §5.1);
-2. order the microbatches (TSP by default, §4.2.3);
-3. build the precise-caching transfer plan (§4.2.1) and the overlapped-Adam
-   finalization chunks (§4.2.2);
-4. run the microbatch loop: assemble the working set (cache copies +
+2. obtain the :class:`repro.planning.BatchPlan` for the culled sets from
+   the engine's :class:`repro.planning.BatchPlanner` — microbatch order
+   (TSP by default, §4.2.3), precise-caching transfer steps (§4.2.1) and
+   overlapped-Adam finalization chunks (§4.2.2), memoized by the plan
+   cache;
+3. execute the plan's microbatch loop: assemble the working set (cache copies +
    pinned-store loads), render, compute loss, backprop, accumulate
    gradients (GPU-resident for critical attributes, working-buffer for
    non-critical with carried accumulation), offload finalized gradients,
    and apply the eager CPU-Adam chunk;
-5. finish the batch: last Adam chunk, then the GPU-side Adam update of the
+4. finish the batch: last Adam chunk, then the GPU-side Adam update of the
    critical attributes.
 
 Because the optimizer is per-row sparse Adam, the result is equivalent to
@@ -27,8 +29,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.core import adam_overlap, attributes, orders
-from repro.core.caching import build_transfer_plan
+from repro.core import attributes
 from repro.core.stores import (
     GpuCriticalStore,
     GpuWorkingSet,
@@ -106,18 +107,8 @@ class CLMEngine(EngineBase):
         """
         cfg = self.config
         batch = len(view_ids)
-        raw_sets = self.cull_views(view_ids)
-        cams = [self.cameras[v] for v in view_ids]
-        order = orders.order_microbatches(
-            cfg.ordering, raw_sets, cams, seed=self._rng
-        )
-        ordered_sets = [raw_sets[k] for k in order]
-        ordered_views = [view_ids[k] for k in order]
-        steps = build_transfer_plan(
-            ordered_sets, ordered_views, enable_cache=cfg.enable_cache
-        )
-        chunks = adam_overlap.adam_chunks(ordered_sets, self.num_gaussians)
-        touched = adam_overlap.touched_union(ordered_sets)
+        plan = self.plan_batch(view_ids)
+        touched = plan.touched
         self.cpu_store.zero_grads(touched)
         self.gpu_store.zero_grads(touched)
 
@@ -131,7 +122,7 @@ class CLMEngine(EngineBase):
         total_loss = 0.0
         per_view_loss: Dict[int, float] = {}
 
-        for step, chunk in zip(steps, chunks):
+        for step, chunk in zip(plan.steps, plan.adam_chunks):
             model_i = working.assemble(
                 step.working_set, step.loads, step.cached, carried
             )
@@ -151,7 +142,7 @@ class CLMEngine(EngineBase):
                 self._apply_noncritical_adam(chunk)
 
         if not cfg.enable_overlap_adam:
-            for chunk in chunks:
+            for chunk in plan.adam_chunks:
                 self._apply_noncritical_adam(chunk)
         self._apply_critical_adam(touched)
         working.release()
@@ -160,7 +151,7 @@ class CLMEngine(EngineBase):
             loss=total_loss,
             per_view_loss=per_view_loss,
             touched_gaussians=int(touched.size),
-            order=list(order),
+            order=list(plan.order),
             loaded_gaussians=working.counters.loaded_gaussians,
             stored_gaussians=working.counters.stored_gaussians,
             cached_gaussians=working.counters.cached_gaussians,
@@ -170,7 +161,7 @@ class CLMEngine(EngineBase):
             stored_bytes=attributes.noncritical_bytes(
                 working.counters.stored_gaussians
             ),
-            adam_chunk_sizes=[int(c.size) for c in chunks],
+            adam_chunk_sizes=plan.adam_chunk_sizes,
         )
 
     # ------------------------------------------------------------------
@@ -201,8 +192,11 @@ class CLMEngine(EngineBase):
         GPU memory holds critical attributes plus one view's non-critical
         slice, never the full model.
         """
-        sets = self.cull_views([view_id])
-        step = build_transfer_plan(sets, [view_id])[0]
+        # Ordering is meaningless for one view; identity keeps the plan
+        # cacheable (the 'random' strategy is cache-exempt) and draws
+        # nothing from the RNG stream that orders training batches.
+        plan = self.plan_batch([view_id], strategy="identity")
+        step = plan.steps[0]
         working = GpuWorkingSet(
             self.cpu_store, self.gpu_store, pool=self.pool,
             num_pixels=self._num_pixels,

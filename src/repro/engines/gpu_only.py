@@ -100,40 +100,45 @@ class GpuOnlyEngine(EngineBase):
         update over the touched union at batch end."""
         batch = len(view_ids)
         grads = self.model.zero_gradients()
+        # GPU-only engines run the sampled order; the planner still builds
+        # the (identity-order) plan so working sets and the touched union
+        # come from the same layer every engine uses.
+        plan = self.plan_batch(view_ids, strategy="identity")
 
         if self.enhanced:
-            sets, per_view_loss, total_loss = self._accumulate_gathered(
-                view_ids, targets, self.model, grads, position_grad_hook
+            per_view_loss, total_loss = self._accumulate_planned(
+                plan, targets, self.model, grads, position_grad_hook
             )
         else:
             # Fused-culling path: every kernel streams the full model; the
-            # per-view in-frustum set is still computed for the touched
-            # union and the densification hook.
-            sets = []
+            # plan's per-view in-frustum sets still feed the touched union
+            # and the densification hook.
             per_view_loss = {}
             total_loss = 0.0
-            for vid in view_ids:
-                cam = self.cameras[vid]
-                (s,) = self.cull_views([vid])
+            for step in plan.steps:
+                cam = self.cameras[step.view_id]
                 loss, full_grads = self._forward_backward(
-                    cam, self.model, targets[vid], batch
+                    cam, self.model, targets[step.view_id], batch
                 )
                 for name, full in grads.items():
                     full += full_grads[name]
                 if position_grad_hook is not None:
-                    position_grad_hook(vid, s, full_grads["positions"][s])
-                sets.append(s)
-                per_view_loss[vid] = loss
+                    position_grad_hook(
+                        step.view_id,
+                        step.working_set,
+                        full_grads["positions"][step.working_set],
+                    )
+                per_view_loss[step.view_id] = loss
                 total_loss += loss / batch
 
         touched = self._finalize_sparse_adam(
-            self.optimizer, self.model.parameters(), grads, sets
+            self.optimizer, self.model.parameters(), grads, plan.touched
         )
         return BatchResult(
             loss=total_loss,
             per_view_loss=per_view_loss,
             touched_gaussians=int(touched.size),
-            order=list(range(batch)),
+            order=list(plan.order),
         )
 
     def rebuild(self, model: GaussianModel, keep_rows: np.ndarray) -> None:

@@ -86,25 +86,31 @@ class NaiveOffloadEngine(EngineBase):
         position_grad_hook: Optional[PositionGradHook] = None,
     ) -> BatchResult:
         n = self.num_gaussians
+        # The naive system runs the sampled batch as-is — an identity-order
+        # plan (no TSP, no caching semantics apply to its bulk transfers),
+        # but the same planner produces it, so the touched union and the
+        # per-view working sets share CLM's semantics exactly.
+        plan = self.plan_batch(view_ids, strategy="identity")
+
         # Step 1 (Figure 3): load ALL parameters to the GPU.
         gpu_model = self.cpu_model.clone()
         grads = gpu_model.zero_gradients()
 
         # Step 2: per-image training with gradient accumulation; the naive
         # system also adopts pre-rendering frustum culling (§6.1).
-        sets, per_view_loss, total_loss = self._accumulate_gathered(
-            view_ids, targets, gpu_model, grads, position_grad_hook
+        per_view_loss, total_loss = self._accumulate_planned(
+            plan, targets, gpu_model, grads, position_grad_hook
         )
 
         # Steps 3-4: store ALL gradients back; CPU Adam updates parameters.
         touched = self._finalize_sparse_adam(
-            self.optimizer, self.cpu_model.parameters(), grads, sets
+            self.optimizer, self.cpu_model.parameters(), grads, plan.touched
         )
         return BatchResult(
             loss=total_loss,
             per_view_loss=per_view_loss,
             touched_gaussians=int(touched.size),
-            order=list(range(len(view_ids))),
+            order=list(plan.order),
             loaded_gaussians=n,
             stored_gaussians=n,
             # All 59 floats of every Gaussian cross the link (Figure 14's

@@ -84,6 +84,13 @@ class TrainingSession:
         subsystem reads into a ``BenchRecord``."""
         return self.engine.perf
 
+    @property
+    def planner(self):
+        """The engine's :class:`repro.planning.BatchPlanner` — inspect
+        ``sess.planner.counters`` for plan-cache hit rates and planning
+        time, or ``sess.planner.cache`` for the memoized plans."""
+        return self.engine.planner
+
     # ------------------------------------------------------------------
     def train(self, batches: Optional[int] = None):
         """Run ``batches`` training batches (default: the trainer config's

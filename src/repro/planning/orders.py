@@ -1,0 +1,78 @@
+"""Microbatch ordering strategies (paper Table 4).
+
+Four strategies are compared in the ablation study (§6.3, Figure 14,
+Table 5):
+
+- **random** — uniform shuffle (the default a trainer would use anyway);
+- **camera**  — sort by camera-centre coordinate along the scene's
+  principal axis (cheap spatial heuristic, no visibility info needed);
+- **gs_count** — descending in-frustum count; big views render first so
+  more Gaussians finalize early and CPU Adam overlaps more (§4.2.2);
+- **tsp**     — CLM's shortest-overlap-path order (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import scheduler
+from repro.gaussians.camera import Camera
+from repro.utils.rng import SeedLike, make_rng
+
+#: The paper's four ablation strategies (what the CLI exposes).
+STRATEGIES = ("random", "camera", "gs_count", "tsp")
+
+#: ``identity`` keeps the caller's view order — the non-pipelined engines
+#: (naive offloading, the GPU-only baselines) process batches exactly as
+#: sampled, so their plans use it instead of a visibility-aware order.
+IDENTITY = "identity"
+
+
+def principal_axis(cameras: Sequence[Camera]) -> np.ndarray:
+    """First principal component of the camera centres."""
+    centers = np.stack([c.center for c in cameras])
+    centered = centers - centers.mean(axis=0)
+    if np.allclose(centered, 0.0):
+        return np.array([1.0, 0.0, 0.0])
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return vt[0]
+
+
+def order_microbatches(
+    strategy: str,
+    sets: Sequence[np.ndarray],
+    cameras: Optional[Sequence[Camera]] = None,
+    seed: SeedLike = 0,
+    tsp_time_limit_s: float = 1e-3,
+) -> List[int]:
+    """Permutation of ``range(len(sets))`` according to ``strategy``.
+
+    ``sets[k]`` is the in-frustum set of ``cameras[k]``; only the
+    visibility-aware strategies (gs_count, tsp) read it, mirroring the
+    paper's note that those two require extra processing.  ``cameras``
+    may be omitted for every strategy except ``camera``.
+    """
+    n = len(sets)
+    if cameras is not None and len(cameras) != n:
+        raise ValueError("sets and cameras must align")
+    if strategy == IDENTITY:
+        return list(range(n))
+    if strategy == "random":
+        rng = make_rng(seed)
+        return list(rng.permutation(n))
+    if strategy == "camera":
+        if cameras is None:
+            raise ValueError("the 'camera' ordering requires cameras")
+        axis = principal_axis(cameras)
+        keys = [float(np.dot(cam.center, axis)) for cam in cameras]
+        return list(np.argsort(keys, kind="stable"))
+    if strategy == "gs_count":
+        sizes = [s.size for s in sets]
+        return list(np.argsort(sizes, kind="stable")[::-1])
+    if strategy == "tsp":
+        return scheduler.tsp_order(sets, time_limit_s=tsp_time_limit_s, seed=seed)
+    raise ValueError(
+        f"unknown ordering strategy '{strategy}'; choose from {STRATEGIES}"
+    )

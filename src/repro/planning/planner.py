@@ -1,0 +1,273 @@
+"""`BatchPlanner` — one place where culling results become a `BatchPlan`.
+
+Planning (order optimization + set algebra) dominates CLM's CPU-side
+scheduling cost: TSP alone has a 1 ms budget per batch (§4.2.3) and the
+transfer plan runs four set operations per microbatch (§4.2.1).  The
+planner therefore memoizes whole plans in a :class:`PlanCache` keyed by a
+content fingerprint of the in-frustum sets — a repeated batch over an
+unchanged model (steady-state simulation, repeated evaluation renders,
+plan-driven experiments) skips TSP and set algebra entirely, observable
+through :class:`PlannerCounters`.  The ``random`` ordering is exempt: a
+memoized shuffle would replay itself on a repeated batch, so random plans
+always rebuild (and always consume one RNG draw, keeping seeded streams
+independent of the cache configuration).
+
+The fingerprint hashes each sorted index set *once per view* (an O(total
+set size) pass), never per pair — the same trick
+:func:`repro.utils.setops.intersection_matrix` uses for the TSP distance
+matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.planning import adam_overlap, orders
+from repro.planning.caching import build_transfer_plan
+from repro.planning.plan import BatchPlan, freeze_array
+from repro.utils.rng import SeedLike, make_rng
+
+_FINGERPRINT_DIGEST_SIZE = 16
+
+
+def set_fingerprint(index_set: np.ndarray) -> bytes:
+    """Content digest of one sorted index set, computed in a single pass."""
+    data = np.ascontiguousarray(index_set, dtype=np.int64)
+    return hashlib.blake2b(
+        data.tobytes(), digest_size=_FINGERPRINT_DIGEST_SIZE
+    ).digest()
+
+
+def plan_fingerprint(
+    sets: Sequence[np.ndarray],
+    view_ids: Sequence[int],
+    strategy: str,
+    enable_cache: bool,
+    num_gaussians: int,
+    cameras=None,
+) -> Tuple:
+    """The :class:`PlanCache` key: per-view set digests plus every input
+    that changes the resulting plan.
+
+    ``cameras`` only enters the key when given — callers pass it for the
+    strategies that read camera geometry (``camera``), so a moved camera
+    with unchanged in-frustum sets still misses the cache.
+    """
+    camera_digest = None
+    if cameras is not None:
+        centers = np.ascontiguousarray(
+            [c.center for c in cameras], dtype=np.float64
+        )
+        camera_digest = hashlib.blake2b(
+            centers.tobytes(), digest_size=_FINGERPRINT_DIGEST_SIZE
+        ).digest()
+    return (
+        strategy,
+        enable_cache,
+        int(num_gaussians),
+        camera_digest,
+        tuple(int(v) for v in view_ids),
+        tuple(set_fingerprint(s) for s in sets),
+    )
+
+
+@dataclass
+class PlannerCounters:
+    """Cumulative planner statistics (the planner-bench metrics).
+
+    ``plans_built`` counts cache misses (full TSP + set-algebra runs);
+    ``cache_hits`` counts plans served without recomputation.  The
+    acceptance test for the cache asserts ``plans_built`` stays flat
+    across a repeated batch while ``requests`` advances.
+    """
+
+    requests: int = 0
+    plans_built: int = 0
+    cache_hits: int = 0
+    build_time_s: float = 0.0
+    order_time_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.cache_hits / self.requests
+
+
+class PlanCache:
+    """A small LRU of finished :class:`BatchPlan` objects.
+
+    Keys are :func:`plan_fingerprint` tuples; capacity 0 disables caching
+    (every request rebuilds).  Plans are immutable (frozen dataclass,
+    read-only derived arrays), so handing the same object to several
+    consumers is safe.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = int(capacity)
+        self._plans: "OrderedDict[Tuple, BatchPlan]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key: Tuple) -> Optional[BatchPlan]:
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+        return plan
+
+    def put(self, key: Tuple, plan: BatchPlan) -> None:
+        if self.capacity <= 0:
+            return
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+
+class BatchPlanner:
+    """Turn culling results into a :class:`BatchPlan`, with memoization.
+
+    One planner per engine / simulated run; ``seed`` may be an integer or
+    a shared ``numpy.random.Generator`` (the engines thread their own RNG
+    through so the ``random`` ordering stays on the engine's stream).
+    """
+
+    def __init__(
+        self,
+        ordering: str = "tsp",
+        enable_cache: bool = True,
+        cache_size: int = 8,
+        seed: SeedLike = 0,
+        tsp_time_limit_s: float = 1e-3,
+    ) -> None:
+        self.ordering = ordering
+        self.enable_cache = enable_cache
+        self.tsp_time_limit_s = tsp_time_limit_s
+        self._rng = make_rng(seed)
+        self.cache = PlanCache(cache_size)
+        self.counters = PlannerCounters()
+
+    @classmethod
+    def from_engine_config(cls, config, seed: SeedLike = None) -> "BatchPlanner":
+        """Planner configured from an :class:`repro.core.config.EngineConfig`
+        (or anything with ``ordering`` / ``enable_cache`` /
+        ``plan_cache_size`` attributes)."""
+        return cls(
+            ordering=config.ordering,
+            enable_cache=config.enable_cache,
+            cache_size=getattr(config, "plan_cache_size", 8),
+            seed=config.seed if seed is None else seed,
+        )
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        sets: Sequence[np.ndarray],
+        view_ids: Sequence[int],
+        cameras=None,
+        *,
+        num_gaussians: int,
+        strategy: Optional[str] = None,
+    ) -> BatchPlan:
+        """Plan one batch: order, transfer steps, Adam chunks, analytics.
+
+        ``sets[k]`` is the in-frustum set of ``view_ids[k]``; ``cameras``
+        (aligned with ``sets``) is only needed by the ``camera`` ordering.
+        ``num_gaussians`` is the model size the indices refer to (Adam
+        chunk derivation scans it).  ``strategy`` overrides the planner's
+        configured ordering — the non-pipelined engines pass
+        ``"identity"`` to keep the sampled batch order.  The returned
+        plan owns read-only copies of the input sets; the caller's arrays
+        are never touched.
+        """
+        if len(sets) != len(view_ids):
+            raise ValueError("sets and view_ids must align")
+        top = max((int(s.max()) for s in sets if s.size), default=-1)
+        if top >= num_gaussians:
+            raise ValueError(
+                f"index {top} out of range for num_gaussians={num_gaussians}"
+            )
+        strategy = self.ordering if strategy is None else strategy
+        self.counters.requests += 1
+        # A memoized 'random' plan would replay an earlier shuffle (and
+        # skip the RNG draw), changing the ablation's semantics — random
+        # orderings always replan.  With the cache disabled, skip the
+        # fingerprint pass too.
+        use_cache = self.cache.capacity > 0 and strategy != "random"
+        key = None
+        if use_cache:
+            key = plan_fingerprint(
+                sets, view_ids, strategy, self.enable_cache, num_gaussians,
+                cameras=cameras if strategy == "camera" else None,
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.counters.cache_hits += 1
+                return cached
+
+        start = time.perf_counter()
+        order = orders.order_microbatches(
+            strategy,
+            sets,
+            cameras,
+            seed=self._rng,
+            tsp_time_limit_s=self.tsp_time_limit_s,
+        )
+        self.counters.order_time_s += time.perf_counter() - start
+
+        # Plan-owned copies: the working sets are frozen below, and doing
+        # that to the caller's arrays (e.g. a long-lived CullingIndex)
+        # would leak read-only flags into caller state.
+        ordered_sets = [
+            np.array(sets[k], dtype=np.int64, copy=True) for k in order
+        ]
+        ordered_views = [int(view_ids[k]) for k in order]
+        steps = build_transfer_plan(
+            ordered_sets, ordered_views, enable_cache=self.enable_cache
+        )
+        for step in steps:
+            freeze_array(step.working_set)
+            freeze_array(step.loads)
+            freeze_array(step.cached)
+            freeze_array(step.stores)
+            freeze_array(step.carried)
+        touched = freeze_array(adam_overlap.touched_union(ordered_sets))
+        plan = BatchPlan(
+            strategy=strategy,
+            enable_cache=self.enable_cache,
+            num_gaussians=int(num_gaussians),
+            order=tuple(int(k) for k in order),
+            view_ids=tuple(ordered_views),
+            steps=tuple(steps),
+            touched=touched,
+        )
+        self.counters.plans_built += 1
+        self.counters.build_time_s += time.perf_counter() - start
+        if use_cache:
+            self.cache.put(key, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for reporting (CLI, benchmarks)."""
+        c = self.counters
+        return {
+            "requests": c.requests,
+            "plans_built": c.plans_built,
+            "cache_hits": c.cache_hits,
+            "hit_rate": c.hit_rate,
+            "build_time_s": c.build_time_s,
+            "order_time_s": c.order_time_s,
+        }

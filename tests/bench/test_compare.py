@@ -146,3 +146,22 @@ def test_schema_invalid_baseline_fails():
     report = compare_results(doc([record()]), base)
     assert not report.ok
     assert any(e.startswith("baseline:") for e in report.schema_errors)
+
+
+def test_unmatched_records_with_none_variant_sort_safely():
+    """A new benchmark contributes both a variant-less whole-run record
+    and variant records; sorting the current-only keys must not compare
+    None against str (regression: the first planner-bench run crashed
+    the CI compare gate)."""
+    base = doc([record()])
+    cur = doc([
+        record(),
+        record(benchmark="planner", scene=None, engine=None, variant=None),
+        record(benchmark="planner", scene=None, engine=None,
+               variant="plan_build_b16"),
+    ])
+    report = compare_results(cur, base)
+    assert report.ok
+    assert len(report.only_in_current) == 2
+    report_rev = compare_results(base, cur)
+    assert len(report_rev.only_in_baseline) == 2

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.caching import build_transfer_plan, total_cached_count, total_load_count, total_store_count
+from repro.planning.caching import build_transfer_plan, total_cached_count, total_load_count, total_store_count
 from repro.core.config import EngineConfig
 from repro.core.memory_model import CLM_CRITICAL_BPG
 from repro.engines import CLMEngine
@@ -32,7 +32,7 @@ def test_transfer_counters_match_analytic_plan(setup):
     engine = CLMEngine(init, scene.cameras, EngineConfig(batch_size=4, seed=0))
     batch = [0, 1, 2, 3]
     sets = engine.cull_views(batch)
-    from repro.core import orders
+    from repro.planning import orders
 
     perm = orders.order_microbatches(
         "tsp", sets, [engine.cameras[v] for v in batch], seed=np.random.default_rng(0)

@@ -1,6 +1,36 @@
-"""The pre-registry import surface keeps working through thin shims."""
+"""The pre-refactor import surface keeps working through thin shims.
+
+Two generations of shims are pinned here so their eventual removal is a
+conscious decision: the engine relocation (``repro.core.engine|naive|
+gpu_only`` -> ``repro.engines``) and the planning relocation
+(``repro.core.caching|orders|adam_overlap`` -> ``repro.planning``).
+Every shim must (a) emit a ``DeprecationWarning`` on import and (b)
+re-export the canonical objects by identity.
+"""
+
+import importlib
+import sys
+import warnings
 
 import pytest
+
+SHIM_MODULES = (
+    "repro.core.engine",
+    "repro.core.naive",
+    "repro.core.gpu_only",
+    "repro.core.caching",
+    "repro.core.orders",
+    "repro.core.adam_overlap",
+)
+
+
+@pytest.mark.parametrize("module_name", SHIM_MODULES)
+def test_shim_emits_deprecation_warning_on_import(module_name):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        importlib.import_module(module_name)  # first import may be cached
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        importlib.reload(sys.modules[module_name])
 
 
 def test_engine_classes_importable_from_old_locations():
@@ -16,6 +46,22 @@ def test_engine_classes_importable_from_old_locations():
     assert BatchResult is engines.BatchResult
     assert NaiveBatchResult is engines.BatchResult
     assert GpuOnlyBatchResult is engines.BatchResult
+
+
+def test_planning_shims_reexport_canonical_objects():
+    import repro.core.adam_overlap as old_adam
+    import repro.core.caching as old_caching
+    import repro.core.orders as old_orders
+    import repro.planning as planning
+
+    assert old_caching.MicrobatchStep is planning.MicrobatchStep
+    assert old_caching.build_transfer_plan is planning.build_transfer_plan
+    assert old_caching.validate_plan is planning.validate_plan
+    assert old_orders.order_microbatches is planning.order_microbatches
+    assert old_orders.STRATEGIES is planning.STRATEGIES
+    assert old_adam.adam_chunks is planning.adam_chunks
+    assert old_adam.touched_union is planning.touched_union
+    assert old_adam.finalization_positions is planning.finalization_positions
 
 
 def test_repro_core_lazy_reexports():

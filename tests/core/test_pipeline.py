@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.caching import build_transfer_plan
 from repro.core.pipeline import (
     add_clm_batch,
     add_gpu_only_batch,
@@ -13,6 +12,7 @@ from repro.hardware.kernels import KernelCostModel
 from repro.hardware.metrics import GPU_COMM
 from repro.hardware.simulator import Simulator
 from repro.hardware.specs import RTX4090_TESTBED
+from repro.planning import BatchPlanner
 
 
 @pytest.fixture()
@@ -20,24 +20,24 @@ def costs():
     return KernelCostModel(RTX4090_TESTBED, splats_per_pixel=3.0)
 
 
-def simple_steps(batch=4, size=1000, overlap=500):
+def simple_plan(batch=4, size=1000, overlap=500):
+    """An identity-order plan over a chain of half-overlapping sets."""
     sets = []
     start = 0
     for _ in range(batch):
         sets.append(np.arange(start, start + size, dtype=np.int64))
         start += size - overlap
-    return build_transfer_plan(sets), sets
+    planner = BatchPlanner(ordering="identity", cache_size=0)
+    return planner.plan(
+        sets, list(range(batch)), num_gaussians=int(sets[-1][-1]) + 1
+    )
 
 
 def build_clm(costs, batch=4, count_scale=1e4, **kwargs):
     sim = Simulator()
-    steps, sets = simple_steps(batch)
-    from repro.core.adam_overlap import adam_chunks
-
-    chunks = adam_chunks(sets, int(sets[-1][-1]) + 1)
+    plan = simple_plan(batch)
     endpoints = add_clm_batch(
-        sim, costs, steps, [c.size for c in chunks], count_scale,
-        2_000_000, 15e6, **kwargs,
+        sim, costs, plan, count_scale, 2_000_000, 15e6, **kwargs,
     )
     return sim, sim.run(), endpoints
 
@@ -100,29 +100,26 @@ class TestClmBatch:
         assert endpoints.last_adam in result.records
         assert endpoints.last_compute in result.records
 
-    def test_chunk_count_mismatch_rejected(self, costs):
+    def test_blocked_count_mismatch_rejected(self, costs):
         sim = Simulator()
-        steps, _ = simple_steps(3)
+        plan = simple_plan(3)
         with pytest.raises(ValueError):
-            add_clm_batch(sim, costs, steps, [1, 2], 1.0, 100, 1e6)
+            add_clm_batch(sim, costs, plan, 1.0, 100, 1e6,
+                          prev_cpu_adam=0, blocked_load_counts=[1.0, 2.0])
 
     def test_cross_batch_blocked_loads_wait(self, costs):
         """Blocked load fractions must start after the previous batch's
         final Adam chunk."""
         sim = Simulator()
-        steps, sets = simple_steps(3)
-        from repro.core.adam_overlap import adam_chunks
-
-        chunks = adam_chunks(sets, int(sets[-1][-1]) + 1)
-        counts = [c.size for c in chunks]
-        first = add_clm_batch(sim, costs, steps, counts, 1e4, 2_000_000, 15e6,
+        plan = simple_plan(3)
+        first = add_clm_batch(sim, costs, plan, 1e4, 2_000_000, 15e6,
                               batch_tag=".a")
         second = add_clm_batch(
-            sim, costs, steps, counts, 1e4, 2_000_000, 15e6,
+            sim, costs, plan, 1e4, 2_000_000, 15e6,
             batch_tag=".b",
             deps=[first.last_compute],
             prev_cpu_adam=first.last_adam,
-            blocked_load_counts=[s.num_loads * 0.5 for s in steps],
+            blocked_load_counts=[s.num_loads * 0.5 for s in plan.steps],
         )
         result = sim.run()
         adam_end = result.end_of(first.last_adam)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.caching import build_transfer_plan
+from repro.planning.caching import build_transfer_plan
 from repro.core.stores import (
     GpuCriticalStore,
     GpuWorkingSet,

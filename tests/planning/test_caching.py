@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.caching import (
+from repro.planning.caching import (
     build_transfer_plan,
     total_cached_count,
     total_load_count,
@@ -129,7 +129,7 @@ class TestPlanProperties:
         """The *last* store of each Gaussian is exactly its finalization
         microbatch L_g — the §4.2.2 safety property that lets CPU Adam run
         as soon as chunk F_j's gradients land."""
-        from repro.core.adam_overlap import finalization_positions
+        from repro.planning.adam_overlap import finalization_positions
 
         steps = build_transfer_plan(sets)
         num = 81

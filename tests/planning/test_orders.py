@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import orders
-from repro.core.caching import build_transfer_plan, total_load_count
+from repro.planning import orders
+from repro.planning.caching import build_transfer_plan, total_load_count
 from repro.gaussians.camera import look_at_camera
 from repro.utils.setops import as_index_set
 

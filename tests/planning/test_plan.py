@@ -1,0 +1,123 @@
+"""BatchPlan construction, analytics, and immutability."""
+
+import dataclasses
+
+import pytest
+
+from repro.planning import BatchPlanner
+from repro.utils.setops import as_index_set
+
+
+def make_sets(rng, n, universe=200, size_range=(5, 40)):
+    return [
+        as_index_set(rng.integers(0, universe, rng.integers(*size_range)))
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture()
+def plan(rng):
+    sets = make_sets(rng, 5)
+    planner = BatchPlanner(ordering="tsp", cache_size=0, seed=0)
+    return planner.plan(sets, [3, 1, 4, 1 + 5, 9], num_gaussians=200)
+
+
+def test_order_is_permutation(plan):
+    assert sorted(plan.order) == list(range(5))
+
+
+def test_view_ids_follow_order(plan):
+    for step, vid in zip(plan.steps, plan.view_ids):
+        assert step.view_id == vid
+
+
+def test_analytics_match_step_sums(plan):
+    assert plan.total_loads == sum(s.num_loads for s in plan.steps)
+    assert plan.total_stores == sum(s.num_stores for s in plan.steps)
+    assert plan.total_cached == sum(s.cached.size for s in plan.steps)
+    assert plan.loaded_bytes == plan.total_loads * 49 * 4
+    assert plan.stored_bytes == plan.total_stores * 49 * 4
+    assert plan.transfer_bytes == plan.loaded_bytes + plan.stored_bytes
+
+
+def test_adam_chunks_partition_touched(plan):
+    assert sum(plan.adam_chunk_sizes) == plan.touched.size
+    assert plan.batch_size == len(plan.adam_chunks) == 5
+
+
+def test_cache_hit_rate_bounded(plan):
+    assert 0.0 <= plan.cache_hit_rate <= 1.0
+    # loads + cached together cover every working-set row.
+    covered = plan.total_loads + plan.total_cached
+    assert covered == sum(s.working_set.size for s in plan.steps)
+
+
+def test_validate_passes(plan):
+    plan.validate()
+
+
+def test_plan_is_frozen(plan):
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        plan.strategy = "random"
+
+
+def test_derived_arrays_read_only(plan):
+    for step in plan.steps:
+        arrays = (step.working_set, step.loads, step.cached, step.stores,
+                  step.carried)
+        for arr in arrays:
+            with pytest.raises(ValueError):
+                arr[:0] = 0  # shape-safe write attempt
+            assert not arr.flags.writeable
+    assert not plan.touched.flags.writeable
+    for chunk in plan.adam_chunks:
+        assert not chunk.flags.writeable
+
+
+def test_steps_are_frozen(plan):
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        plan.steps[0].view_id = 42
+
+
+def test_out_of_range_indices_rejected_at_plan_time(rng):
+    planner = BatchPlanner(ordering="identity", cache_size=0)
+    sets = make_sets(rng, 3, universe=200)
+    with pytest.raises(ValueError, match="out of range"):
+        planner.plan(sets, [0, 1, 2], num_gaussians=10)
+
+
+def test_identity_strategy_keeps_input_order(rng):
+    sets = make_sets(rng, 4)
+    planner = BatchPlanner(ordering="identity", cache_size=0)
+    plan = planner.plan(sets, [7, 5, 3, 1], num_gaussians=200)
+    assert plan.order == (0, 1, 2, 3)
+    assert plan.view_ids == (7, 5, 3, 1)
+
+
+def test_no_cache_plan(rng):
+    sets = make_sets(rng, 4)
+    planner = BatchPlanner(ordering="identity", enable_cache=False,
+                           cache_size=0)
+    plan = planner.plan(sets, list(range(4)), num_gaussians=200)
+    plan.validate()
+    assert plan.total_cached == 0
+    assert plan.total_loads == sum(s.size for s in sets)
+
+
+def test_mismatched_lengths_rejected(rng):
+    planner = BatchPlanner(cache_size=0)
+    with pytest.raises(ValueError):
+        planner.plan(make_sets(rng, 3), [0, 1], num_gaussians=200)
+
+
+def test_adam_chunks_derived_lazily(rng):
+    """Consumers that only read steps/touched (inference renders, the
+    non-overlapping engines) must not pay the O(B*N) chunk derivation."""
+    sets = make_sets(rng, 4)
+    planner = BatchPlanner(ordering="identity", cache_size=0)
+    lazy_plan = planner.plan(sets, list(range(4)), num_gaussians=200)
+    assert "adam_chunks" not in lazy_plan.__dict__
+    chunks = lazy_plan.adam_chunks  # first access computes and caches
+    assert "adam_chunks" in lazy_plan.__dict__
+    assert lazy_plan.adam_chunks is chunks
+    assert sum(c.size for c in chunks) == lazy_plan.touched.size
