@@ -125,9 +125,26 @@ class BenchRunner:
         self.results_log = results_log
 
     def select(self, only: Optional[Sequence[str]] = None):
-        """The benchmark entries a run would execute, in order."""
+        """The benchmark entries a run would execute, in registration order.
+
+        ``only`` tokens match registered names exactly first, then as
+        substrings (``repro bench run --only raster`` or ``--only fig`` —
+        the CLI's module discovery used to be all-or-nothing).  A token
+        matching nothing raises :class:`UnknownBenchmarkError`.
+        """
         if only:
-            return tuple(get_benchmark(name) for name in only)
+            names = available_benchmarks()
+            chosen = set()
+            for token in only:
+                if token in names:
+                    chosen.add(token)
+                    continue
+                matches = [n for n in names if token in n]
+                if not matches:
+                    # Exact-name error path keeps the registry's message.
+                    get_benchmark(token)
+                chosen.update(matches)
+            return tuple(get_benchmark(n) for n in names if n in chosen)
         entries = benchmark_entries()
         if self.tier.name == "quick":
             entries = tuple(

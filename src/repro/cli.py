@@ -332,7 +332,8 @@ def _add_bench_parser(sub) -> None:
     rp.add_argument("--full", action="store_true",
                     help="shorthand for --tier full (paper-shape scale)")
     rp.add_argument("--only", nargs="*", default=None,
-                    help="run only these registered benchmarks")
+                    help="run only these benchmarks (exact names or "
+                         "substrings, e.g. --only raster or --only fig)")
     rp.add_argument("--output", default="BENCH_results.json")
     rp.add_argument("--seed", type=int, default=0)
     rp.add_argument("--quiet", action="store_true",

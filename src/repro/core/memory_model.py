@@ -50,7 +50,14 @@ CLM_CRITICAL_BPG = attributes.critical_floats() * TRAIN_COPIES * BYTES_PER_FLOAT
 CLM_BUFFER_BPG = 2 * 2 * attributes.noncritical_floats() * BYTES_PER_FLOAT
 
 #: Per-Gaussian activation state of the rasterizer (projected means,
-#: conics, colours, tile keys, and their saved gradients).
+#: conics, colours, tile keys, and their saved gradients).  Like the
+#: paper's CUDA kernels, this assumes the backward pass *recomputes* the
+#: per-tile blending state; the functional substrate's optional blend
+#: cache (``RasterSettings.cache_blend_state``) retains extra bytes that
+#: are deliberately outside this analytic allowance — they are reported by
+#: ``RenderContext.activation_bytes``/``blend_state_bytes`` instead, and
+#: every engine opts out of retention (``EngineBase.raster_settings``)
+#: whenever a GPU memory pool enforces this model's budget.
 ACT_PER_GAUSSIAN = 500
 #: Per-pixel activation state (composited colour, transmittance, per-pixel
 #: gradient staging).

@@ -125,7 +125,23 @@ class PinnedParameterStore:
 
 class GpuCriticalStore:
     """GPU-resident selection-critical attributes with gradient
-    accumulators and (conceptually) their on-GPU optimizer state."""
+    accumulators and (conceptually) their on-GPU optimizer state.
+
+    The gradient accumulators live in one packed ``(N, 10)`` row-major
+    array (``[positions 3 | log_scales 3 | quaternions 4]`` — the same
+    packed-row idiom :meth:`PinnedParameterStore._pack_into` defines for
+    the non-critical side), so ``accumulate_grads``/``zero_grads`` are one
+    fused scatter each instead of a per-name Python loop.  :attr:`grads`
+    exposes named views into the packed array, so row-indexed consumers
+    (sparse Adam, the equivalence tests) are unchanged.
+    """
+
+    #: Packed gradient-row layout, in accumulation order.
+    GRAD_COLUMNS = {
+        "positions": slice(0, 3),
+        "log_scales": slice(3, 6),
+        "quaternions": slice(6, 10),
+    }
 
     def __init__(
         self, model: GaussianModel, pool: Optional[MemoryPool] = None
@@ -134,10 +150,10 @@ class GpuCriticalStore:
         self.positions = model.positions.copy()
         self.log_scales = model.log_scales.copy()
         self.quaternions = model.quaternions.copy()
+        self._packed_grads = np.zeros((self.num_rows, 10))
         self.grads = {
-            "positions": np.zeros_like(self.positions),
-            "log_scales": np.zeros_like(self.log_scales),
-            "quaternions": np.zeros_like(self.quaternions),
+            name: self._packed_grads[:, cols]
+            for name, cols in self.GRAD_COLUMNS.items()
         }
         self.pool = pool
         if pool is not None:
@@ -158,12 +174,14 @@ class GpuCriticalStore:
         }
 
     def accumulate_grads(self, indices: np.ndarray, grads: Dict[str, np.ndarray]) -> None:
-        for name, buf in self.grads.items():
-            buf[indices] += grads[name]
+        """Fetch-add-store over packed rows: one concatenate, one scatter."""
+        flat = np.concatenate(
+            [grads[name] for name in self.GRAD_COLUMNS], axis=1
+        )
+        self._packed_grads[indices] += flat
 
     def zero_grads(self, indices: np.ndarray) -> None:
-        for buf in self.grads.values():
-            buf[indices] = 0.0
+        self._packed_grads[indices] = 0.0
 
     def release(self) -> None:
         if self.pool is not None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -69,6 +70,12 @@ class BatchResult:
     #: Wall-clock seconds of this batch, stamped by
     #: :meth:`EngineBase.train_batch` (not by the engine implementations).
     wall_time_s: float = 0.0
+    #: Seconds this batch spent inside the renderer's forward pass
+    #: (:meth:`EngineBase._forward_backward` render call), stamped by
+    #: :meth:`EngineBase.train_batch` like ``wall_time_s``.
+    forward_s: float = 0.0
+    #: Seconds spent inside the renderer's backward pass.
+    backward_s: float = 0.0
 
 
 @dataclass
@@ -84,6 +91,10 @@ class PerfCounters:
     batches: int = 0
     images: int = 0
     wall_time_s: float = 0.0
+    #: Cumulative renderer forward / backward seconds (the raster hot path
+    #: the PR 4 substrate optimizes), split out of ``wall_time_s``.
+    forward_s: float = 0.0
+    backward_s: float = 0.0
     loaded_bytes: float = 0.0
     stored_bytes: float = 0.0
     loaded_gaussians: int = 0
@@ -106,6 +117,8 @@ class PerfCounters:
         self.batches += 1
         self.images += images
         self.wall_time_s += result.wall_time_s
+        self.forward_s += result.forward_s
+        self.backward_s += result.backward_s
         self.loaded_bytes += result.loaded_bytes
         self.stored_bytes += result.stored_bytes
         self.loaded_gaussians += result.loaded_gaussians
@@ -190,7 +203,29 @@ class EngineBase(Engine):
             self.pool = MemoryPool(self.config.gpu_capacity_bytes, name="gpu")
         self.batches_trained = 0
         self.perf = PerfCounters()
+        # Per-batch renderer timing accumulators, reset by train_batch.
+        self._step_forward_s = 0.0
+        self._step_backward_s = 0.0
         self._setup(model)
+
+    @property
+    def raster_settings(self):
+        """The raster settings this engine renders with — a live view of
+        ``config.raster`` (schedules like the trainer's SH warmup mutate
+        that shared object in place), never a construction-time snapshot.
+
+        Under an enforced GPU pool the activation allocations follow the
+        analytic ``ACT_PER_GAUSSIAN`` model, which (like the paper's CUDA
+        kernels) assumes the backward pass recomputes the blending state;
+        retaining the blend cache would hold real bytes the pool never
+        accounted for, so retention is forced off here on capacity-limited
+        runs — as a per-call overlay, without mutating the caller's config
+        (it may be shared across engines).
+        """
+        settings = self.config.raster
+        if self.pool is not None and settings.cache_blend_state:
+            settings = dc_replace(settings, cache_blend_state=False)
+        return settings
 
     # -- subclass hooks -------------------------------------------------
     @abc.abstractmethod
@@ -216,13 +251,18 @@ class EngineBase(Engine):
         """One training batch, instrumented.
 
         Template method: delegates to :meth:`_train_batch`, stamps the
-        measured ``wall_time_s`` onto the result, and folds it into
+        measured ``wall_time_s`` and the renderer ``forward_s``/
+        ``backward_s`` split onto the result, and folds it into
         :attr:`perf` — every engine gets uniform per-batch timing and
         transfer accounting for free.
         """
+        self._step_forward_s = 0.0
+        self._step_backward_s = 0.0
         start = time.perf_counter()
         result = self._train_batch(view_ids, targets, position_grad_hook)
         result.wall_time_s = time.perf_counter() - start
+        result.forward_s = self._step_forward_s
+        result.backward_s = self._step_backward_s
         self.batches_trained += 1
         self.perf.observe(result, len(view_ids))
         return result
@@ -274,13 +314,19 @@ class EngineBase(Engine):
         """Render one view, compute the photometric loss, backpropagate.
 
         Returns ``(loss, grads)`` with gradients already scaled by the
-        1/batch gradient-accumulation factor.
+        1/batch gradient-accumulation factor.  Renderer forward and
+        backward wall time is accumulated into the per-batch counters
+        :meth:`train_batch` stamps onto the :class:`BatchResult`.
         """
-        result = self._render(cam, model_like, self.config.raster)
+        start = time.perf_counter()
+        result = self._render(cam, model_like, self.raster_settings)
+        self._step_forward_s += time.perf_counter() - start
         loss, g_img = photometric_loss(
             result.image, target, self.config.ssim_lambda
         )
+        start = time.perf_counter()
         grads = self._render_backward(result, model_like, g_img / batch)
+        self._step_backward_s += time.perf_counter() - start
         return loss, grads
 
     def _accumulate_planned(
@@ -348,7 +394,7 @@ class EngineBase(Engine):
         values = [
             psnr(
                 self._render(
-                    self.cameras[vid], model, self.config.raster
+                    self.cameras[vid], model, self.raster_settings
                 ).image,
                 targets[vid],
             )
@@ -358,5 +404,5 @@ class EngineBase(Engine):
 
     def render_view(self, view_id: int):
         return self._render(
-            self.cameras[view_id], self._eval_model(), self.config.raster
+            self.cameras[view_id], self._eval_model(), self.raster_settings
         )

@@ -202,7 +202,9 @@ class CLMEngine(EngineBase):
             num_pixels=self._num_pixels,
         )
         model_i = working.assemble(step.working_set, step.loads, step.cached)
-        result = self._render(self.cameras[view_id], model_i, self.config.raster)
+        result = self._render(
+            self.cameras[view_id], model_i, self.raster_settings
+        )
         working.release()
         return result
 

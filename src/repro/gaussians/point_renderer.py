@@ -62,7 +62,14 @@ def _footprints(camera: Camera, model: GaussianModel, ids: np.ndarray):
 def point_render(
     camera: Camera, model: GaussianModel, settings=None
 ) -> PointRenderResult:
-    """Forward pass: normalized additive splatting."""
+    """Forward pass: normalized additive splatting.
+
+    ``settings`` is accepted for interface parity with the tile
+    rasterizer; only its ``dtype`` knob is honoured (the heavy ``(G, P)``
+    falloff field is computed in that dtype, float64 by default — the
+    backward pass promotes to float64 accumulation either way).
+    """
+    dtype = np.dtype(getattr(settings, "dtype", "float64") or "float64")
     ids = cull_gaussians(
         camera, model.positions, model.log_scales, model.quaternions
     )
@@ -79,10 +86,13 @@ def point_render(
     ys, xs = np.mgrid[0:h, 0:w]
     pix = np.stack([xs.ravel() + 0.5, ys.ravel() + 0.5], axis=-1)  # (P, 2)
 
-    d2 = ((pix[None, :, :] - means2d[:, None, :]) ** 2).sum(-1)  # (G, P)
-    sigma2 = np.maximum(radius, 0.5)[:, None] ** 2
+    diff = pix[None, :, :].astype(dtype) - means2d[:, None, :].astype(dtype)
+    d2 = (diff**2).sum(-1)  # (G, P)
+    sigma2 = (np.maximum(radius, 0.5)[:, None] ** 2).astype(dtype)
     weight = np.where(
-        in_front[:, None], opac[:, None] * np.exp(-0.5 * d2 / sigma2), 0.0
+        in_front[:, None],
+        opac.astype(dtype)[:, None] * np.exp(-0.5 * d2 / sigma2),
+        dtype.type(0.0),
     )
     total = weight.sum(axis=0) + EPS  # (P,)
     rgb = (weight.T @ colors) / total[:, None]

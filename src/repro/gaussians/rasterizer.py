@@ -6,12 +6,42 @@ space (mean, conic, colour, opacity, pixel radius), Gaussians are binned
 into fixed-size tiles, and each tile composites its depth-sorted splats
 front-to-back with alpha blending.
 
-Differences from the CUDA kernels are purely executional: tiles are
-processed as dense ``(gaussians x pixels)`` NumPy blocks rather than warps,
-and early ray termination is expressed as a transmittance mask so that the
-forward and backward passes are *exactly* consistent (the backward pass in
-:mod:`repro.gaussians.rasterizer_grad` re-derives every intermediate from
-the saved context).
+Differences from the CUDA kernels are purely executional.  Since PR 4 the
+hot path is a *vectorized substrate*:
+
+- **CSR tile binning** (:func:`build_tile_bins`): instead of a Python
+  triple loop appending rows into a dict of per-tile lists, the binning is
+  one flat array program — per-Gaussian tile-span counts, ``np.repeat`` to
+  emit ``(tile_id, gauss_row)`` pairs, a single ``np.lexsort`` over
+  ``(tile_id, depth, row)`` and ``np.unique`` offsets.  The result is a
+  :class:`TileBins` CSR structure::
+
+      tile_ids : (T,)   linear ids (ty * tiles_x + tx) of non-empty tiles
+      offsets  : (T+1,) CSR offsets into ``order``
+      order    : (E,)   rows into the projected arrays, near-to-far per tile
+
+- **Grouped compositing**: tiles are processed in groups of equal *padded*
+  bin length as ``(T, G, P)`` tensors (``P = tile_size**2`` padded pixels,
+  ``G`` the power-of-two padded splat count, pad entries carry zero
+  opacity), so the forward blend, the ``t_before`` cumprods and the
+  backward suffix sums batch across tiles instead of paying one Python
+  iteration per tile.  ``RasterSettings.group_size`` bounds the tiles per
+  slab; ``RasterSettings.dtype`` selects a float32 compute mode (gradient
+  accumulation stays float64 in :mod:`repro.gaussians.rasterizer_grad`).
+
+- **Shared blend cache**: with ``RasterSettings.cache_blend_state`` the
+  forward pass retains each group's blending state on the
+  :class:`RenderContext` so the backward pass does not recompute
+  ``tile_alpha_weights`` from scratch.  The retained bytes are reported by
+  :meth:`RenderContext.activation_bytes` (the reference CUDA kernels
+  recompute blending backward, which is why retention is opt-out for the
+  memory-accounted CLM path).
+
+The legacy per-tile loop (``rasterize_forward_legacy`` and the
+``tile_alpha_weights`` contract it is built on) is kept verbatim as the
+golden reference: ``tests/gaussians/test_raster_parity.py`` pins the
+substrate against it and ``benchmarks/bench_raster.py`` records the
+speedup.
 
 The rasterizer deliberately accepts an arbitrary subset of a scene's
 Gaussians: CLM's selective loading feeds it exactly the in-frustum set
@@ -21,8 +51,9 @@ win for compute and activation memory.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +67,14 @@ from repro.gaussians.covariance import (
 from repro.gaussians.model import GaussianModel, sigmoid
 from repro.gaussians.projection import project_means, splat_radii
 
+#: Upper bound on ``tiles x splats x pixels`` cells materialized per
+#: grouped slab; keeps the (T, G, P) working tensors at tens of MB even
+#: when a single tile's bin is very deep.
+_MAX_GROUP_CELLS = 1 << 22
+#: Padding budget of a slab: padded entries may exceed real entries by at
+#: most this factor before the slab is cut.
+_MAX_PAD_WASTE = 1.25
+
 
 @dataclass
 class RasterSettings:
@@ -45,6 +84,17 @@ class RasterSettings:
     implementation (1/255 contribution floor, 0.99 opacity ceiling);
     ``transmittance_min`` is the early-termination threshold expressed as a
     mask (set to 0 for exact full compositing, e.g. in gradient checks).
+
+    Substrate knobs:
+
+    - ``group_size``: max tiles batched into one ``(T, G, P)`` slab.
+    - ``dtype``: compute dtype of the blend state (``"float64"`` default,
+      ``"float32"`` for the fast mode; gradients always accumulate in
+      float64).
+    - ``cache_blend_state``: retain the forward blending state on the
+      :class:`RenderContext` for the backward pass.  Opt out to trade the
+      backward recompute for activation memory (what the paper's CUDA
+      kernels do, and what CLM's activation accounting assumes).
     """
 
     tile_size: int = 16
@@ -53,6 +103,13 @@ class RasterSettings:
     transmittance_min: float = 1e-4
     max_alpha: float = 0.99
     active_sh_degree: Optional[int] = None
+    group_size: int = 256
+    dtype: str = "float64"
+    cache_blend_state: bool = True
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
 
 
 @dataclass
@@ -79,8 +136,44 @@ class ProjectedGaussians:
 
 
 @dataclass
+class TileBins:
+    """CSR tile binning of one view.
+
+    ``order[offsets[i] : offsets[i + 1]]`` are the rows (into the
+    :class:`ProjectedGaussians` arrays) binned into the tile with linear id
+    ``tile_ids[i]`` (``tile_id = ty * tiles_x + tx``), sorted near-to-far
+    (ties broken by row index, matching the legacy stable sort).
+    """
+
+    tile_size: int
+    tiles_x: int
+    tiles_y: int
+    width: int
+    height: int
+    tile_ids: np.ndarray  # (T,) ascending linear tile ids, non-empty only
+    offsets: np.ndarray  # (T + 1,)
+    order: np.ndarray  # (E,) rows into ProjectedGaussians, depth-sorted
+
+    @property
+    def num_tiles(self) -> int:
+        return int(self.tile_ids.size)
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.order.size)
+
+    def counts(self) -> np.ndarray:
+        """Per-tile bin lengths ``(T,)``."""
+        return np.diff(self.offsets)
+
+    def tile_xy(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(tx, ty)`` tile coordinates of every non-empty tile."""
+        return self.tile_ids % self.tiles_x, self.tile_ids // self.tiles_x
+
+
+@dataclass
 class TileWork:
-    """Depth-sorted splat list of one tile."""
+    """Depth-sorted splat list of one tile (legacy per-tile view)."""
 
     x0: int
     y0: int
@@ -96,15 +189,69 @@ class RenderContext:
     camera: Camera
     settings: RasterSettings
     proj: ProjectedGaussians
-    tiles: Dict[Tuple[int, int], TileWork] = field(default_factory=dict)
+    bins: Optional[TileBins] = None
     num_input: int = 0
+    #: Per-group blending state retained by the forward pass when
+    #: ``settings.cache_blend_state`` (see :func:`_group_blend_state`).
+    blend_cache: Optional[List[dict]] = None
+    _tiles: Optional[Dict[Tuple[int, int], TileWork]] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def tiles(self) -> Dict[Tuple[int, int], TileWork]:
+        """Legacy ``{(tx, ty): TileWork}`` view of :attr:`bins`.
+
+        Kept for compatibility with pre-substrate callers; new code should
+        read the CSR :attr:`bins` directly.
+        """
+        if self._tiles is None:
+            if self.bins is None:
+                self._tiles = {}
+            else:
+                self._tiles = _tilework_view(self.bins)
+        return self._tiles
+
+    def blend_state_bytes(self) -> int:
+        """Bytes retained by the shared forward/backward blend cache."""
+        if not self.blend_cache:
+            return 0
+        total = 0
+        for group in self.blend_cache:
+            for value in group.values():
+                if isinstance(value, np.ndarray):
+                    total += value.nbytes
+        return total
 
     def activation_bytes(self) -> int:
-        """Approximate activation footprint, used by tests to sanity-check
-        the memory model's claim that activations scale with ``|S_i|``."""
+        """Actual activation footprint: the per-Gaussian projected state,
+        the CSR tile keys, and (when retained) the blend cache.  Tests
+        sanity-check the memory model's claim that activations scale with
+        ``|S_i|`` against this."""
         per_gaussian = (2 + 1 + 3 + 3 + 9 + 4 + 4 + 3 + 3 + 1 + 1) * 8
-        tile_entries = sum(t.order.size for t in self.tiles.values())
-        return self.proj.ids.size * per_gaussian + tile_entries * 8
+        if self.bins is not None:
+            tile_entries = self.bins.num_entries
+        else:
+            tile_entries = sum(t.order.size for t in self.tiles.values())
+        return (
+            self.proj.ids.size * per_gaussian
+            + tile_entries * 8
+            + self.blend_state_bytes()
+        )
+
+
+def _splat_on_screen(
+    x: np.ndarray, y: np.ndarray, r: np.ndarray, width: int, height: int
+) -> np.ndarray:
+    """Whether a splat rectangle ``[x - r, x + r] x [y - r, y + r]``
+    intersects the image ``[0, width) x [0, height)``.
+
+    Strict bounds: a Gaussian whose rectangle only *touches* an image edge
+    (``x - r == width``) covers no pixel and no tile — the non-strict
+    ``<=``/``>=`` bounds used before PR 4 kept a one-pixel band of such
+    never-visible Gaussians alive through binning and compositing.
+    """
+    return (x + r > 0) & (x - r < width) & (y + r > 0) & (y - r < height)
 
 
 def preprocess(
@@ -148,15 +295,9 @@ def preprocess(
     ] = True
     visible &= in_frustum
     if visible.any():
-        x, y = means2d[:, 0], means2d[:, 1]
-        r = radii
-        on_screen = (
-            (x + r >= 0)
-            & (x - r <= camera.width)
-            & (y + r >= 0)
-            & (y - r <= camera.height)
+        visible &= _splat_on_screen(
+            means2d[:, 0], means2d[:, 1], radii, camera.width, camera.height
         )
-        visible &= on_screen
     ids = np.nonzero(visible)[0].astype(np.int64)
 
     offsets = model.positions[ids] - camera.center
@@ -182,24 +323,129 @@ def preprocess(
     )
 
 
+def _tile_spans(
+    camera: Camera, proj: ProjectedGaussians, ts: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int]":
+    """Clipped per-Gaussian tile rectangles ``(x0, x1, y0, y1)`` plus the
+    tile-grid shape."""
+    tiles_x = (camera.width + ts - 1) // ts
+    tiles_y = (camera.height + ts - 1) // ts
+    x = proj.means2d[:, 0]
+    y = proj.means2d[:, 1]
+    r = proj.radii
+    x0 = np.clip(((x - r) // ts).astype(np.int64), 0, tiles_x - 1)
+    x1 = np.clip(((x + r) // ts).astype(np.int64), 0, tiles_x - 1)
+    y0 = np.clip(((y - r) // ts).astype(np.int64), 0, tiles_y - 1)
+    y1 = np.clip(((y + r) // ts).astype(np.int64), 0, tiles_y - 1)
+    return x0, x1, y0, y1, tiles_x, tiles_y
+
+
+def build_tile_bins(
+    camera: Camera, proj: ProjectedGaussians, settings: RasterSettings
+) -> TileBins:
+    """Bin projected Gaussians into tiles as one flat CSR array program.
+
+    Per-Gaussian tile-span counts -> ``np.repeat`` emits the flat
+    ``(tile_id, gauss_row)`` pair list -> one ``np.lexsort`` over
+    ``(tile_id, depth, row)`` -> ``np.unique`` yields the CSR offsets.
+    No Python loop over Gaussians or tiles.
+    """
+    ts = settings.tile_size
+    x0, x1, y0, y1, tiles_x, tiles_y = _tile_spans(camera, proj, ts)
+    m = proj.ids.size
+    if m == 0:
+        return TileBins(
+            tile_size=ts,
+            tiles_x=tiles_x,
+            tiles_y=tiles_y,
+            width=camera.width,
+            height=camera.height,
+            tile_ids=np.empty(0, dtype=np.int64),
+            offsets=np.zeros(1, dtype=np.int64),
+            order=np.empty(0, dtype=np.int64),
+        )
+
+    nx = x1 - x0 + 1
+    ny = y1 - y0 + 1
+    counts = nx * ny
+    total = int(counts.sum())
+    rows = np.repeat(np.arange(m, dtype=np.int64), counts)
+    # Local rank of each emitted pair inside its Gaussian's span, then the
+    # (tx, ty) offset within the span rectangle.
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    local = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    nx_flat = np.repeat(nx, counts)
+    lx = local % nx_flat
+    ly = local // nx_flat
+    tile = (np.repeat(y0, counts) + ly) * tiles_x + (np.repeat(x0, counts) + lx)
+
+    # Primary key: tile id; secondary: depth (near-to-far); tertiary: row
+    # index, which reproduces the legacy stable argsort's tie-breaking.
+    perm = np.lexsort((rows, proj.depths[rows], tile))
+    order = rows[perm]
+    tile_sorted = tile[perm]
+    tile_ids, first = np.unique(tile_sorted, return_index=True)
+    offsets = np.concatenate([first, [total]]).astype(np.int64)
+    return TileBins(
+        tile_size=ts,
+        tiles_x=tiles_x,
+        tiles_y=tiles_y,
+        width=camera.width,
+        height=camera.height,
+        tile_ids=tile_ids.astype(np.int64),
+        offsets=offsets,
+        order=order,
+    )
+
+
+def _tilework_view(bins: TileBins) -> Dict[Tuple[int, int], TileWork]:
+    """Materialize the legacy ``{(tx, ty): TileWork}`` dict from CSR bins."""
+    ts = bins.tile_size
+    tx, ty = bins.tile_xy()
+    tiles: Dict[Tuple[int, int], TileWork] = {}
+    for i in range(bins.num_tiles):
+        x, y = int(tx[i]), int(ty[i])
+        tiles[(x, y)] = TileWork(
+            x0=x * ts,
+            y0=y * ts,
+            x1=min((x + 1) * ts, bins.width),
+            y1=min((y + 1) * ts, bins.height),
+            order=bins.order[bins.offsets[i] : bins.offsets[i + 1]],
+        )
+    return tiles
+
+
 def build_tiles(
     camera: Camera, proj: ProjectedGaussians, settings: RasterSettings
 ) -> Dict[Tuple[int, int], TileWork]:
-    """Bin projected Gaussians into tiles and depth-sort each bin."""
+    """Deprecated dict-of-:class:`TileWork` view of the CSR binning.
+
+    Pre-substrate callers iterated ``{(tx, ty): TileWork}``; the binning
+    itself now runs through :func:`build_tile_bins` (bit-identical bins,
+    measured in ``benchmarks/bench_raster.py``).
+    """
+    warnings.warn(
+        "build_tiles is deprecated; use build_tile_bins (CSR TileBins) — "
+        "the dict-of-TileWork view is a compatibility shim",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _tilework_view(build_tile_bins(camera, proj, settings))
+
+
+def _build_tiles_loop(
+    camera: Camera, proj: ProjectedGaussians, settings: RasterSettings
+) -> Dict[Tuple[int, int], TileWork]:
+    """The pre-substrate Python triple-loop binning, kept verbatim as the
+    golden reference for the parity tests and the ``raster`` benchmark's
+    legacy timings."""
     ts = settings.tile_size
-    tiles_x = (camera.width + ts - 1) // ts
-    tiles_y = (camera.height + ts - 1) // ts
+    x0, x1, y0, y1, _, _ = _tile_spans(camera, proj, ts)
     bins: Dict[Tuple[int, int], list] = {}
-    m = proj.ids.size
-    if m:
-        x0 = np.clip(((proj.means2d[:, 0] - proj.radii) // ts).astype(int), 0, tiles_x - 1)
-        x1 = np.clip(((proj.means2d[:, 0] + proj.radii) // ts).astype(int), 0, tiles_x - 1)
-        y0 = np.clip(((proj.means2d[:, 1] - proj.radii) // ts).astype(int), 0, tiles_y - 1)
-        y1 = np.clip(((proj.means2d[:, 1] + proj.radii) // ts).astype(int), 0, tiles_y - 1)
-        for row in range(m):
-            for ty in range(y0[row], y1[row] + 1):
-                for tx in range(x0[row], x1[row] + 1):
-                    bins.setdefault((tx, ty), []).append(row)
+    for row in range(proj.ids.size):
+        for ty in range(y0[row], y1[row] + 1):
+            for tx in range(x0[row], x1[row] + 1):
+                bins.setdefault((tx, ty), []).append(row)
     tiles: Dict[Tuple[int, int], TileWork] = {}
     for (tx, ty), rows in bins.items():
         rows_arr = np.asarray(rows, dtype=np.int64)
@@ -219,7 +465,7 @@ def tile_alpha_weights(
     tile: TileWork,
     settings: RasterSettings,
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
-    """Compute the blending state of one tile.
+    """Compute the blending state of one tile (legacy per-tile contract).
 
     Returns ``(pix, gauss_weight, alpha_eff, t_before, active)``:
 
@@ -229,7 +475,8 @@ def tile_alpha_weights(
     - ``t_before``: ``(G, P)`` transmittance before each splat,
     - ``active``: ``(G, P)`` contribution mask (threshold & termination).
 
-    Shared verbatim by the forward and backward passes — this is what makes
+    Shared verbatim by the legacy forward and backward passes — and pinned
+    against the grouped substrate by the parity suite — this is what makes
     the analytic gradient exact for this renderer.
     """
     ys, xs = np.mgrid[tile.y0 : tile.y1, tile.x0 : tile.x1]
@@ -260,20 +507,270 @@ def tile_alpha_weights(
     return pix, gauss_weight, alpha_eff, t_before, active
 
 
+# ----------------------------------------------------------------------
+# Grouped substrate
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _AugArrays:
+    """Projected per-Gaussian quantities with one zero pad row appended.
+
+    Row ``M`` (the pad) carries zero opacity, so padded bin entries
+    composite and differentiate to exactly nothing; scatter reductions drop
+    the pad row after the fact.
+    """
+
+    means_x: np.ndarray
+    means_y: np.ndarray
+    conic_a: np.ndarray
+    conic_b: np.ndarray
+    conic_c: np.ndarray
+    opac: np.ndarray
+    colors: np.ndarray
+
+    @classmethod
+    def from_proj(cls, proj: ProjectedGaussians, dtype: np.dtype) -> "_AugArrays":
+        def aug(arr):
+            pad = np.zeros((1,) + arr.shape[1:], dtype=arr.dtype)
+            return np.concatenate([arr, pad]).astype(dtype, copy=False)
+
+        return cls(
+            means_x=aug(proj.means2d[:, 0]),
+            means_y=aug(proj.means2d[:, 1]),
+            conic_a=aug(proj.conics[:, 0, 0]),
+            conic_b=aug(proj.conics[:, 0, 1]),
+            conic_c=aug(proj.conics[:, 1, 1]),
+            opac=aug(proj.opacities),
+            colors=aug(proj.colors),
+        )
+
+
+def iter_tile_groups(
+    bins: TileBins, group_size: int
+) -> Iterator["tuple[np.ndarray, int]"]:
+    """Yield ``(tile_indices, padded_len)`` slabs over the CSR bins.
+
+    Tiles are sorted by bin length and chunked greedily: a slab holds at
+    most ``group_size`` tiles, at most ``_MAX_GROUP_CELLS``
+    ``tiles x splats x pixels`` cells, and each tile is padded to the
+    slab's longest bin with the padded total capped at ``_MAX_PAD_WASTE``
+    of the real entries.  Sorting keeps neighbouring bin lengths close, so
+    the cap rarely cuts.  The iteration order is deterministic, so a
+    cached forward pass and a cache-less backward pass walk identical
+    groups.
+    """
+    counts = bins.counts()
+    n = counts.size
+    if n == 0:
+        return
+    by_len = np.argsort(counts, kind="stable")
+    sorted_counts = counts[by_len]
+    csum = np.concatenate([[0], np.cumsum(sorted_counts)])
+    pixels = bins.tile_size**2
+    i = 0
+    while i < n:
+        j = i + 1
+        while (
+            j < n
+            and (j - i) < group_size
+            and (j - i + 1) * int(sorted_counts[j]) * pixels
+            <= _MAX_GROUP_CELLS
+            and (j - i + 1) * int(sorted_counts[j])
+            <= _MAX_PAD_WASTE * (csum[j + 1] - csum[i])
+        ):
+            j += 1
+        yield by_len[i:j], int(sorted_counts[j - 1])
+        i = j
+
+
+def _group_pixels(
+    bins: TileBins, tix: np.ndarray, dtype: np.dtype
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Pixel-centre coordinates ``(T, P)`` of the padded tiles in a slab."""
+    ts = bins.tile_size
+    t_ids = bins.tile_ids[tix]
+    tx = t_ids % bins.tiles_x
+    ty = t_ids // bins.tiles_x
+    lx = np.tile(np.arange(ts), ts)
+    ly = np.repeat(np.arange(ts), ts)
+    px = ((tx * ts)[:, None] + lx[None, :] + 0.5).astype(dtype)
+    py = ((ty * ts)[:, None] + ly[None, :] + 0.5).astype(dtype)
+    return px, py
+
+
+def _padded_rows(
+    bins: TileBins, tix: np.ndarray, g: int, pad_row: int
+) -> np.ndarray:
+    """``(T, G)`` rows into the augmented arrays, ``pad_row`` for pads."""
+    offs = bins.offsets[tix]
+    cnt = bins.offsets[tix + 1] - offs
+    lane = np.arange(g, dtype=np.int64)
+    valid = lane[None, :] < cnt[:, None]
+    gather = np.where(valid, offs[:, None] + lane[None, :], 0)
+    return np.where(valid, bins.order[gather], pad_row)
+
+
+def _group_blend_state(
+    bins: TileBins,
+    aug: _AugArrays,
+    tix: np.ndarray,
+    g: int,
+    settings: RasterSettings,
+) -> dict:
+    """Blending state of one slab of tiles, the grouped analogue of
+    :func:`tile_alpha_weights`.
+
+    Returns a dict with ``tix``, ``rows`` ``(T, G)``, and the ``(T, G, P)``
+    tensors ``gauss_weight``, ``alpha_eff``, ``t_before`` and ``active`` —
+    exactly what the backward pass consumes (and what the blend cache
+    retains).
+    """
+    dtype = settings.np_dtype
+    pad_row = aug.opac.size - 1
+    rows = _padded_rows(bins, tix, g, pad_row)
+    px, py = _group_pixels(bins, tix, dtype)
+
+    dx = px[:, None, :] - aug.means_x[rows][:, :, None]  # (T, G, P)
+    dy = py[:, None, :] - aug.means_y[rows][:, :, None]
+    a = aug.conic_a[rows][:, :, None]
+    b = aug.conic_b[rows][:, :, None]
+    c = aug.conic_c[rows][:, :, None]
+    # power = -0.5 (a dx^2 + 2 b dx dy + c dy^2), built in place.
+    power = dx * dx
+    power *= a
+    tmp = dx * dy
+    tmp *= b
+    power += tmp
+    power += tmp
+    np.multiply(dy, dy, out=tmp)
+    tmp *= c
+    power += tmp
+    power *= -0.5
+    np.minimum(power, 0.0, out=power)
+    gauss_weight = np.exp(power, out=power)  # reuses the buffer
+    alpha_raw = aug.opac[rows][:, :, None] * gauss_weight
+    thresh = alpha_raw >= settings.alpha_threshold
+    alpha_eff = np.minimum(alpha_raw, settings.max_alpha, out=tmp)
+    alpha_eff *= thresh
+
+    t_after = np.cumprod(1.0 - alpha_eff, axis=1)
+    t_before = np.empty_like(t_after)
+    t_before[:, 0] = 1.0
+    t_before[:, 1:] = t_after[:, :-1]
+    active = thresh & (t_before > settings.transmittance_min)
+    return {
+        "tix": tix,
+        "rows": rows,
+        "gauss_weight": gauss_weight,
+        "alpha_eff": alpha_eff,
+        "t_before": t_before,
+        "active": active,
+    }
+
+
+def _tile_major_to_image(
+    canvas: np.ndarray, bins: TileBins
+) -> np.ndarray:
+    """Reorder a ``(tiles, P, ...)`` tile-major canvas into image layout and
+    crop the tile padding."""
+    ts = bins.tile_size
+    trailing = canvas.shape[2:]
+    img = (
+        canvas.reshape((bins.tiles_y, bins.tiles_x, ts, ts) + trailing)
+        .transpose((0, 2, 1, 3) + tuple(range(4, 4 + len(trailing))))
+        .reshape((bins.tiles_y * ts, bins.tiles_x * ts) + trailing)
+    )
+    return np.ascontiguousarray(img[: bins.height, : bins.width])
+
+
+def image_to_tile_major(image: np.ndarray, bins: TileBins) -> np.ndarray:
+    """Pad an ``(H, W, ...)`` image to the tile grid and reorder it into a
+    ``(tiles, P, ...)`` tile-major tensor (used to gather per-tile upstream
+    gradients in the backward pass)."""
+    ts = bins.tile_size
+    trailing = image.shape[2:]
+    padded = np.zeros(
+        (bins.tiles_y * ts, bins.tiles_x * ts) + trailing, dtype=image.dtype
+    )
+    padded[: bins.height, : bins.width] = image
+    return (
+        padded.reshape((bins.tiles_y, ts, bins.tiles_x, ts) + trailing)
+        .transpose((0, 2, 1, 3) + tuple(range(4, 4 + len(trailing))))
+        .reshape((bins.tiles_y * bins.tiles_x, ts * ts) + trailing)
+    )
+
+
 def rasterize_forward(
     camera: Camera,
     model: GaussianModel,
     settings: Optional[RasterSettings] = None,
 ) -> "tuple[np.ndarray, np.ndarray, RenderContext]":
-    """Render ``model`` through ``camera``.
+    """Render ``model`` through ``camera`` on the grouped substrate.
 
     Returns ``(image, transmittance, ctx)`` where ``image`` is
-    ``(H, W, 3)``, ``transmittance`` the per-pixel residual ``T`` (1 where
-    nothing rendered) and ``ctx`` the saved state for the backward pass.
+    ``(H, W, 3)`` in the compute dtype, ``transmittance`` the per-pixel
+    residual ``T`` (1 where nothing rendered) and ``ctx`` the saved state
+    for the backward pass (including the blend cache when
+    ``settings.cache_blend_state``).
+    """
+    settings = settings or RasterSettings()
+    dtype = settings.np_dtype
+    proj = preprocess(camera, model, settings)
+    bins = build_tile_bins(camera, proj, settings)
+
+    bg = np.asarray(settings.background, dtype=dtype)
+    pixels = settings.tile_size**2
+    num_tiles = bins.tiles_x * bins.tiles_y
+    canvas_rgb = np.empty((num_tiles, pixels, 3), dtype=dtype)
+    canvas_rgb[:] = bg
+    canvas_t = np.ones((num_tiles, pixels), dtype=dtype)
+
+    aug = _AugArrays.from_proj(proj, dtype)
+    cache: Optional[List[dict]] = [] if settings.cache_blend_state else None
+    for tix, g in iter_tile_groups(bins, settings.group_size):
+        state = _group_blend_state(bins, aug, tix, g, settings)
+        alpha_eff = state["alpha_eff"]
+        t_before = state["t_before"]
+        weights = alpha_eff * t_before
+        weights *= state["active"]
+        colors = aug.colors[state["rows"]]  # (T, G, 3)
+        # Batched BLAS: (T, P, G) @ (T, G, 3) -> (T, P, 3).
+        rgb = np.matmul(weights.transpose(0, 2, 1), colors)
+        t_final = t_before[:, -1, :] * (1.0 - alpha_eff[:, -1, :])  # (T, P)
+        t_ids = bins.tile_ids[tix]
+        canvas_rgb[t_ids] = rgb + t_final[:, :, None] * bg
+        canvas_t[t_ids] = t_final
+        if cache is not None:
+            cache.append(state)
+
+    image = _tile_major_to_image(canvas_rgb, bins)
+    transmittance = _tile_major_to_image(canvas_t, bins)
+    ctx = RenderContext(
+        camera=camera,
+        settings=settings,
+        proj=proj,
+        bins=bins,
+        num_input=model.num_gaussians,
+        blend_cache=cache,
+    )
+    return image, transmittance, ctx
+
+
+def rasterize_forward_legacy(
+    camera: Camera,
+    model: GaussianModel,
+    settings: Optional[RasterSettings] = None,
+) -> "tuple[np.ndarray, np.ndarray, RenderContext]":
+    """The pre-substrate per-tile forward pass, kept as golden reference.
+
+    Same contract as :func:`rasterize_forward` (always float64); the parity
+    suite asserts the substrate matches it to ~1e-10 and
+    ``benchmarks/bench_raster.py`` records the speedup over it.
     """
     settings = settings or RasterSettings()
     proj = preprocess(camera, model, settings)
-    tiles = build_tiles(camera, proj, settings)
+    tiles = _build_tiles_loop(camera, proj, settings)
 
     bg = np.asarray(settings.background, dtype=np.float64)
     image = np.empty((camera.height, camera.width, 3), dtype=np.float64)
@@ -298,7 +795,8 @@ def rasterize_forward(
         camera=camera,
         settings=settings,
         proj=proj,
-        tiles=tiles,
+        bins=None,
         num_input=model.num_gaussians,
+        _tiles=tiles,
     )
     return image, transmittance, ctx

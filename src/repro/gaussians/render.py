@@ -6,6 +6,12 @@ interface both trainers use: the GPU-only baselines render the *whole*
 model, while CLM renders the gathered in-frustum working set (the
 rasterizer is agnostic — it just sees a smaller model, which is exactly the
 compute/activation saving of pre-rendering frustum culling, §5.1).
+
+Execution runs on the vectorized CSR substrate of
+:mod:`repro.gaussians.rasterizer` (PR 4); backward reuses the forward
+pass's blend cache when ``RasterSettings.cache_blend_state`` is on, and
+:attr:`RenderResult.activation_bytes` reports the context's real retained
+footprint (what the CLM memory model accounts against ``|S_i|``).
 """
 
 from __future__ import annotations
@@ -40,8 +46,14 @@ class RenderResult:
 
     @property
     def num_rendered(self) -> int:
-        """How many input Gaussians survived preproceessing for this view."""
+        """How many input Gaussians survived preprocessing for this view."""
         return int(self.ctx.proj.ids.size)
+
+    @property
+    def activation_bytes(self) -> int:
+        """Saved-state footprint of this render (projected arrays, CSR
+        tile keys, and the blend cache when retained)."""
+        return self.ctx.activation_bytes()
 
 
 def render(

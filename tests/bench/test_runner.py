@@ -105,6 +105,31 @@ def test_quick_tier_skips_full_only(registered):
     assert [e.name for e in runner.select(["t-run-heavy"])] == ["t-run-heavy"]
 
 
+def test_select_matches_substrings(registered):
+    """--only tokens fall back to substring matching (PR 4: `repro bench
+    run --only raster`-style filters), deduplicated, in registration
+    order; unknown tokens still raise."""
+    from repro.bench import UnknownBenchmarkError
+
+    for name in ("t-sub-raster-fwd", "t-sub-raster-bwd", "t-sub-other"):
+        def compute(ctx):
+            return name
+
+        register_benchmark(name)(compute)
+        registered.append(name)
+
+    runner = BenchRunner(tier=MICRO_TIER, quiet=True)
+    picked = [e.name for e in runner.select(["t-sub-raster"])]
+    assert picked == ["t-sub-raster-fwd", "t-sub-raster-bwd"]
+    # Overlapping tokens dedupe; registration order is preserved.
+    picked = [e.name for e in runner.select(["t-sub-other", "t-sub-"])]
+    assert picked == ["t-sub-raster-fwd", "t-sub-raster-bwd", "t-sub-other"]
+    # Exact names keep working and never fan out.
+    assert [e.name for e in runner.select(["t-sub-other"])] == ["t-sub-other"]
+    with pytest.raises(UnknownBenchmarkError):
+        runner.select(["t-sub-nope"])
+
+
 def test_quick_tier_determinism_with_fixed_seed(registered):
     """The same seed yields bit-identical simulated metrics."""
     from repro.core.config import TimingConfig

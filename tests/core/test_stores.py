@@ -95,6 +95,34 @@ class TestCriticalStore:
         store.zero_grads(idx)
         assert not np.any(store.grads["positions"][idx])
 
+    def test_packed_and_per_name_grad_paths_agree(self, model):
+        """Micro-assert of the PR 4 vectorization: the packed-row
+        accumulate/zero path equals the old per-name loop, and the named
+        grads are views into the packed array (no copies)."""
+        store = GpuCriticalStore(model)
+        rng = np.random.default_rng(0)
+        reference = {
+            "positions": np.zeros((model.num_gaussians, 3)),
+            "log_scales": np.zeros((model.num_gaussians, 3)),
+            "quaternions": np.zeros((model.num_gaussians, 4)),
+        }
+        for idx in (np.array([0, 3, 7]), np.array([3, 9]), np.array([7])):
+            g = {
+                "positions": rng.normal(size=(idx.size, 3)),
+                "log_scales": rng.normal(size=(idx.size, 3)),
+                "quaternions": rng.normal(size=(idx.size, 4)),
+            }
+            store.accumulate_grads(idx, g)
+            for name, buf in reference.items():  # the legacy per-name loop
+                buf[idx] += g[name]
+        for name, buf in reference.items():
+            np.testing.assert_allclose(store.grads[name], buf)
+            assert store.grads[name].base is store._packed_grads
+        store.zero_grads(np.array([3]))
+        for name in reference:
+            assert not np.any(store.grads[name][3])
+            assert np.any(store.grads[name][7])
+
     def test_pool_accounting(self, model):
         pool = MemoryPool(1e9)
         store = GpuCriticalStore(model, pool=pool)

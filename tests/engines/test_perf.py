@@ -34,6 +34,50 @@ def test_batch_result_carries_wall_time(name, setup):
 
 
 @pytest.mark.parametrize("name", available_engines())
+def test_batch_result_splits_forward_backward_time(name, setup):
+    """The raster forward/backward split (PR 4 instrumentation) is stamped
+    per batch and folded into the cumulative counters, and stays inside
+    the measured wall time."""
+    scene, init, targets = setup
+    engine = create_engine(name, init, scene.cameras,
+                           EngineConfig(batch_size=4))
+    r1 = engine.train_batch(BATCH, targets)
+    r2 = engine.train_batch(BATCH, targets)
+    for r in (r1, r2):
+        assert r.forward_s > 0.0
+        assert r.backward_s > 0.0
+        assert r.forward_s + r.backward_s <= r.wall_time_s
+    perf = engine.perf
+    assert perf.forward_s == pytest.approx(r1.forward_s + r2.forward_s)
+    assert perf.backward_s == pytest.approx(r1.backward_s + r2.backward_s)
+
+
+@pytest.mark.parametrize("name", available_engines())
+def test_pool_enforced_engines_drop_blend_cache_without_touching_config(
+    name, setup
+):
+    """Under an enforced GPU pool every engine opts out of blend-state
+    retention (the analytic activation model assumes backward recompute) —
+    via its engine-local raster settings, never by mutating the caller's
+    shared EngineConfig."""
+    scene, init, targets = setup
+    shared = EngineConfig(batch_size=4, gpu_capacity_bytes=1e12)
+    engine = create_engine(name, init, scene.cameras, shared)
+    assert engine.raster_settings.cache_blend_state is False
+    assert shared.raster.cache_blend_state is True
+    # raster_settings is a live view, not a snapshot: in-place schedule
+    # mutations of the shared config (the trainer's SH warmup) show up.
+    shared.raster.active_sh_degree = 2
+    assert engine.raster_settings.active_sh_degree == 2
+    shared.raster.active_sh_degree = None
+    # A pool-less engine built from the same config still retains.
+    free = create_engine(name, init, scene.cameras,
+                         EngineConfig(batch_size=4))
+    assert free.raster_settings is free.config.raster
+    assert free.raster_settings.cache_blend_state is True
+
+
+@pytest.mark.parametrize("name", available_engines())
 def test_perf_counters_accumulate(name, setup):
     scene, init, targets = setup
     engine = create_engine(name, init, scene.cameras,

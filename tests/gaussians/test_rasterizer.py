@@ -7,6 +7,8 @@ from repro.gaussians.camera import look_at_camera
 from repro.gaussians.model import GaussianModel, inverse_sigmoid
 from repro.gaussians.rasterizer import (
     RasterSettings,
+    _splat_on_screen,
+    build_tile_bins,
     build_tiles,
     preprocess,
     rasterize_forward,
@@ -106,19 +108,40 @@ def test_preprocess_ids_reference_input_rows(cam, tiny_model):
 def test_tiles_cover_only_image(cam, tiny_model):
     settings = RasterSettings(tile_size=16)
     proj = preprocess(cam, tiny_model, settings)
-    tiles = build_tiles(cam, proj, settings)
-    for (tx, ty), tile in tiles.items():
-        assert 0 <= tile.x0 < tile.x1 <= cam.width
-        assert 0 <= tile.y0 < tile.y1 <= cam.height
+    bins = build_tile_bins(cam, proj, settings)
+    tx, ty = bins.tile_xy()
+    assert np.all((tx >= 0) & (tx < bins.tiles_x))
+    assert np.all((ty >= 0) & (ty < bins.tiles_y))
+    assert bins.tiles_x * settings.tile_size >= cam.width
+    assert bins.tiles_y * settings.tile_size >= cam.height
 
 
 def test_tile_lists_sorted_by_depth(cam, tiny_model):
     settings = RasterSettings()
     proj = preprocess(cam, tiny_model, settings)
-    tiles = build_tiles(cam, proj, settings)
-    for tile in tiles.values():
-        depths = proj.depths[tile.order]
+    bins = build_tile_bins(cam, proj, settings)
+    for i in range(bins.num_tiles):
+        depths = proj.depths[bins.order[bins.offsets[i] : bins.offsets[i + 1]]]
         assert np.all(np.diff(depths) >= 0)
+
+
+def test_build_tiles_shim_warns_and_matches_bins(cam, tiny_model):
+    """The legacy dict-of-TileWork entry point is a deprecation shim over
+    the CSR binning."""
+    settings = RasterSettings()
+    proj = preprocess(cam, tiny_model, settings)
+    bins = build_tile_bins(cam, proj, settings)
+    with pytest.warns(DeprecationWarning, match="build_tile_bins"):
+        tiles = build_tiles(cam, proj, settings)
+    assert len(tiles) == bins.num_tiles
+    tx, ty = bins.tile_xy()
+    for i in range(bins.num_tiles):
+        tile = tiles[(int(tx[i]), int(ty[i]))]
+        assert 0 <= tile.x0 < tile.x1 <= cam.width
+        assert 0 <= tile.y0 < tile.y1 <= cam.height
+        np.testing.assert_array_equal(
+            tile.order, bins.order[bins.offsets[i] : bins.offsets[i + 1]]
+        )
 
 
 def test_tile_size_does_not_change_output(cam, tiny_model):
@@ -141,3 +164,53 @@ def test_activation_bytes_scale_with_rendered_set(cam, tiny_model):
     few = tiny_model.gather(np.arange(5))
     _, _, ctx_few = rasterize_forward(cam, few)
     assert ctx_few.activation_bytes() < ctx_full.activation_bytes()
+
+
+def test_blend_cache_retention_is_accounted_and_optional(cam, tiny_model):
+    """cache_blend_state retains real bytes, reported by the context;
+    opting out drops both the cache and its accounting."""
+    _, _, ctx_on = rasterize_forward(cam, tiny_model, RasterSettings())
+    _, _, ctx_off = rasterize_forward(
+        cam, tiny_model, RasterSettings(cache_blend_state=False)
+    )
+    assert ctx_on.blend_cache and ctx_on.blend_state_bytes() > 0
+    assert ctx_off.blend_cache is None and ctx_off.blend_state_bytes() == 0
+    assert (
+        ctx_on.activation_bytes()
+        == ctx_off.activation_bytes() + ctx_on.blend_state_bytes()
+    )
+
+
+def test_screen_bounds_are_strict():
+    """A splat rectangle that only touches an image edge covers no pixel:
+    the pre-PR4 non-strict bounds kept that never-visible band alive."""
+    width, height = 48, 32
+    r = np.array([2.0])
+    y = np.array([16.0])
+    # Exactly on the right/left boundary: x - r == width / x + r == 0.
+    assert not _splat_on_screen(np.array([float(width) + 2.0]), y, r,
+                                width, height)
+    assert not _splat_on_screen(np.array([-2.0]), y, r, width, height)
+    # One ulp inside is visible.
+    inside = np.nextafter(float(width) + 2.0, 0.0)
+    assert _splat_on_screen(np.array([inside]), y, r, width, height)
+    # Same on the vertical axis.
+    x = np.array([24.0])
+    assert not _splat_on_screen(x, np.array([float(height) + 2.0]), r,
+                                width, height)
+    assert not _splat_on_screen(x, np.array([-2.0]), r, width, height)
+
+
+def test_preprocess_kept_gaussians_overlap_image(cam):
+    """End-to-end pin of the strict bounds: sweeping a Gaussian across and
+    past the right image edge, every survivor's splat rectangle strictly
+    overlaps the image."""
+    kept = 0
+    for x in np.linspace(0.0, 4.0, 17):
+        m = single_gaussian(position=(float(x), 0.0, 0.0))
+        proj = preprocess(cam, m, RasterSettings())
+        if proj.ids.size:
+            kept += 1
+            assert proj.means2d[0, 0] - proj.radii[0] < cam.width
+            assert proj.means2d[0, 0] + proj.radii[0] > 0
+    assert 0 < kept < 17  # the sweep crosses the boundary
