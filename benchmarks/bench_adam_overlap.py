@@ -1,0 +1,316 @@
+"""Overlap-runtime benchmark: fused packed CPU Adam vs the per-name
+legacy loop, and sequential vs overlapped batch execution.
+
+Not a paper figure — this is the perf trajectory of the optimizer/runtime
+term the overlap runtime (PR 5) targets: after the raster substrate (PR 4)
+the batch critical path is dominated by Adam + store staging.  Two
+measurements:
+
+1. **Fused update** (``legacy_update`` / ``fused_update`` /
+   ``fused_speedup``): the verbatim pre-runtime per-chunk path —
+   ``gather_params``/``gather_grads`` staging, per-name
+   ``step_gathered_legacy``/``step_rows_legacy`` dict walks (four-plus
+   fancy-indexed moment round-trips per parameter), ``write_params``
+   writeback — against the fused path: ``PackedSparseAdam.step_packed``
+   updating the packed pinned/critical rows *in place* (one contiguous
+   ``take`` per operand per cache-sized block, one fused kernel, one
+   scatter).  Chunk rows are scattered (the DRAM-resident regime the
+   paper's CPU Adam lives in).  The critical store carries the headline
+   (its legacy loop walked strided gradient views); the non-critical
+   store's legacy path gathers contiguous rows, so its gain is smaller —
+   both are recorded, plus the combined ratio.
+
+2. **Overlapped execution** (``overlap_sequential`` / ``overlap_workers2``):
+   the same CLM training batches with ``overlap_workers`` 0 vs 2 —
+   results are bit-identical (asserted in ``tests/runtime``), the records
+   carry measured ``adam_s``/``hidden_s`` and the §4.2.2 reconciliation
+   of analytic overlap fraction vs measured hidden fraction.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.core.config import EngineConfig, default_adam_config
+from repro.core.stores import GpuCriticalStore, PinnedParameterStore
+from repro.gaussians.model import GaussianModel
+from repro.optim.packed_adam import PackedSparseAdam
+from repro.optim.sparse_adam import SparseAdam
+from repro.planning.adam_overlap import reconcile_measured_overlap
+
+
+def _chunks(num_rows: int, chunk: int, count: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [
+        np.sort(rng.choice(num_rows, size=chunk, replace=False))
+        for _ in range(count)
+    ]
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_fused_vs_legacy(tier_name: str, repeats: int):
+    """Per-chunk Adam update: verbatim legacy path vs fused packed path."""
+    if tier_name == "full":
+        num, chunk, count = 200_000, 10_000, 6
+    else:
+        num, chunk, count = 50_000, 4_000, 8
+    model = GaussianModel.random(num, extent=2.0, sh_degree=1, seed=0)
+    adam_cfg = default_adam_config()
+    chunks = _chunks(num, chunk, count)
+
+    # -- legacy: the pre-runtime engine chunk path, verbatim ------------
+    pin_l = PinnedParameterStore(model)
+    pin_l.grads[:, : pin_l.data_floats] = 1e-4
+    gpu_l = GpuCriticalStore(model)
+    gpu_l.packed_grads[:] = 1e-4
+    leg_nc = SparseAdam(
+        {"sh": model.sh, "opacity_logits": model.opacity_logits}, adam_cfg
+    )
+    leg_cr = SparseAdam(gpu_l.params(), adam_cfg)
+
+    def legacy_noncritical():
+        for rows in chunks:
+            params = pin_l.gather_params(rows)
+            grads = pin_l.gather_grads(rows)
+            leg_nc.step_gathered_legacy(params, grads, rows)
+            pin_l.write_params(rows, params)
+
+    def legacy_critical():
+        for rows in chunks:
+            leg_cr.step_rows_legacy(gpu_l.params(), gpu_l.grads, rows)
+
+    # -- fused: packed in-place updates ---------------------------------
+    pin_f = PinnedParameterStore(model)
+    pin_f.grads[:, : pin_f.data_floats] = 1e-4
+    gpu_f = GpuCriticalStore(model)
+    gpu_f.packed_grads[:] = 1e-4
+    fus_nc = PackedSparseAdam(
+        {"sh": model.sh.shape[1:], "opacity_logits": ()},
+        num,
+        adam_cfg,
+        pad_to=pin_f.row_floats,
+    )
+    fus_cr = PackedSparseAdam(
+        {"positions": (3,), "log_scales": (3,), "quaternions": (4,)},
+        num,
+        adam_cfg,
+    )
+
+    def fused_noncritical():
+        for rows in chunks:
+            fus_nc.step_packed(pin_f.params, pin_f.grads, rows)
+
+    def fused_critical():
+        for rows in chunks:
+            fus_cr.step_packed(gpu_f.packed_params, gpu_f.packed_grads, rows)
+
+    # Warm both sides once (t > 1, buffers faulted in), then time.
+    for fn in (legacy_noncritical, legacy_critical,
+               fused_noncritical, fused_critical):
+        fn()
+    t_leg_nc = _best(legacy_noncritical, repeats)
+    t_leg_cr = _best(legacy_critical, repeats)
+    t_fus_nc = _best(fused_noncritical, repeats)
+    t_fus_cr = _best(fused_critical, repeats)
+
+    # The two paths must remain interchangeable optimizers (same kernel
+    # math up to association order) — guard the benchmark's fairness.
+    np.testing.assert_allclose(
+        pin_l.params, pin_f.params, rtol=1e-8, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        gpu_l.packed_params, gpu_f.packed_params, rtol=1e-8, atol=1e-12
+    )
+
+    rows_total = chunk * count
+    return {
+        "num_gaussians": num,
+        "chunk_rows": chunk,
+        "rows_total": rows_total,
+        "legacy_s": t_leg_nc + t_leg_cr,
+        "fused_s": t_fus_nc + t_fus_cr,
+        "legacy_rows_per_s": rows_total / (t_leg_nc + t_leg_cr),
+        "fused_rows_per_s": rows_total / (t_fus_nc + t_fus_cr),
+        "speedup": (t_leg_nc + t_leg_cr) / (t_fus_nc + t_fus_cr),
+        "speedup_critical": t_leg_cr / t_fus_cr,
+        "speedup_noncritical": t_leg_nc / t_fus_nc,
+    }
+
+
+def _measure_overlap(tier_name: str):
+    """Sequential vs overlapped CLM batches on the real engine."""
+    import repro
+    from repro.scenes.images import make_trainable_scene
+
+    gaussians = 500 if tier_name == "full" else 300
+    scene = make_trainable_scene(
+        reference_gaussians=gaussians, num_views=12,
+        image_size=(32, 24), seed=3,
+    )
+    batches = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [0, 2, 4, 6],
+               [1, 3, 5, 7], [2, 6, 8, 10]]
+
+    def run(workers):
+        sess = repro.session(
+            scene, engine="clm",
+            config=EngineConfig(batch_size=4, overlap_workers=workers),
+        )
+        for batch in batches:
+            sess.train_batch(batch)
+        return sess
+
+    seq = run(0)
+    ovl = run(2)
+    # Overlap must not change a single bit (pinned exhaustively in
+    # tests/runtime; cheap recheck here keeps the record trustworthy).
+    m_seq, m_ovl = seq.snapshot_model(), ovl.snapshot_model()
+    for name in m_seq.parameters():
+        assert np.array_equal(
+            m_seq.parameters()[name], m_ovl.parameters()[name]
+        ), f"overlap changed {name}"
+
+    # Snapshot the 6-batch counters before the reconcile batch below, so
+    # the sequential/overlapped records compare equal-sized runs.
+    seq_stats = {
+        "wall_time_s": seq.perf.wall_time_s,
+        "adam_s": seq.perf.adam_s,
+        "hidden_s": seq.perf.overlap_hidden_s,
+    }
+    ovl_stats = {
+        "wall_time_s": ovl.perf.wall_time_s,
+        "adam_s": ovl.perf.adam_s,
+        "hidden_s": ovl.perf.overlap_hidden_s,
+    }
+
+    # Reconcile ONE batch: plan it (the plan cache hands train_batch the
+    # same plan — no training happens in between), run it, and compare
+    # that batch's measured adam/hidden seconds against the same
+    # schedule's analytic overlap fraction.  result.adam_s includes the
+    # GPU-critical update the row model ignores, which is why measured
+    # utilization may exceed 1 (see OverlapReconciliation).
+    plan = ovl.engine.plan_batch(batches[0])
+    result = ovl.train_batch(batches[0])
+    rec = reconcile_measured_overlap(
+        [s.working_set for s in plan.steps],
+        ovl.engine.num_gaussians,
+        result.adam_s,
+        result.overlap_hidden_s,
+    )
+    return seq_stats, ovl_stats, rec
+
+
+@register_benchmark("adam_overlap", tags=("micro", "kernels", "runtime"))
+def compute(ctx, repeats: int = 5):
+    """Fused-vs-legacy Adam rows/s + sequential-vs-overlapped batch wall."""
+    fused = _measure_fused_vs_legacy(ctx.tier.name, repeats)
+    seq, ovl, rec = _measure_overlap(ctx.tier.name)
+
+    ctx.record(
+        variant="legacy_update",
+        wall_time_s=fused["legacy_s"],
+        rows_per_s=fused["legacy_rows_per_s"],
+        num_gaussians=fused["num_gaussians"],
+        chunk_rows=fused["chunk_rows"],
+    )
+    ctx.record(
+        variant="fused_update",
+        wall_time_s=fused["fused_s"],
+        rows_per_s=fused["fused_rows_per_s"],
+        num_gaussians=fused["num_gaussians"],
+        chunk_rows=fused["chunk_rows"],
+    )
+    ctx.record(
+        variant="fused_speedup",
+        speedup=fused["speedup"],
+        speedup_critical=fused["speedup_critical"],
+        speedup_noncritical=fused["speedup_noncritical"],
+    )
+    ctx.record(
+        variant="overlap_sequential",
+        engine="clm",
+        wall_time_s=seq["wall_time_s"],
+        adam_s=seq["adam_s"],
+        hidden_s=seq["hidden_s"],
+    )
+    ctx.record(
+        variant="overlap_workers2",
+        engine="clm",
+        wall_time_s=ovl["wall_time_s"],
+        adam_s=ovl["adam_s"],
+        hidden_s=ovl["hidden_s"],
+        analytic_fraction=rec.analytic_fraction,
+        measured_fraction=rec.measured_fraction,
+        utilization=rec.utilization,
+    )
+
+    rows = [
+        ["legacy update", fused["legacy_s"] * 1e3,
+         fused["legacy_rows_per_s"] / 1e6],
+        ["fused update", fused["fused_s"] * 1e3,
+         fused["fused_rows_per_s"] / 1e6],
+        ["  speedup (combined)", fused["speedup"], None],
+        ["  speedup (critical)", fused["speedup_critical"], None],
+        ["  speedup (noncritical)", fused["speedup_noncritical"], None],
+        ["sequential batches", seq["wall_time_s"] * 1e3, None],
+        ["overlapped batches", ovl["wall_time_s"] * 1e3, None],
+        ["  adam_s (overlapped)", ovl["adam_s"] * 1e3, None],
+        ["  hidden_s", ovl["hidden_s"] * 1e3, None],
+        ["  analytic overlap frac", rec.analytic_fraction, None],
+        ["  measured hidden frac", rec.measured_fraction, None],
+    ]
+    ctx.emit(
+        f"Adam overlap — fused {fused['speedup']:.1f}x combined "
+        f"({fused['speedup_critical']:.1f}x critical), "
+        f"{ovl['hidden_s'] * 1e3:.1f} ms hidden",
+        format_table(["metric", "ms / x", "M rows/s"], rows,
+                     floatfmt="{:.2f}"),
+    )
+    out = {
+        "fused": fused,
+        "overlap": {
+            "sequential_wall_s": seq["wall_time_s"],
+            "overlapped_wall_s": ovl["wall_time_s"],
+            "adam_s": ovl["adam_s"],
+            "hidden_s": ovl["hidden_s"],
+            "analytic_fraction": rec.analytic_fraction,
+            "measured_fraction": rec.measured_fraction,
+        },
+    }
+    ctx.log_raw("adam_overlap", out)
+    return out
+
+
+@pytest.fixture(scope="module")
+def adam_overlap_results(bench_ctx):
+    return compute(bench_ctx)
+
+
+def test_fused_update_beats_legacy_loop(adam_overlap_results):
+    """The fused packed update must clearly beat the per-name loop; the
+    critical store (strided legacy gradient views) carries the headline.
+
+    The committed quick-tier BENCH_results.json records the >=3x critical
+    headline; these bounds keep noise headroom for arbitrary machines (the
+    CI gate independently asserts >=2x critical on a fresh run).
+    """
+    fused = adam_overlap_results["fused"]
+    assert fused["speedup_critical"] >= 1.8
+    assert fused["speedup"] >= 1.2
+
+
+def test_overlap_hides_adam_time(adam_overlap_results):
+    overlap = adam_overlap_results["overlap"]
+    assert overlap["adam_s"] > 0.0
+    assert overlap["hidden_s"] >= 0.0
+    assert 0.0 <= overlap["analytic_fraction"] <= 1.0

@@ -36,9 +36,15 @@ Subpackages:
   losses, densification);
 - :mod:`repro.core` — CLM's machinery (offload stores, TSP solver,
   pipelining, memory model) plus the training loop;
+- :mod:`repro.runtime` — the asynchronous execution runtime: the
+  :class:`~repro.runtime.OverlapExecutor` worker pool that runs the
+  finalized-chunk CPU Adam concurrently with the next microbatch
+  (``EngineConfig(overlap_workers=...)``), bit-identical to sequential
+  execution;
 - :mod:`repro.hardware` — the discrete-event testbed simulator;
 - :mod:`repro.scenes` — synthetic dataset generators;
-- :mod:`repro.optim` — dense and sparse (CPU) Adam;
+- :mod:`repro.optim` — dense, sparse, and fused packed-row (CPU) Adam,
+  all sharing one update kernel;
 - :mod:`repro.analysis` — sparsity statistics and report rendering.
 """
 
@@ -69,7 +75,7 @@ from repro.planning import BatchPlan, BatchPlanner
 from repro.scenes import build_scene
 from repro.scenes.images import make_trainable_scene
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # facade + registry (the documented entry points)

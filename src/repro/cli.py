@@ -160,6 +160,7 @@ def cmd_train(args) -> int:
             seed=args.seed,
             ordering=args.ordering,
             plan_cache_size=args.plan_cache,
+            overlap_workers=args.overlap_workers,
         ),
         trainer_config=TrainerConfig(
             num_batches=args.batches, batch_size=4,
@@ -181,6 +182,12 @@ def cmd_train(args) -> int:
         f"{stats['cache_hits']:.0f} cache hits "
         f"({100 * stats['hit_rate']:.0f}% of {stats['requests']:.0f} "
         f"requests), {stats['build_time_s'] * 1e3:.1f} ms planning"
+    )
+    perf = sess.perf
+    print(
+        f"runtime: {perf.adam_s * 1e3:.1f} ms Adam across "
+        f"{perf.batches} batches, {perf.overlap_hidden_s * 1e3:.1f} ms "
+        f"hidden under compute ({args.overlap_workers} overlap workers)"
     )
     return 0
 
@@ -417,6 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="microbatch ordering strategy (Table 4)")
     p.add_argument("--plan-cache", type=int, default=8,
                    help="BatchPlan cache capacity (0 disables memoization)")
+    p.add_argument("--overlap-workers", type=int, default=0,
+                   help="overlap-runtime worker threads for the CPU Adam "
+                        "(0 = synchronous fallback; results are "
+                        "bit-identical at any setting)")
     p.set_defaults(func=cmd_train)
 
     _add_bench_parser(sub)

@@ -22,6 +22,9 @@ FORMAT_VERSION = 1
 
 
 def _optimizer_arrays(prefix: str, opt) -> Dict[str, np.ndarray]:
+    # The per-name serialization works for both optimizer layouts: the
+    # packed-row PackedSparseAdam exposes its moments as per-name views,
+    # so checkpoints stay interchangeable across optimizer generations.
     out = {}
     for name, arr in opt.m.items():
         out[f"{prefix}.m.{name}"] = arr
@@ -32,6 +35,13 @@ def _optimizer_arrays(prefix: str, opt) -> Dict[str, np.ndarray]:
 
 
 def _load_optimizer(prefix: str, opt, data) -> None:
+    if hasattr(opt, "packed_m"):  # PackedSparseAdam: write through the views
+        for name, view in opt.m.items():
+            view[:] = data[f"{prefix}.m.{name}"]
+        for name, view in opt.v.items():
+            view[:] = data[f"{prefix}.v.{name}"]
+        opt.steps[:] = data[f"{prefix}.steps"]
+        return
     for name in opt.m:
         opt.m[name] = data[f"{prefix}.m.{name}"]
         opt.v[name] = data[f"{prefix}.v.{name}"]

@@ -40,6 +40,19 @@ class EngineConfig:
     :class:`~repro.planning.BatchPlan` objects; 0 disables memoization and
     replans every batch).
 
+    ``overlap_workers`` sizes the CLM engine's
+    :class:`repro.runtime.OverlapExecutor` worker pool: 0 (the default)
+    runs the finalized-chunk CPU Adam inline (synchronous fallback), >= 1
+    runs it on worker threads concurrently with the next microbatch's
+    forward/backward.  Results are bit-identical either way (the chunks
+    are pairwise disjoint and a batch-end barrier orders the boundary) —
+    asserted engine-by-engine in ``tests/runtime``.
+
+    ``grad_dtype`` sizes the stores' packed gradient staging buffers
+    (``float64`` default for bit-parity with GPU-side accumulation;
+    ``float32`` halves offload staging bytes — optimizer moments always
+    accumulate in float64).
+
     ``renderer`` / ``renderer_backward`` select the rendering backend
     (paper §8: CLM is backend-agnostic).  ``None`` means the full tile
     rasterizer; any pair with the same ``(camera, model, settings) ->
@@ -51,6 +64,8 @@ class EngineConfig:
     ordering: str = "tsp"
     enable_cache: bool = True
     enable_overlap_adam: bool = True
+    overlap_workers: int = 0
+    grad_dtype: str = "float64"
     plan_cache_size: int = 8
     ssim_lambda: float = 0.2
     adam: AdamConfig = field(default_factory=default_adam_config)

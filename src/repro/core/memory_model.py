@@ -49,6 +49,18 @@ CLM_CRITICAL_BPG = attributes.critical_floats() * TRAIN_COPIES * BYTES_PER_FLOAT
 #: params + their gradients (§5.3).
 CLM_BUFFER_BPG = 2 * 2 * attributes.noncritical_floats() * BYTES_PER_FLOAT
 
+#: Overlapped execution and pool accounting: the overlap runtime
+#: (:mod:`repro.runtime`) changes *when* the finalized-chunk CPU Adam
+#: runs, never *where* state lives — the worker threads update pinned CPU
+#: rows and CPU-resident moments in place, so no model byte above moves
+#: and no extra GPU allocation appears (the double buffer stays two
+#: microbatches deep regardless of ``overlap_workers``; the executor's
+#: staging queue holds row-index arrays, not parameter copies).  What
+#: overlap *does* change is unaccounted here by design: transient CPU-side
+#: kernel temporaries of one in-flight chunk per worker (a few chunk-sized
+#: rows), which belong to host RAM the pool model never budgeted.
+#: Figure 8/10 numbers are therefore identical under any worker count.
+
 #: Per-Gaussian activation state of the rasterizer (projected means,
 #: conics, colours, tile keys, and their saved gradients).  Like the
 #: paper's CUDA kernels, this assumes the backward pass *recomputes* the

@@ -62,18 +62,32 @@ class PinnedParameterStore:
 
     Row layout: ``[sh (K*3 floats) | opacity (1 float) | padding]`` with
     the row padded to whole cache lines (§5.2).
+
+    ``grad_dtype`` sizes the pinned gradient staging buffer — like
+    ``RasterSettings.dtype`` it defaults to float64 (bit-parity with the
+    historical behavior) and may be dropped to float32 to halve offload
+    staging traffic; optimizer moments always accumulate in float64
+    (:class:`repro.optim.packed_adam.PackedSparseAdam`), so only the
+    staged gradient rows lose precision, never the optimizer state.
     """
 
-    def __init__(self, model: GaussianModel) -> None:
+    def __init__(
+        self, model: GaussianModel, grad_dtype: "str | np.dtype" = "float64"
+    ) -> None:
         self.num_rows = model.num_gaussians
         self.sh_basis = model.num_sh_basis
         self.data_floats = self.sh_basis * 3 + 1
         self.row_floats = attributes.padded_row_floats(self.data_floats)
+        self.grad_dtype = np.dtype(grad_dtype)
         self.params = np.zeros((self.num_rows, self.row_floats))
         self._pack_into(self.params, np.arange(self.num_rows), model.sh,
                         model.opacity_logits)
-        # Pinned gradient buffer (accumulated, full-size like the paper's).
-        self.grads = np.zeros((self.num_rows, self.data_floats))
+        # Pinned gradient buffer (accumulated, full-size like the paper's),
+        # padded to the same cache-line-aligned row width as the params so
+        # the fused packed Adam moves whole rows as contiguous memcpys.
+        self.grads = np.zeros(
+            (self.num_rows, self.row_floats), dtype=self.grad_dtype
+        )
 
     # -- layout helpers -------------------------------------------------
     def _pack_into(self, dest, rows, sh, opacity) -> None:
@@ -98,11 +112,15 @@ class PinnedParameterStore:
     def accumulate_grads(
         self, indices: np.ndarray, sh_grads: np.ndarray, opacity_grads: np.ndarray
     ) -> None:
-        """Gradient offload: fetch old accumulation, add, store (§5.3)."""
+        """Gradient offload: fetch old accumulation, add, store (§5.3).
+
+        The staged rows are padded to the full row width so the fetch-add
+        runs on whole contiguous rows (padding adds zeros to zeros).
+        """
         m = indices.shape[0]
-        flat = np.concatenate(
-            [sh_grads.reshape(m, -1), opacity_grads[:, None]], axis=1
-        )
+        flat = np.zeros((m, self.row_floats), dtype=self.grad_dtype)
+        flat[:, : self.sh_basis * 3] = sh_grads.reshape(m, -1)
+        flat[:, self.sh_basis * 3] = opacity_grads
         self.grads[indices] += flat
 
     def gather_grads(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
@@ -117,6 +135,14 @@ class PinnedParameterStore:
     def zero_grads(self, indices: np.ndarray) -> None:
         self.grads[indices] = 0.0
 
+    @property
+    def packed_params(self) -> np.ndarray:
+        """``(N, data_floats)`` view of the packed parameter rows (padding
+        columns excluded) — the layout
+        :meth:`repro.optim.packed_adam.PackedSparseAdam.step_packed`
+        gathers, updates and scatters in one fused round-trip."""
+        return self.params[:, : self.data_floats]
+
     def pinned_bytes(self) -> float:
         """Actual data bytes pinned (params + grads), excluding padding, at
         canonical fp32 — the Table 6 quantity."""
@@ -127,16 +153,24 @@ class GpuCriticalStore:
     """GPU-resident selection-critical attributes with gradient
     accumulators and (conceptually) their on-GPU optimizer state.
 
-    The gradient accumulators live in one packed ``(N, 10)`` row-major
-    array (``[positions 3 | log_scales 3 | quaternions 4]`` — the same
-    packed-row idiom :meth:`PinnedParameterStore._pack_into` defines for
-    the non-critical side), so ``accumulate_grads``/``zero_grads`` are one
-    fused scatter each instead of a per-name Python loop.  :attr:`grads`
-    exposes named views into the packed array, so row-indexed consumers
-    (sparse Adam, the equivalence tests) are unchanged.
+    Both parameters and gradient accumulators live in packed ``(N, 10)``
+    row-major arrays (``[positions 3 | log_scales 3 | quaternions 4]`` —
+    the same packed-row idiom :meth:`PinnedParameterStore._pack_into`
+    defines for the non-critical side), so ``accumulate_grads``/
+    ``zero_grads`` are one fused scatter each instead of a per-name Python
+    loop, and the GPU-side Adam update is one fused
+    ``PackedSparseAdam.step_packed`` over :attr:`packed_params` /
+    :attr:`packed_grads`.  :attr:`positions` / :attr:`log_scales` /
+    :attr:`quaternions` and :attr:`grads` expose named views into the
+    packed arrays, so row-indexed consumers (culling, the equivalence
+    tests) are unchanged.
+
+    ``grad_dtype`` sizes the gradient accumulators (default float64 for
+    bit-parity; see :class:`PinnedParameterStore`).  Parameters and
+    optimizer moments stay float64 regardless.
     """
 
-    #: Packed gradient-row layout, in accumulation order.
+    #: Packed row layout (params and grads share it), in accumulation order.
     GRAD_COLUMNS = {
         "positions": slice(0, 3),
         "log_scales": slice(3, 6),
@@ -144,13 +178,25 @@ class GpuCriticalStore:
     }
 
     def __init__(
-        self, model: GaussianModel, pool: Optional[MemoryPool] = None
+        self,
+        model: GaussianModel,
+        pool: Optional[MemoryPool] = None,
+        grad_dtype: "str | np.dtype" = "float64",
     ) -> None:
         self.num_rows = model.num_gaussians
-        self.positions = model.positions.copy()
-        self.log_scales = model.log_scales.copy()
-        self.quaternions = model.quaternions.copy()
-        self._packed_grads = np.zeros((self.num_rows, 10))
+        self.grad_dtype = np.dtype(grad_dtype)
+        self.packed_params = np.empty((self.num_rows, 10))
+        self.positions = self.packed_params[:, self.GRAD_COLUMNS["positions"]]
+        self.log_scales = self.packed_params[:, self.GRAD_COLUMNS["log_scales"]]
+        self.quaternions = self.packed_params[
+            :, self.GRAD_COLUMNS["quaternions"]
+        ]
+        self.positions[:] = model.positions
+        self.log_scales[:] = model.log_scales
+        self.quaternions[:] = model.quaternions
+        self._packed_grads = np.zeros(
+            (self.num_rows, 10), dtype=self.grad_dtype
+        )
         self.grads = {
             name: self._packed_grads[:, cols]
             for name, cols in self.GRAD_COLUMNS.items()
@@ -158,6 +204,11 @@ class GpuCriticalStore:
         self.pool = pool
         if pool is not None:
             pool.alloc("clm.critical_state", CLM_CRITICAL_BPG * self.num_rows)
+
+    @property
+    def packed_grads(self) -> np.ndarray:
+        """The packed ``(N, 10)`` gradient accumulator."""
+        return self._packed_grads
 
     def params(self) -> Dict[str, np.ndarray]:
         return {

@@ -14,17 +14,26 @@ NumPy arrays:
    pinned-store loads), render, compute loss, backprop, accumulate
    gradients (GPU-resident for critical attributes, working-buffer for
    non-critical with carried accumulation), offload finalized gradients,
-   and apply the eager CPU-Adam chunk;
-4. finish the batch: last Adam chunk, then the GPU-side Adam update of the
-   critical attributes.
+   and *submit* the eager CPU-Adam chunk to the overlap runtime — with
+   ``config.overlap_workers >= 1`` the fused packed-row update of chunk
+   ``F_j`` executes on a worker thread while the training thread renders
+   microbatch ``j+1`` (§4.2.2 for real, not simulated);
+4. finish the batch: last Adam chunk, the GPU-side fused Adam update of
+   the critical attributes, then the batch-end barrier that joins every
+   in-flight chunk and surfaces worker errors.
 
-Because the optimizer is per-row sparse Adam, the result is equivalent to
-GPU-only training of the same batch — the equivalence tests in
-``tests/core/test_equivalence.py`` check parameters bit-for-near-bit.
+Both optimizers are fused :class:`repro.optim.packed_adam.PackedSparseAdam`
+instances over the stores' packed row layouts — one gather, one fused
+update with per-column learning rates, one scatter per chunk.  Because the
+kernel arithmetic is shared with the per-name sparse Adam and the chunks
+are pairwise disjoint, the result is bit-identical to GPU-only training of
+the same batch for any worker count — checked by
+``tests/core/test_equivalence.py`` and ``tests/runtime/``.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -38,7 +47,8 @@ from repro.core.stores import (
 from repro.engines.base import BatchResult, EngineBase, PositionGradHook
 from repro.engines.registry import register_engine
 from repro.gaussians.model import GaussianModel
-from repro.optim.sparse_adam import SparseAdam
+from repro.optim.packed_adam import PackedSparseAdam
+from repro.runtime import OverlapExecutor
 
 CRITICAL = ("positions", "log_scales", "quaternions")
 NONCRITICAL = ("sh", "opacity_logits")
@@ -53,18 +63,32 @@ class CLMEngine(EngineBase):
     """Offloaded 3DGS training over split parameter stores."""
 
     def _setup(self, model: GaussianModel) -> None:
-        self.gpu_store = GpuCriticalStore(model, pool=self.pool)
-        self.cpu_store = PinnedParameterStore(model)
-        self.sh_degree = model.sh_degree
-        self.adam_critical = SparseAdam(
-            self.gpu_store.params(), config=self.config.adam
+        self.gpu_store = GpuCriticalStore(
+            model, pool=self.pool, grad_dtype=self.config.grad_dtype
         )
-        self.adam_noncritical = SparseAdam(
-            {
-                "sh": model.sh,
-                "opacity_logits": model.opacity_logits,
-            },
+        self.cpu_store = PinnedParameterStore(
+            model, grad_dtype=self.config.grad_dtype
+        )
+        self.sh_degree = model.sh_degree
+        # Fused packed-row optimizers matching the stores' row layouts:
+        # critical (N, 10), non-critical (N, 3K+1).
+        self.adam_critical = PackedSparseAdam(
+            {name: model.parameters()[name].shape[1:] for name in CRITICAL},
+            model.num_gaussians,
             config=self.config.adam,
+        )
+        # pad_to: moments share the pinned rows' cache-line-aligned width,
+        # so every chunk operand moves as whole contiguous rows.
+        self.adam_noncritical = PackedSparseAdam(
+            {"sh": model.sh.shape[1:], "opacity_logits": ()},
+            model.num_gaussians,
+            config=self.config.adam,
+            pad_to=self.cpu_store.row_floats,
+        )
+        #: The overlap runtime.  ``overlap_workers == 0`` degrades to the
+        #: synchronous inline fallback inside the same code path.
+        self.runtime = OverlapExecutor(
+            workers=self.config.overlap_workers, name="clm-adam"
         )
 
     def _culling_arrays(self):
@@ -104,6 +128,12 @@ class CLMEngine(EngineBase):
         ``position_grad_hook(view_id, working_set, position_grads)`` lets
         the trainer collect densification statistics without the engine
         knowing about them.
+
+        Concurrency contract: every task handed to :attr:`runtime` updates
+        a *finalized* chunk — rows no later microbatch loads, stores, or
+        re-finalizes (the plan invariants ``validate`` asserts) — so the
+        worker threads and the training thread never touch the same rows,
+        and the barrier below is the only ordering the batch needs.
         """
         cfg = self.config
         batch = len(view_ids)
@@ -138,13 +168,24 @@ class CLMEngine(EngineBase):
                     step.view_id, step.working_set, grads["positions"]
                 )
             carried = working.retire(step.stores, step.carried)
-            if cfg.enable_overlap_adam:
-                self._apply_noncritical_adam(chunk)
+            if cfg.enable_overlap_adam and chunk.size:
+                # Chunk F_j is final: its CPU Adam (+ writeback staging)
+                # runs on the pool while the next microbatch renders.
+                self.runtime.submit(self._apply_noncritical_adam, chunk)
 
         if not cfg.enable_overlap_adam:
+            # Ablation: all updates at batch end (functionally identical,
+            # nothing to hide them under — the barrier follows at once).
             for chunk in plan.adam_chunks:
-                self._apply_noncritical_adam(chunk)
+                if chunk.size:
+                    self.runtime.submit(self._apply_noncritical_adam, chunk)
+        # The GPU-side critical update is independent of the pinned store,
+        # so it too proceeds under any still-running noncritical chunks.
         self._apply_critical_adam(touched)
+        self.runtime.barrier()
+        stats = self.runtime.drain_stats()
+        self._step_adam_s += stats.task_s
+        self._step_overlap_hidden_s += stats.hidden_s
         working.release()
 
         return BatchResult(
@@ -166,21 +207,27 @@ class CLMEngine(EngineBase):
 
     # ------------------------------------------------------------------
     def _apply_noncritical_adam(self, rows: np.ndarray) -> None:
-        """CPU Adam over one finalized chunk (the §5.4 thread's work)."""
+        """Fused CPU Adam over one finalized chunk (the §5.4 thread's
+        work): one gather from the pinned packed rows, one fused update,
+        one scatter back — run on an :class:`OverlapExecutor` worker when
+        the overlap runtime has one."""
         if rows.size == 0:
             return
-        params = self.cpu_store.gather_params(rows)
-        grads = self.cpu_store.gather_grads(rows)
-        self.adam_noncritical.step_gathered(params, grads, rows)
-        self.cpu_store.write_params(rows, params)
+        # Pass the full padded pinned buffer: whole cache-line-aligned rows
+        # gather/scatter as contiguous memcpys (padding rides along).
+        self.adam_noncritical.step_packed(
+            self.cpu_store.params, self.cpu_store.grads, rows
+        )
 
     def _apply_critical_adam(self, rows: np.ndarray) -> None:
-        """GPU-side Adam over the resident critical attributes."""
+        """GPU-side fused Adam over the resident packed critical rows."""
         if rows.size == 0:
             return
-        self.adam_critical.step_rows(
-            self.gpu_store.params(), self.gpu_store.grads, rows
+        start = time.perf_counter()
+        self.adam_critical.step_packed(
+            self.gpu_store.packed_params, self.gpu_store.packed_grads, rows
         )
+        self._step_adam_s += time.perf_counter() - start
 
     # ------------------------------------------------------------------
     def render_view(self, view_id: int):
@@ -209,13 +256,29 @@ class CLMEngine(EngineBase):
         return result
 
     def rebuild(self, model: GaussianModel, keep_rows: np.ndarray) -> None:
+        # No chunk can be in flight here: rebuild only runs between
+        # batches, after train_batch's barrier.
         pool = self.pool
         if pool is not None:
             self.gpu_store.release()
-        self.gpu_store = GpuCriticalStore(model, pool=pool)
-        self.cpu_store = PinnedParameterStore(model)
-        self.sh_degree = model.sh_degree
-        self.adam_critical.resize(self.gpu_store.params(), keep_rows)
-        self.adam_noncritical.resize(
-            {"sh": model.sh, "opacity_logits": model.opacity_logits}, keep_rows
+        self.gpu_store = GpuCriticalStore(
+            model, pool=pool, grad_dtype=self.config.grad_dtype
         )
+        self.cpu_store = PinnedParameterStore(
+            model, grad_dtype=self.config.grad_dtype
+        )
+        self.sh_degree = model.sh_degree
+        self.adam_critical.resize(keep_rows)
+        self.adam_noncritical.resize(keep_rows)
+
+    def close(self) -> None:
+        """Stop the overlap runtime's worker threads (idempotent; the
+        workers are daemons, so skipping this never hangs interpreter
+        shutdown)."""
+        self.runtime.close()
+
+    def __del__(self) -> None:  # best-effort thread cleanup
+        try:
+            self.runtime.close()
+        except Exception:
+            pass

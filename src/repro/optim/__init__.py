@@ -1,8 +1,22 @@
-"""Optimizers: a reference dense Adam and the subset-updating sparse Adam
-that CLM runs on the CPU (paper §5.4)."""
+"""Optimizers: a reference dense Adam, the per-name subset-updating sparse
+Adam, and the fused packed-row sparse Adam that CLM's overlap runtime runs
+on the CPU (paper §5.4).  All three share one update kernel
+(:func:`repro.optim.kernels.fused_adam_update`), so their arithmetic is
+bit-identical by construction."""
 
 from repro.optim.adam import Adam, AdamConfig
+from repro.optim.kernels import fused_adam_update
+from repro.optim.packed_adam import PackedSparseAdam, pack_named
 from repro.optim.sparse_adam import SparseAdam
 from repro.optim.schedule import ExponentialDecay, ShWarmup
 
-__all__ = ["Adam", "AdamConfig", "SparseAdam", "ExponentialDecay", "ShWarmup"]
+__all__ = [
+    "Adam",
+    "AdamConfig",
+    "SparseAdam",
+    "PackedSparseAdam",
+    "pack_named",
+    "fused_adam_update",
+    "ExponentialDecay",
+    "ShWarmup",
+]

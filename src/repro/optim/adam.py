@@ -14,6 +14,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.optim.kernels import fused_adam_update
+
 
 @dataclass
 class AdamConfig:
@@ -43,19 +45,11 @@ class Adam:
         """Apply one Adam update to every parameter in place."""
         cfg = self.config
         self.t += 1
-        bc1 = 1.0 - cfg.beta1**self.t
-        bc2 = 1.0 - cfg.beta2**self.t
         for name, p in params.items():
-            g = grads[name]
-            m = self.m[name]
-            v = self.v[name]
-            m *= cfg.beta1
-            m += (1 - cfg.beta1) * g
-            v *= cfg.beta2
-            v += (1 - cfg.beta2) * g * g
-            m_hat = m / bc1
-            v_hat = v / bc2
-            p -= cfg.lr_for(name) * m_hat / (np.sqrt(v_hat) + cfg.eps)
+            fused_adam_update(
+                p, grads[name], self.m[name], self.v[name], self.t,
+                cfg.lr_for(name), cfg.beta1, cfg.beta2, cfg.eps,
+            )
 
     def state_bytes(self) -> int:
         """Optimizer-state footprint (two moments per parameter, fp32)."""

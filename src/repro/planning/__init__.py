@@ -33,9 +33,11 @@ as deprecation shims.
 """
 
 from repro.planning.adam_overlap import (
+    OverlapReconciliation,
     adam_chunks,
     finalization_positions,
     overlap_fraction,
+    reconcile_measured_overlap,
     touched_union,
 )
 from repro.planning.caching import (
@@ -75,5 +77,7 @@ __all__ = [
     "adam_chunks",
     "finalization_positions",
     "overlap_fraction",
+    "OverlapReconciliation",
+    "reconcile_measured_overlap",
     "touched_union",
 ]

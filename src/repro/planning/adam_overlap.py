@@ -15,6 +15,7 @@ no update, so they are not scheduled at all.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
@@ -65,3 +66,54 @@ def overlap_fraction(sets: Sequence[np.ndarray], num_gaussians: int) -> float:
     if total == 0:
         return 0.0
     return 1.0 - chunks[-1].size / total
+
+
+@dataclass(frozen=True)
+class OverlapReconciliation:
+    """Analytic overlap potential vs what the runtime actually hid.
+
+    ``analytic_fraction`` is :func:`overlap_fraction` — the share of Adam
+    *rows* finalized before the last microbatch, i.e. the §4.2.2 upper
+    bound on hideable work under the simplifying assumption that seconds
+    track rows.  ``measured_fraction`` is ``hidden_s / adam_s`` as
+    accounted by :class:`repro.runtime.OverlapExecutor` on a real run.
+    ``utilization`` is their ratio — how much of the analytically hideable
+    Adam time the execution runtime converted into actual wall-clock
+    overlap (1.0 = the Figure 7 ideal; >1 can occur because the barrier
+    also overlaps the GPU-side critical Adam that the row model ignores).
+    """
+
+    analytic_fraction: float
+    measured_fraction: float
+    adam_s: float
+    hidden_s: float
+
+    @property
+    def utilization(self) -> float:
+        if self.analytic_fraction <= 0.0:
+            return 0.0
+        return self.measured_fraction / self.analytic_fraction
+
+
+def reconcile_measured_overlap(
+    sets: Sequence[np.ndarray],
+    num_gaussians: int,
+    adam_s: float,
+    hidden_s: float,
+) -> OverlapReconciliation:
+    """Reconcile the §4.2.2 analytics against *measured* hidden seconds.
+
+    ``sets`` are the scheduled per-microbatch working sets the analytics
+    were derived from; ``adam_s``/``hidden_s`` come from the engine's
+    :class:`~repro.engines.base.PerfCounters` (or one batch's
+    ``BatchResult``) after running the same schedule on the overlap
+    runtime.  The quick-tier ``adam_overlap`` benchmark records this
+    reconciliation so the analytic model stays tied to reality.
+    """
+    measured = 0.0 if adam_s <= 0.0 else max(0.0, hidden_s) / adam_s
+    return OverlapReconciliation(
+        analytic_fraction=overlap_fraction(sets, num_gaussians),
+        measured_fraction=measured,
+        adam_s=float(adam_s),
+        hidden_s=float(hidden_s),
+    )

@@ -1,0 +1,18 @@
+"""`repro.runtime` — the asynchronous execution runtime.
+
+The paper's headline optimization (§4.2.2, §5.4) *hides* the CPU Adam of
+finalized chunks behind the GPU compute of later microbatches.  Before
+this package existed the repo only simulated that: the "overlapped" chunk
+ran inline on the calling thread.  :class:`OverlapExecutor` makes the
+overlap real — a small worker pool with a double-buffered task queue runs
+the finalized-chunk CPU Adam (and store writeback staging) concurrently
+with the next microbatch's forward/backward.  NumPy/BLAS release the GIL
+inside their kernels, so this yields genuine wall-clock overlap on stock
+CPython, and a batch-end barrier guarantees results remain bit-identical
+to sequential execution (chunks touch pairwise-disjoint rows, so no
+ordering between them is observable).
+"""
+
+from repro.runtime.executor import ExecutorStats, OverlapExecutor, WorkerError
+
+__all__ = ["OverlapExecutor", "ExecutorStats", "WorkerError"]

@@ -1,0 +1,246 @@
+"""`OverlapExecutor` — the worker pool behind real overlapped CPU Adam.
+
+Execution model (§4.2.2 made literal):
+
+- the *training thread* runs the GPU-side work of microbatch ``j+1``
+  (render forward/backward, gradient scatter);
+- ``submit()`` hands the finalized-chunk CPU-Adam task of microbatch ``j``
+  to a small pool of worker threads through a **double-buffered task
+  queue**: at most ``queue_depth`` (default 2 — one executing, one staged)
+  tasks may be pending, so a slow CPU Adam applies backpressure to the
+  producer instead of growing an unbounded backlog;
+- ``barrier()`` is the batch-end synchronization point: it blocks until
+  every submitted task finished and re-raises the first worker exception
+  (wrapped in :class:`WorkerError`) if any task crashed.
+
+Why threads work here: the tasks are NumPy gather/update/scatter kernels,
+which release the GIL for the bulk of their runtime, so the chunk update
+genuinely executes while the training thread is inside the rasterizer's
+BLAS calls.  Correctness does not depend on timing — callers only submit
+tasks over pairwise-disjoint row sets (the Adam chunks ``F_1..F_B``), so
+any interleaving produces bit-identical arrays, and the barrier makes the
+batch boundary sequentially consistent.
+
+Measured-overlap accounting: the executor clocks every task's execution
+time (``task_s``), the wall-clock span during which *at least one* task
+was executing (``busy_span_s`` — the union of task intervals, so two
+concurrent workers do not double-count), and every second the
+*submitting* thread spent blocked on the runtime (queue backpressure +
+barrier waits, ``blocked_s``).  ``busy_span_s - blocked_s`` is the
+wall-clock time the runtime actually hid under the training thread's
+compute — reported per batch as ``ExecutorStats.hidden_s`` and surfaced
+as ``PerfCounters.overlap_hidden_s``.
+
+``workers=0`` is the synchronous fallback: ``submit`` runs the task inline
+on the calling thread (bit-identical results, zero hidden seconds), so a
+single code path serves both execution modes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class WorkerError(RuntimeError):
+    """A task submitted to :class:`OverlapExecutor` raised; re-raised at
+    the batch-end barrier with the original exception chained."""
+
+
+@dataclass(frozen=True)
+class ExecutorStats:
+    """One drain interval's accounting (typically one training batch)."""
+
+    #: Tasks that finished in the interval.
+    tasks: int
+    #: Summed task execution wall time (the CPU-Adam seconds; concurrent
+    #: workers' seconds add up, like user CPU time).
+    task_s: float
+    #: Wall-clock span during which >= 1 task was executing (union of
+    #: task intervals — never exceeds the interval's wall time).
+    busy_span_s: float
+    #: Seconds the submitting thread spent blocked on the runtime
+    #: (queue backpressure + barrier waits).
+    blocked_s: float
+    #: Wall-clock seconds of task execution genuinely hidden under the
+    #: submitting thread's other work: ``max(0, busy_span_s - blocked_s)``
+    #: with workers, 0 inline.
+    hidden_s: float
+
+
+class OverlapExecutor:
+    """A small worker-pool executor with a double-buffered task queue.
+
+    Not a general thread pool: tasks are expected to be short, GIL-releasing
+    array kernels over disjoint data, the queue is deliberately shallow
+    (``queue_depth``), and the only synchronization primitive offered is
+    the full :meth:`barrier` — exactly the contract overlapped CPU Adam
+    needs, and nothing that could reorder observable results.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        queue_depth: int = 2,
+        name: str = "overlap",
+    ) -> None:
+        self.workers = max(0, int(workers))
+        self.queue_depth = max(1, int(queue_depth))
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: "deque[Tuple[Callable, tuple, dict]]" = deque()
+        self._pending = 0
+        self._errors: List[BaseException] = []
+        self._closed = False
+        self._tasks = 0
+        self._task_s = 0.0
+        self._blocked_s = 0.0
+        # Busy-span bookkeeping: count of currently-executing tasks and
+        # the instant the pool last transitioned idle -> busy.
+        self._running = 0
+        self._busy_since = 0.0
+        self._busy_span_s = 0.0
+        self._threads: List[threading.Thread] = []
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, daemon=True, name=f"{name}-{i}"
+            )
+            t.start()
+            self._threads.append(t)
+
+    # -- the producer side ----------------------------------------------
+    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> None:
+        """Enqueue ``fn(*args, **kwargs)``.
+
+        With workers, blocks while the double buffer is full (backpressure
+        time counts as *not hidden*); inline mode runs the task on the
+        calling thread.  Task exceptions — inline ones included — are
+        deferred to :meth:`barrier`, so both modes share one error surface.
+        """
+        if self._closed:
+            raise RuntimeError("submit() on a closed OverlapExecutor")
+        if self.workers == 0:
+            start = time.perf_counter()
+            try:
+                fn(*args, **kwargs)
+            except Exception as exc:  # surfaced at the barrier
+                self._errors.append(exc)
+            finally:
+                duration = time.perf_counter() - start
+                self._task_s += duration
+                self._busy_span_s += duration  # on the calling thread
+                self._tasks += 1
+            return
+        with self._cond:
+            if len(self._queue) >= self.queue_depth:
+                start = time.perf_counter()
+                self._cond.wait_for(
+                    lambda: len(self._queue) < self.queue_depth
+                    or self._closed
+                )
+                self._blocked_s += time.perf_counter() - start
+            if self._closed:
+                raise RuntimeError("submit() on a closed OverlapExecutor")
+            self._queue.append((fn, args, kwargs))
+            self._pending += 1
+            self._cond.notify_all()
+
+    def barrier(self) -> float:
+        """Wait until every submitted task completed; returns the seconds
+        spent waiting.
+
+        The first worker exception (in completion order) is re-raised
+        here, wrapped in :class:`WorkerError` — never on the worker
+        thread, never silently dropped.
+        """
+        start = time.perf_counter()
+        with self._cond:
+            self._cond.wait_for(lambda: self._pending == 0)
+            waited = time.perf_counter() - start
+            self._blocked_s += waited
+            if self._errors:
+                errors, self._errors = self._errors, []
+                raise WorkerError(
+                    f"{len(errors)} overlapped task(s) failed: {errors[0]!r}"
+                ) from errors[0]
+        return waited
+
+    def drain_stats(self) -> ExecutorStats:
+        """Return and reset the interval counters (call once per batch,
+        after :meth:`barrier`)."""
+        with self._lock:
+            stats = ExecutorStats(
+                tasks=self._tasks,
+                task_s=self._task_s,
+                busy_span_s=self._busy_span_s,
+                blocked_s=self._blocked_s,
+                hidden_s=(
+                    max(0.0, self._busy_span_s - self._blocked_s)
+                    if self.workers > 0
+                    else 0.0
+                ),
+            )
+            self._tasks = 0
+            self._task_s = 0.0
+            self._busy_span_s = 0.0
+            self._blocked_s = 0.0
+        return stats
+
+    # -- the worker side -------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                self._cond.wait_for(lambda: self._queue or self._closed)
+                if not self._queue:
+                    if self._closed:
+                        return
+                    continue
+                fn, args, kwargs = self._queue.popleft()
+                if self._running == 0:
+                    self._busy_since = time.perf_counter()
+                self._running += 1
+                self._cond.notify_all()  # wake a backpressured submit
+            start = time.perf_counter()
+            error: Optional[BaseException] = None
+            try:
+                fn(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 — surfaced at barrier
+                error = exc
+            duration = time.perf_counter() - start
+            with self._cond:
+                self._tasks += 1
+                self._task_s += duration
+                self._running -= 1
+                if self._running == 0:
+                    self._busy_span_s += (
+                        time.perf_counter() - self._busy_since
+                    )
+                if error is not None:
+                    self._errors.append(error)
+                self._pending -= 1
+                self._cond.notify_all()
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Drain outstanding tasks and stop the workers (idempotent).
+
+        Pending errors are dropped — call :meth:`barrier` first if the
+        caller needs them surfaced."""
+        with self._cond:
+            if self._closed:
+                return
+            self._cond.wait_for(lambda: self._pending == 0)
+            self._closed = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self._threads = []
+
+    def __enter__(self) -> "OverlapExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -83,32 +83,31 @@ def aerial_grid_trajectory(
     rng = make_rng(seed)
     rows = max(1, int(round(math.sqrt(num_views))))
     cols = (num_views + rows - 1) // rows
-    cams = []
-    i = 0
     tilt = math.radians(tilt_deg)
-    for r in range(rows):
-        y = -extent + 2.0 * extent * (r + 0.5) / rows
-        col_range = range(cols) if r % 2 == 0 else range(cols - 1, -1, -1)
-        for c in col_range:
-            if i >= num_views:
-                break
-            x = -extent + 2.0 * extent * (c + 0.5) / cols
-            eye = np.array([x, y, altitude]) + jitter * extent * rng.normal(size=3)
-            look_dir = np.array([math.sin(tilt), 0.0, -math.cos(tilt)])
-            target = eye + look_dir
-            cams.append(
-                look_at_camera(
-                    eye=eye,
-                    target=target,
-                    up=(0.0, 1.0, 0.0),
-                    fov_y_deg=fov_y_deg,
-                    width=width,
-                    height=height_px,
-                    view_id=i,
-                )
-            )
-            i += 1
-    return cams
+    # Serpentine (row, col) sequence as one array program: every odd row's
+    # column order is reversed, then the grid is truncated to num_views.
+    col_grid = np.tile(np.arange(cols), (rows, 1))
+    col_grid[1::2] = col_grid[1::2, ::-1]
+    r_idx = np.repeat(np.arange(rows), cols)[:num_views]
+    c_idx = col_grid.reshape(-1)[:num_views]
+    x = -extent + 2.0 * extent * (c_idx + 0.5) / cols
+    y = -extent + 2.0 * extent * (r_idx + 0.5) / rows
+    eyes = np.stack([x, y, np.full(num_views, altitude)], axis=1)
+    eyes = eyes + jitter * extent * rng.normal(size=(num_views, 3))
+    look_dir = np.array([math.sin(tilt), 0.0, -math.cos(tilt)])
+    targets = eyes + look_dir
+    return [
+        look_at_camera(
+            eye=eyes[i],
+            target=targets[i],
+            up=(0.0, 1.0, 0.0),
+            fov_y_deg=fov_y_deg,
+            width=width,
+            height=height_px,
+            view_id=i,
+        )
+        for i in range(num_views)
+    ]
 
 
 def street_trajectory(
@@ -132,30 +131,31 @@ def street_trajectory(
     """
     rng = make_rng(seed)
     per_street = max(1, (num_views + num_streets - 1) // num_streets)
-    cams = []
-    i = 0
-    for s in range(num_streets):
-        y = (s - (num_streets - 1) / 2.0) * street_spacing
-        direction = 1.0 if s % 2 == 0 else -1.0
-        for k in range(per_street):
-            if i >= num_views:
-                break
-            x = direction * (-street_length / 2.0 + street_length * k / max(1, per_street - 1))
-            eye = np.array([x, y, camera_height])
-            eye = eye + jitter * street_spacing * rng.normal(size=3)
-            target = eye + np.array([direction, 0.0, 0.0])
-            cams.append(
-                look_at_camera(
-                    eye=eye,
-                    target=target,
-                    fov_y_deg=fov_y_deg,
-                    width=width,
-                    height=height_px,
-                    view_id=i,
-                )
-            )
-            i += 1
-    return cams
+    # Street index / along-street index per view, alternating direction —
+    # the drive path as one array program.
+    s_idx = np.repeat(np.arange(num_streets), per_street)[:num_views]
+    k_idx = np.tile(np.arange(per_street), num_streets)[:num_views]
+    direction = np.where(s_idx % 2 == 0, 1.0, -1.0)
+    y = (s_idx - (num_streets - 1) / 2.0) * street_spacing
+    x = direction * (
+        -street_length / 2.0 + street_length * k_idx / max(1, per_street - 1)
+    )
+    eyes = np.stack([x, y, np.full(num_views, camera_height)], axis=1)
+    eyes = eyes + jitter * street_spacing * rng.normal(size=(num_views, 3))
+    targets = eyes + np.stack(
+        [direction, np.zeros(num_views), np.zeros(num_views)], axis=1
+    )
+    return [
+        look_at_camera(
+            eye=eyes[i],
+            target=targets[i],
+            fov_y_deg=fov_y_deg,
+            width=width,
+            height=height_px,
+            view_id=i,
+        )
+        for i in range(num_views)
+    ]
 
 
 def indoor_walkthrough_trajectory(
@@ -175,29 +175,33 @@ def indoor_walkthrough_trajectory(
     """
     rng = make_rng(seed)
     per_room = max(1, (num_views + num_rooms - 1) // num_rooms)
-    cams = []
-    i = 0
-    for room in range(num_rooms):
-        room_center = np.array(
-            [(room - (num_rooms - 1) / 2.0) * room_size * 1.2, 0.0, 0.45]
+    # Room index / in-room pan index per view as one array program.
+    room_idx = np.repeat(np.arange(num_rooms), per_room)[:num_views]
+    k_idx = np.tile(np.arange(per_room), num_rooms)[:num_views]
+    angle = 2.0 * np.pi * k_idx / per_room + 0.3 * rng.normal(size=num_views)
+    centers = np.stack(
+        [
+            (room_idx - (num_rooms - 1) / 2.0) * room_size * 1.2,
+            np.zeros(num_views),
+            np.full(num_views, 0.45),
+        ],
+        axis=1,
+    )
+    eyes = centers + 0.25 * room_size * np.stack(
+        [np.cos(angle * 0.7), np.sin(angle * 0.7), np.zeros(num_views)],
+        axis=1,
+    )
+    targets = eyes + np.stack(
+        [np.cos(angle), np.sin(angle), np.full(num_views, -0.05)], axis=1
+    )
+    return [
+        look_at_camera(
+            eye=eyes[i],
+            target=targets[i],
+            fov_y_deg=fov_y_deg,
+            width=width,
+            height=height_px,
+            view_id=i,
         )
-        for k in range(per_room):
-            if i >= num_views:
-                break
-            angle = 2.0 * math.pi * k / per_room + 0.3 * rng.normal()
-            eye = room_center + 0.25 * room_size * np.array(
-                [math.cos(angle * 0.7), math.sin(angle * 0.7), 0.0]
-            )
-            target = eye + np.array([math.cos(angle), math.sin(angle), -0.05])
-            cams.append(
-                look_at_camera(
-                    eye=eye,
-                    target=target,
-                    fov_y_deg=fov_y_deg,
-                    width=width,
-                    height=height_px,
-                    view_id=i,
-                )
-            )
-            i += 1
-    return cams
+        for i in range(num_views)
+    ]

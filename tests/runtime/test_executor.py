@@ -1,0 +1,137 @@
+"""Unit tests of the overlap runtime's executor (no engines involved)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import OverlapExecutor, WorkerError
+
+
+def test_sync_fallback_runs_inline():
+    """workers=0: tasks execute on the calling thread, in order."""
+    seen = []
+    ex = OverlapExecutor(workers=0)
+    main = threading.get_ident()
+    ex.submit(lambda: seen.append(threading.get_ident()))
+    ex.submit(lambda: seen.append(threading.get_ident()))
+    assert seen == [main, main]  # already ran, before any barrier
+    ex.barrier()
+    stats = ex.drain_stats()
+    assert stats.tasks == 2
+    assert stats.hidden_s == 0.0
+    ex.close()
+
+
+def test_worker_pool_runs_off_thread():
+    seen = []
+    with OverlapExecutor(workers=2) as ex:
+        for _ in range(6):
+            ex.submit(lambda: seen.append(threading.get_ident()))
+        ex.barrier()
+        assert len(seen) == 6
+        assert threading.get_ident() not in seen
+        stats = ex.drain_stats()
+        assert stats.tasks == 6
+        assert stats.task_s >= 0.0
+
+
+def test_barrier_waits_for_completion():
+    done = []
+
+    def slow():
+        time.sleep(0.05)
+        done.append(1)
+
+    with OverlapExecutor(workers=1) as ex:
+        ex.submit(slow)
+        ex.barrier()
+        assert done == [1]
+
+
+def test_double_buffer_backpressure():
+    """At most queue_depth tasks wait; submit blocks (and accounts it)."""
+    release = threading.Event()
+    started = threading.Event()
+
+    def gate():
+        started.set()
+        release.wait(timeout=5.0)
+
+    with OverlapExecutor(workers=1, queue_depth=1) as ex:
+        ex.submit(gate)  # picked up by the worker
+        started.wait(timeout=5.0)
+        ex.submit(release.wait)  # fills the single staging slot
+        release.set()
+        ex.submit(lambda: None)  # must wait for a staging slot
+        ex.barrier()
+        stats = ex.drain_stats()
+        assert stats.tasks == 3
+        assert stats.blocked_s >= 0.0
+
+
+def test_crash_propagates_at_barrier():
+    """A worker exception surfaces at the barrier, chained, not before."""
+
+    def boom():
+        raise ValueError("chunk exploded")
+
+    with OverlapExecutor(workers=1) as ex:
+        ex.submit(boom)
+        with pytest.raises(WorkerError) as excinfo:
+            ex.barrier()
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        # The error is consumed: the executor is reusable afterwards.
+        ex.submit(lambda: None)
+        ex.barrier()
+
+
+def test_sync_crash_also_surfaces_at_barrier():
+    """The inline fallback defers task errors to the same surface."""
+    ex = OverlapExecutor(workers=0)
+    ex.submit(lambda: 1 / 0)
+    with pytest.raises(WorkerError) as excinfo:
+        ex.barrier()
+    assert isinstance(excinfo.value.__cause__, ZeroDivisionError)
+
+
+def test_hidden_time_measured_when_producer_busy():
+    """Task seconds spent while the producer computes count as hidden."""
+    with OverlapExecutor(workers=1) as ex:
+        ex.submit(time.sleep, 0.05)
+        time.sleep(0.08)  # "GPU compute" on the producer thread
+        ex.barrier()
+        stats = ex.drain_stats()
+        assert stats.task_s >= 0.05
+        assert stats.hidden_s > 0.02  # most of the sleep was hidden
+
+
+def test_concurrent_tasks_do_not_inflate_hidden_time():
+    """Two workers running in parallel while the producer just waits at
+    the barrier must report ~zero hidden time: hidden is the wall-clock
+    busy span minus blocked time, not the sum of concurrent task seconds."""
+    with OverlapExecutor(workers=2) as ex:
+        ex.submit(time.sleep, 0.1)
+        ex.submit(time.sleep, 0.1)
+        ex.barrier()  # producer does no other work at all
+        stats = ex.drain_stats()
+        assert stats.task_s >= 0.18  # both tasks' seconds still counted
+        assert stats.busy_span_s <= stats.task_s
+        assert stats.hidden_s <= 0.05  # nothing was genuinely hidden
+
+
+def test_drain_stats_resets():
+    with OverlapExecutor(workers=1) as ex:
+        ex.submit(lambda: None)
+        ex.barrier()
+        assert ex.drain_stats().tasks == 1
+        assert ex.drain_stats().tasks == 0
+
+
+def test_close_is_idempotent_and_final():
+    ex = OverlapExecutor(workers=2)
+    ex.submit(lambda: None)
+    ex.close()
+    ex.close()
+    with pytest.raises(RuntimeError):
+        ex.submit(lambda: None)
