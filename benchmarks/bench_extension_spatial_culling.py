@@ -5,18 +5,18 @@ scales linearly with the number of Gaussians") and proposes spatial
 structures.  This benchmark quantifies the win on a city-scale cloud: the
 grid classifies whole cells against the frustum, so per-Gaussian support
 tests only run on the boundary shell.
+
+Thin wrapper: the comparison itself lives in
+:func:`repro.serving.lod.grid_culling_report` (the serving layer culls
+every request through the same grid), this module just sizes the scene
+and emits the records.
 """
-
-import time
-
-import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.bench import register_benchmark
 from repro.bench.params import SCENE_SEED
-from repro.gaussians.frustum import cull_gaussians
-from repro.gaussians.spatial import CullingGrid
 from repro.scenes.datasets import build_scene
+from repro.serving.lod import grid_culling_report
 
 
 @register_benchmark("extension_spatial_culling", figure="§8 extension",
@@ -28,33 +28,15 @@ def compute(ctx):
     scene = build_scene("bigcity", scale=ctx.tier.spatial_scale,
                         num_views=2 * ctx.tier.spatial_views,
                         seed=SCENE_SEED)
-    model = scene.model
-    grid = CullingGrid(model.positions, model.log_scales, model.quaternions,
-                       target_cells_per_axis=24)
-    rows = []
-    linear_total = grid_total = 0.0
-    for cam in scene.cameras[:ctx.tier.spatial_views]:
-        t0 = time.perf_counter()
-        linear = cull_gaussians(cam, model.positions, model.log_scales,
-                                model.quaternions)
-        t_linear = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        fast = grid.query(cam)
-        t_grid = time.perf_counter() - t0
-        assert np.array_equal(linear, fast)
-        linear_total += t_linear
-        grid_total += t_grid
-        stats = grid.query_stats(cam)
-        rows.append([
-            cam.view_id, linear.size, t_linear * 1e3, t_grid * 1e3,
-            t_linear / max(t_grid, 1e-9),
-            100 * stats["tested"] / model.num_gaussians,
-        ])
-    summary = [model.num_gaussians, grid.num_cells,
-               linear_total / grid_total]
+    rows, summary = grid_culling_report(
+        scene.model, scene.cameras[:ctx.tier.spatial_views],
+        target_cells_per_axis=24,
+    )
+    linear_total = sum(row[2] for row in rows) * 1e-3
+    grid_total = sum(row[3] for row in rows) * 1e-3
     ctx.record(scene="bigcity", variant="grid-vs-linear",
                wall_time_s=linear_total + grid_total,
-               speedup=summary[2], num_gaussians=model.num_gaussians)
+               speedup=summary[2], num_gaussians=scene.model.num_gaussians)
     ctx.emit(
         f"§8 extension — spatial culling on a {summary[0]:,}-Gaussian "
         f"BigCity cloud ({summary[1]} cells); overall speedup "
@@ -73,8 +55,8 @@ def compute(ctx):
 def test_extension_spatial_culling(benchmark, bench_ctx):
     rows, summary = benchmark.pedantic(compute, args=(bench_ctx,), rounds=1,
                                        iterations=1)
-    # Exactness was asserted inside compute(); the win must be real on a
-    # sparse city-scale scene.
+    # Exactness was asserted inside grid_culling_report(); the win must be
+    # real on a sparse city-scale scene.
     assert summary[2] > 2.0
     for row in rows:
         assert row[5] < 50.0  # most Gaussians never reach the exact test

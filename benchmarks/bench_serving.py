@@ -1,0 +1,136 @@
+"""Render-serving benchmark (ROADMAP item 3): latency SLOs, plan-cache
+reuse across concurrent requests, and LOD culling.
+
+Three variants, each one record in ``BENCH_results.json``:
+
+- ``trajectory_locality`` — a multi-lap guided-tour stream (viewers dwell
+  on a view, then step).  Coalesced batch compositions repeat across
+  laps, so the fingerprint-keyed :class:`repro.planning.PlanCache` must
+  convert most request batches into lookups: the acceptance bar is a
+  plan-cache hit rate above 50%.
+- ``bursty`` — near-simultaneous bursts against a small queue with
+  expiry-at-dispatch on: admission control must shed/expire load instead
+  of serving everything late.
+- ``lod_culling`` — mean composited-Gaussian count over the far camera
+  ring with LOD on vs off; the subset math must cut the far-view
+  compositing budget.
+
+The stream structure is seeded/deterministic; only the measured
+plan/render durations vary run to run, and none of the assertions depend
+on them.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.bench.params import SCENE_SEED
+from repro.gaussians.model import GaussianModel
+from repro.serving import (
+    LodConfig,
+    ServingConfig,
+    ServingSession,
+    bursty_stream,
+    ring_cameras,
+    trajectory_stream,
+)
+
+#: Three 4-view rings; with ``extent=1.0`` below (cloud bounding radius
+#: ~1.7) and LOD edges at 2 and 5 bounding radii, the rings land exactly
+#: on LOD levels 0 / 1 / 2.
+RING_VIEWS = 4
+RING_RADII = (2.2, 5.5, 12.0)
+LOD = LodConfig(distance_edges=(2.0, 5.0), keep_fractions=(0.5, 0.25))
+
+#: ``dwell`` is a multiple of ``max_batch`` so a saturated queue pops
+#: single-view batches whose plan fingerprints repeat every lap — the
+#: hit-rate floor asserted below is structural, not timing-dependent.
+MAX_BATCH = 4
+DWELL = 8
+LAPS = 3
+
+
+def _scene(ctx):
+    n = max(120, int(5e6 * ctx.tier.scale))
+    model = GaussianModel.random(n, extent=1.0, sh_degree=1, seed=SCENE_SEED)
+    cams = ring_cameras(views_per_ring=RING_VIEWS, radii=RING_RADII)
+    return model, cams
+
+
+@register_benchmark("serving", figure="ROADMAP item 3",
+                    tags=("serving", "slo"))
+def compute(ctx):
+    """Serving SLO metrics: cache locality, admission control, LOD."""
+    model, cams = _scene(ctx)
+    rows = []
+
+    # -- trajectory locality: the plan cache must carry repeat batches --
+    n = len(cams) * DWELL * LAPS
+    stream = trajectory_stream(cams, n, rate_rps=2000.0, dwell=DWELL,
+                               slo_s=0.25, seed=SCENE_SEED)
+    sess = ServingSession(model, ServingConfig(
+        max_batch=MAX_BATCH, queue_capacity=n, plan_cache_size=64,
+        lod=LOD, seed=SCENE_SEED,
+    ))
+    rep = sess.serve(stream)
+    assert len(rep.completed) == n  # capacity == n: nothing sheds
+    ctx.record(variant="trajectory_locality", wall_time_s=rep.wall_time_s,
+               requests=n, p50_ms=rep.p50_ms, p95_ms=rep.p95_ms,
+               p99_ms=rep.p99_ms, throughput_rps=rep.throughput_rps,
+               slo_violation_rate=rep.slo_violation_rate,
+               plan_cache_hit_rate=rep.plan_cache_hit_rate,
+               plans_built=rep.planner_stats["plans_built"],
+               coalesce_rate=sess.batcher.counters.coalesce_rate)
+    rows.append(["trajectory p50 latency ms", rep.p50_ms])
+    rows.append(["trajectory p99 latency ms", rep.p99_ms])
+    rows.append(["trajectory throughput req/s", rep.throughput_rps])
+    rows.append(["plan-cache hit rate %", 100 * rep.plan_cache_hit_rate])
+    hit_rate = rep.plan_cache_hit_rate
+
+    # -- bursty + tiny queue: admission control must drop, not stall ----
+    bstream = bursty_stream(cams, 120, rate_rps=800.0, burst_size=12,
+                            slo_s=0.05, seed=SCENE_SEED)
+    bsess = ServingSession(model, ServingConfig(
+        max_batch=MAX_BATCH, queue_capacity=8, plan_cache_size=64,
+        drop_expired=True, lod=LOD, seed=SCENE_SEED,
+    ))
+    brep = bsess.serve(bstream)
+    dropped = brep.shed_count + brep.expired_count
+    ctx.record(variant="bursty", wall_time_s=brep.wall_time_s,
+               requests=brep.total_requests, p50_ms=brep.p50_ms,
+               p99_ms=brep.p99_ms, throughput_rps=brep.throughput_rps,
+               slo_violation_rate=brep.slo_violation_rate,
+               shed=brep.shed_count, expired=brep.expired_count,
+               shed_rate=brep.queue_stats["shed_rate"])
+    rows.append(["bursty requests dropped", float(dropped)])
+    rows.append(["bursty SLO violation %", 100 * brep.slo_violation_rate])
+
+    # -- LOD: far cameras composite a fraction of the cloud -------------
+    far = [c for c in cams if c.view_id >= 2 * RING_VIEWS]
+    full = sess.mean_composited(far, use_lod=False)
+    lod = sess.mean_composited(far, use_lod=True)
+    reduction = full / max(lod, 1e-9)
+    ctx.record(variant="lod_culling", wall_time_s=0.0,
+               far_views=len(far), composited_full=full,
+               composited_lod=lod, lod_reduction=reduction,
+               subset_sizes=list(sess.lod.subset_sizes().values()))
+    rows.append(["LOD far-view composited (full)", full])
+    rows.append(["LOD far-view composited (culled)", lod])
+    rows.append(["LOD reduction x", reduction])
+
+    ctx.emit(
+        f"Render serving — {model.num_gaussians} Gaussians, {len(cams)} "
+        f"views, {n}-request tour + 120-request burst",
+        format_table(["metric", "value"], rows, floatfmt="{:.2f}"),
+    )
+    ctx.log_raw("serving", {"rows": rows})
+    return rows, hit_rate, dropped, reduction
+
+
+def test_serving(benchmark, bench_ctx):
+    rows, hit_rate, dropped, reduction = benchmark.pedantic(
+        compute, args=(bench_ctx,), rounds=1, iterations=1
+    )
+    # The acceptance bar: locality streams must hit the plan cache on
+    # most batches, and LOD must shrink far-view compositing.
+    assert hit_rate > 0.5
+    assert dropped > 0
+    assert reduction > 1.0

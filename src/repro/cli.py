@@ -9,6 +9,7 @@ Examples::
     python -m repro.cli engines
     python -m repro.cli train --engine clm --batches 20
     python -m repro.cli train --engine clm --ordering gs_count --plan-cache 16
+    python -m repro.cli serve --stream trajectory --requests 96 --rate 500
     python -m repro.cli bench list
     python -m repro.cli bench run --quick
     python -m repro.cli bench compare --baseline BENCH_results.json
@@ -37,6 +38,7 @@ from repro.planning.orders import STRATEGIES
 from repro.engines import available_engines, engine_descriptions
 from repro.hardware.specs import TESTBEDS
 from repro.scenes.datasets import build_scene, scene_names
+from repro.serving import requests as serving_requests
 
 
 def _add_scene_args(p: argparse.ArgumentParser) -> None:
@@ -189,6 +191,83 @@ def cmd_train(args) -> int:
         f"{perf.batches} batches, {perf.overlap_hidden_s * 1e3:.1f} ms "
         f"hidden under compute ({args.overlap_workers} overlap workers)"
     )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import numpy as np
+
+    from repro.core.config import EngineConfig
+    from repro.engines import create_engine
+    from repro.scenes.images import make_trainable_scene
+    from repro.serving import (
+        LodConfig,
+        ServingConfig,
+        ServingSession,
+        build_stream,
+        ring_cameras,
+    )
+
+    scene = make_trainable_scene(
+        reference_gaussians=args.gaussians, num_views=8,
+        image_size=(32, 24), seed=args.seed,
+    )
+    engine = create_engine(
+        args.engine, scene.reference, scene.cameras,
+        EngineConfig(batch_size=4, seed=args.seed),
+    )
+    sess = ServingSession.from_engine(engine, ServingConfig(
+        max_batch=args.max_batch,
+        queue_capacity=args.queue_capacity,
+        ordering=args.ordering,
+        plan_cache_size=args.plan_cache,
+        drop_expired=args.drop_expired,
+        lod=None if args.no_lod else LodConfig(),
+        seed=args.seed,
+    ))
+    # Ring radii scale with the cloud's bounding radius so the near ring
+    # exercises full detail and the far ring the LOD-culled path on any
+    # scene size.
+    model = sess.model
+    centroid = model.positions.mean(axis=0)
+    bound = max(
+        float(np.linalg.norm(model.positions - centroid, axis=1).max()),
+        1e-9,
+    )
+    cams = ring_cameras(
+        views_per_ring=4,
+        radii=tuple(bound * r for r in (1.3, 4.0, 9.0)),
+        center=centroid,
+    )
+    stream = build_stream(
+        args.stream, cams, args.requests, args.rate,
+        slo_s=args.slo_ms / 1e3, seed=args.seed,
+    )
+    report = sess.serve(stream)
+    print(format_table(
+        ["metric", "value"], report.summary_rows(),
+        title=f"repro serve — {args.stream} stream of {args.requests} "
+              f"requests over {len(cams)} views ({args.engine} engine, "
+              f"{model.num_gaussians} Gaussians)",
+        floatfmt="{:.2f}",
+    ))
+    stats = report.planner_stats
+    print(
+        f"planner: {stats['plans_built']:.0f} plans built, "
+        f"{stats['cache_hits']:.0f} cache hits "
+        f"({100 * stats['hit_rate']:.0f}% of {stats['requests']:.0f} "
+        f"batches), {stats['evictions']:.0f} evictions"
+    )
+    if report.lod_subset_sizes:
+        levels = ", ".join(
+            f"L{level}={size}"
+            for level, size in report.lod_subset_sizes.items()
+        )
+        served = ", ".join(
+            f"L{level}:{count}"
+            for level, count in report.lod_level_counts().items()
+        )
+        print(f"lod: subset sizes {levels}; served per level {served}")
     return 0
 
 
@@ -429,6 +508,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = synchronous fallback; results are "
                         "bit-identical at any setting)")
     p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("serve", help="concurrent render-serving demo")
+    p.add_argument("--engine", choices=available_engines(), default="clm",
+                   help="engine whose forward path serves the renders")
+    p.add_argument("--gaussians", type=int, default=200)
+    p.add_argument("--requests", type=int, default=96)
+    p.add_argument("--stream", choices=serving_requests.STREAMS,
+                   default="trajectory",
+                   help="arrival process (trajectory = locality tour)")
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="mean arrival rate, requests/s")
+    p.add_argument("--slo-ms", type=float, default=250.0,
+                   help="per-request latency SLO in milliseconds")
+    p.add_argument("--max-batch", type=int, default=4)
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="admission-control queue bound (excess sheds)")
+    p.add_argument("--plan-cache", type=int, default=64)
+    p.add_argument("--ordering", choices=STRATEGIES, default="tsp")
+    p.add_argument("--drop-expired", action="store_true",
+                   help="drop requests whose deadline passed at dispatch")
+    p.add_argument("--no-lod", action="store_true",
+                   help="disable level-of-detail culling")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
 
     _add_bench_parser(sub)
     return parser

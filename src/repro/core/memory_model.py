@@ -75,6 +75,14 @@ ACT_PER_GAUSSIAN = 500
 #: gradient staging).
 ACT_PER_PIXEL = 240
 
+#: Serving note: forward-only render serving (:mod:`repro.serving`) sits
+#: entirely outside the training budgets above.  The serving path forces
+#: ``cache_blend_state=False`` (``EngineBase.serving_raster_settings``) so
+#: no per-tile blending state is retained, and it never materializes
+#: gradient buffers, Adam moments, or the CLM double buffers — a served
+#: model costs one read-only parameter copy plus transient per-request
+#: activations for the (frustum ∩ LOD) working set.
+
 
 @dataclass(frozen=True)
 class SceneMemoryProfile:

@@ -405,6 +405,33 @@ class EngineBase(Engine):
         self._step_adam_s += time.perf_counter() - start
         return touched
 
+    # -- forward-only (serving/inference) path --------------------------
+    @property
+    def serving_raster_settings(self):
+        """Raster settings for forward-only renders (the serving layer).
+
+        Identical imaging math to :attr:`raster_settings`, but the
+        blend-state cache is never retained: serving runs no backward
+        pass, so keeping forward blending state would hold activation
+        bytes nothing ever reads (see the serving note in
+        :mod:`repro.core.memory_model`).
+        """
+        settings = self.raster_settings
+        if settings.cache_blend_state:
+            settings = dc_replace(settings, cache_blend_state=False)
+        return settings
+
+    def render_forward(self, camera: Camera, model_like):
+        """Forward-only render through the engine's resolved renderer.
+
+        The shared entry point of :mod:`repro.serving`: same renderer and
+        settings resolution as the training-time forward of
+        :meth:`_forward_backward`, so serving images are bit-identical to
+        training-batch renders of the same working set — pinned by
+        ``tests/serving/test_forward_parity.py``.
+        """
+        return self._render(camera, model_like, self.serving_raster_settings)
+
     # -- default evaluation / inference --------------------------------
     def _eval_model(self) -> GaussianModel:
         """Read-only model used by the default ``evaluate``/``render_view``.

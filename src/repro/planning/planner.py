@@ -261,7 +261,12 @@ class BatchPlanner:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
-        """Counter snapshot for reporting (CLI, benchmarks)."""
+        """Counter snapshot for reporting (CLI, benchmarks, serving).
+
+        ``evictions``/``cache_size`` come from the :class:`PlanCache`
+        itself: under capacity churn (the serving workload) the eviction
+        count is what distinguishes "cold misses" from "cache too small".
+        """
         c = self.counters
         return {
             "requests": c.requests,
@@ -270,4 +275,6 @@ class BatchPlanner:
             "hit_rate": c.hit_rate,
             "build_time_s": c.build_time_s,
             "order_time_s": c.order_time_s,
+            "evictions": float(self.cache.evictions),
+            "cache_size": float(len(self.cache)),
         }

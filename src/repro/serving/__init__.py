@@ -1,0 +1,64 @@
+"""`repro.serving` — concurrent render serving over the raster substrate.
+
+The inference-side workload of ROADMAP item 3: accept concurrent camera
+request streams, batch them through the §4.2.3 planning machinery
+(:class:`repro.planning.BatchPlanner` + plan cache, applied to *requests*
+instead of training microbatches), composite far cameras against
+level-of-detail Gaussian subsets, render forward-only, and report
+latency percentiles against an SLO.
+
+Layer map:
+
+- :mod:`repro.serving.requests` — :class:`RenderRequest` + seeded arrival
+  processes (Poisson / bursty / trajectory-locality);
+- :mod:`repro.serving.queueing` — bounded queue with load shedding;
+- :mod:`repro.serving.lod` — distance-bucketed level-of-detail subsets
+  and the grid-vs-linear culling report;
+- :mod:`repro.serving.batcher` — request coalescing + forward-only plan
+  execution;
+- :mod:`repro.serving.metrics` — per-request records, percentile/SLO
+  report;
+- :mod:`repro.serving.session` — the :class:`ServingSession` facade
+  (``repro serve`` drives it).
+"""
+
+from repro.serving.batcher import BatcherCounters, ServingBatcher
+from repro.serving.lod import LodConfig, LodSelector, grid_culling_report
+from repro.serving.metrics import RequestRecord, ServingReport
+from repro.serving.queueing import QueueStats, RequestQueue
+from repro.serving.requests import (
+    STREAMS,
+    RenderRequest,
+    build_stream,
+    bursty_stream,
+    poisson_stream,
+    ring_cameras,
+    trajectory_stream,
+)
+from repro.serving.session import (
+    ServingConfig,
+    ServingSession,
+    forward_only_settings,
+)
+
+__all__ = [
+    "BatcherCounters",
+    "LodConfig",
+    "LodSelector",
+    "QueueStats",
+    "RenderRequest",
+    "RequestQueue",
+    "RequestRecord",
+    "STREAMS",
+    "ServingBatcher",
+    "ServingConfig",
+    "ServingReport",
+    "ServingSession",
+    "build_stream",
+    "bursty_stream",
+    "forward_only_settings",
+    "grid_culling_report",
+    "poisson_stream",
+    "ring_cameras",
+    "trajectory_stream",
+]

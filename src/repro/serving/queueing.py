@@ -1,0 +1,96 @@
+"""Request queue with admission control.
+
+The serving loop is open-loop: arrivals keep coming whether or not the
+renderer keeps up.  A bounded FIFO with load shedding is the standard
+defence — when the queue is full the request is rejected immediately
+(cheap, and the client can retry elsewhere) instead of joining a line it
+can only lose.  Optionally, requests whose deadline has already passed by
+the time they would start are dropped at dispatch (``drop_expired``):
+rendering them would burn capacity on an answer nobody is waiting for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+from repro.serving.requests import RenderRequest
+
+
+@dataclass
+class QueueStats:
+    """Cumulative admission-control counters for one serving run."""
+
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0  # rejected at admission: queue full
+    expired: int = 0  # dropped at dispatch: deadline already missed
+    max_depth: int = 0
+
+    @property
+    def shed_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+    def as_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "expired": self.expired,
+            "max_depth": self.max_depth,
+            "shed_rate": self.shed_rate,
+        }
+
+
+class RequestQueue:
+    """Bounded FIFO of :class:`RenderRequest` with capacity shedding."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._items: Deque[RenderRequest] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, request: RenderRequest) -> bool:
+        """Admit ``request`` or shed it; returns ``True`` when admitted."""
+        self.stats.offered += 1
+        if len(self._items) >= self.capacity:
+            self.stats.shed += 1
+            return False
+        self._items.append(request)
+        self.stats.admitted += 1
+        self.stats.max_depth = max(self.stats.max_depth, len(self._items))
+        return True
+
+    def pop_batch(
+        self,
+        max_batch: int,
+        now: float = 0.0,
+        drop_expired: bool = False,
+    ) -> Tuple[List[RenderRequest], List[RenderRequest]]:
+        """Dequeue up to ``max_batch`` requests for one serving batch.
+
+        Returns ``(batch, expired)``: with ``drop_expired`` on, requests
+        whose deadline precedes ``now`` are pulled off but not served (they
+        do not count against ``max_batch`` — the batch is filled from the
+        still-viable head of the queue).
+        """
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        batch: List[RenderRequest] = []
+        expired: List[RenderRequest] = []
+        while self._items and len(batch) < max_batch:
+            request = self._items.popleft()
+            if drop_expired and request.deadline_s < now:
+                self.stats.expired += 1
+                expired.append(request)
+                continue
+            batch.append(request)
+        return batch, expired

@@ -170,3 +170,36 @@ def test_unsorted_out_of_range_index_rejected(rng):
     planner = BatchPlanner(ordering="identity", cache_size=0)
     with pytest.raises(ValueError, match="out of range"):
         planner.plan([np.array([70, 3])], [0], num_gaussians=60)
+
+
+def test_stats_expose_eviction_count(rng):
+    """`stats()` must surface PlanCache evictions — serving dashboards
+    distinguish cold misses from a cache that is simply too small."""
+    a, b, c = make_sets(rng, 2), make_sets(rng, 2), make_sets(rng, 2)
+    planner = BatchPlanner(ordering="identity", cache_size=2)
+    stats = planner.stats()
+    assert stats["evictions"] == 0.0
+    assert stats["cache_size"] == 0.0
+    planner.plan(a, [0, 1], num_gaussians=300)
+    planner.plan(b, [0, 1], num_gaussians=300)
+    planner.plan(c, [0, 1], num_gaussians=300)  # evicts one
+    stats = planner.stats()
+    assert stats["evictions"] == 1.0
+    assert stats["cache_size"] == 2.0
+
+
+def test_lru_eviction_order_under_capacity_churn(rng):
+    """Recency, not insertion order, decides the victim: touching an old
+    entry (a hit) must protect it through the next eviction."""
+    a, b, c = make_sets(rng, 2), make_sets(rng, 2), make_sets(rng, 2)
+    planner = BatchPlanner(ordering="identity", cache_size=2)
+    plan_a = planner.plan(a, [0, 1], num_gaussians=300)
+    planner.plan(b, [0, 1], num_gaussians=300)
+    # Touch A: it becomes most-recent, so inserting C must evict B.
+    assert planner.plan(a, [0, 1], num_gaussians=300) is plan_a
+    planner.plan(c, [0, 1], num_gaussians=300)
+    assert planner.cache.evictions == 1
+    assert planner.plan(a, [0, 1], num_gaussians=300) is plan_a  # hit
+    built = planner.counters.plans_built
+    planner.plan(b, [0, 1], num_gaussians=300)  # miss: B was the victim
+    assert planner.counters.plans_built == built + 1

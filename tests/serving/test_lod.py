@@ -1,0 +1,92 @@
+"""LOD selection/subsets and the promoted grid-culling report."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.model import GaussianModel
+from repro.serving.lod import LodConfig, LodSelector, grid_culling_report
+from repro.serving.requests import ring_cameras
+from repro.utils.setops import as_index_set
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GaussianModel.random(400, extent=1.0, sh_degree=1, seed=2)
+
+
+@pytest.fixture(scope="module")
+def selector(model):
+    cfg = LodConfig(distance_edges=(2.0, 5.0), keep_fractions=(0.5, 0.25))
+    return LodSelector(model.positions, model.log_scales, cfg)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="align"):
+        LodConfig(distance_edges=(1.0, 2.0), keep_fractions=(0.5,))
+    with pytest.raises(ValueError, match="increasing"):
+        LodConfig(distance_edges=(2.0, 2.0), keep_fractions=(0.5, 0.25))
+    with pytest.raises(ValueError, match="keep_fractions"):
+        LodConfig(distance_edges=(1.0,), keep_fractions=(0.0,))
+    assert LodConfig().num_levels == 3
+
+
+def test_subsets_shrink_with_level(selector):
+    sizes = selector.subset_sizes()
+    assert sizes[0] == selector.num_gaussians  # level 0 = full detail
+    assert sizes[0] > sizes[1] > sizes[2]
+    # keep_fractions are honoured to quantile-tie rounding.
+    assert sizes[1] == pytest.approx(0.5 * sizes[0], rel=0.05)
+    assert sizes[2] == pytest.approx(0.25 * sizes[0], rel=0.1)
+    for level in (1, 2):
+        subset = selector.subset(level)
+        assert np.array_equal(subset, np.unique(subset))  # sorted unique
+
+
+def test_levels_keep_the_largest_gaussians(model, selector):
+    from repro.gaussians.spatial import max_support_radius
+
+    radii = max_support_radius(model.log_scales)
+    coarse = selector.subset(2)
+    kept_min = radii[coarse].min()
+    dropped = np.setdiff1d(np.arange(model.num_gaussians), coarse)
+    assert radii[dropped].max() <= kept_min + 1e-12
+
+
+def test_level_for_tracks_camera_distance(selector):
+    cams = ring_cameras(views_per_ring=2, radii=(2.2, 5.5, 12.0))
+    levels = [selector.level_for(c) for c in cams]
+    assert levels == sorted(levels)  # farther rings never get finer
+    assert levels[0] == 0
+    assert levels[-1] == selector.config.num_levels - 1
+
+
+def test_apply_intersects_with_frustum_set(selector):
+    in_frustum = as_index_set(np.arange(0, 400, 3))
+    assert selector.apply(0, in_frustum) is in_frustum  # full detail: no-op
+    culled = selector.apply(2, in_frustum)
+    assert culled.size < in_frustum.size
+    assert np.all(np.isin(culled, in_frustum))
+    assert np.all(np.isin(culled, selector.subset(2)))
+
+
+def test_degenerate_clouds_serve_full_detail():
+    empty = LodSelector(np.zeros((0, 3)), np.zeros((0, 3)))
+    assert empty.subset_sizes() == {0: 0, 1: 0, 2: 0}
+    # All-equal radii: the quantile threshold keeps everything, so the
+    # "subset" falls back to full detail rather than emptiness.
+    uniform = LodSelector(np.zeros((10, 3)), np.zeros((10, 3)))
+    assert all(s is None for s in uniform._subsets)
+
+
+def test_grid_culling_report_shape(model):
+    cams = ring_cameras(views_per_ring=2, radii=(2.5,))
+    rows, summary = grid_culling_report(model, cams,
+                                        target_cells_per_axis=8)
+    assert len(rows) == len(cams)
+    assert summary[0] == model.num_gaussians
+    assert summary[1] >= 1
+    for row in rows:
+        view_id, set_size, linear_ms, grid_ms, speedup, tested_pct = row
+        assert set_size >= 0
+        assert linear_ms >= 0.0 and grid_ms >= 0.0
+        assert 0.0 <= tested_pct <= 100.0

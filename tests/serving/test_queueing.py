@@ -1,0 +1,63 @@
+"""Admission-controlled request queue: shedding, expiry, statistics."""
+
+from repro.serving.queueing import RequestQueue
+from repro.serving.requests import RenderRequest
+
+
+def make_request(i, arrival=0.0, slo=1.0):
+    return RenderRequest(request_id=i, view_id=i, camera=None,
+                         arrival_s=arrival, slo_s=slo)
+
+
+def test_offer_sheds_beyond_capacity():
+    q = RequestQueue(capacity=2)
+    assert q.offer(make_request(0))
+    assert q.offer(make_request(1))
+    assert not q.offer(make_request(2))  # full: shed
+    assert q.stats.offered == 3
+    assert q.stats.admitted == 2
+    assert q.stats.shed == 1
+    assert q.stats.shed_rate == 1 / 3
+    assert q.stats.max_depth == 2
+    assert len(q) == 2
+
+
+def test_pop_batch_fifo_and_limit():
+    q = RequestQueue(capacity=8)
+    for i in range(5):
+        q.offer(make_request(i))
+    batch, expired = q.pop_batch(3)
+    assert [r.request_id for r in batch] == [0, 1, 2]
+    assert expired == []
+    assert len(q) == 2
+
+
+def test_pop_batch_drops_expired_without_counting_against_limit():
+    q = RequestQueue(capacity=8)
+    q.offer(make_request(0, arrival=0.0, slo=0.5))   # deadline 0.5
+    q.offer(make_request(1, arrival=0.0, slo=5.0))
+    q.offer(make_request(2, arrival=0.1, slo=0.2))   # deadline 0.3
+    q.offer(make_request(3, arrival=0.2, slo=5.0))
+    batch, expired = q.pop_batch(2, now=1.0, drop_expired=True)
+    assert [r.request_id for r in expired] == [0, 2]
+    assert [r.request_id for r in batch] == [1, 3]
+    assert q.stats.expired == 2
+    assert len(q) == 0
+
+
+def test_expiry_off_by_default():
+    q = RequestQueue(capacity=4)
+    q.offer(make_request(0, arrival=0.0, slo=0.1))
+    batch, expired = q.pop_batch(4, now=99.0)
+    assert [r.request_id for r in batch] == [0]
+    assert expired == []
+
+
+def test_stats_as_dict_round_trip():
+    q = RequestQueue(capacity=1)
+    q.offer(make_request(0))
+    q.offer(make_request(1))
+    d = q.stats.as_dict()
+    assert d["offered"] == 2.0
+    assert d["shed"] == 1.0
+    assert 0.0 < d["shed_rate"] < 1.0
