@@ -16,7 +16,7 @@ import pytest
 from repro.analysis.reporting import format_table
 from repro.bench import register_benchmark
 from repro.planning.caching import build_transfer_plan
-from repro.core.scheduler import tsp_order
+from repro.planning.tsp_order import tsp_order
 from repro.gaussians.camera import look_at_camera
 from repro.gaussians.frustum import cull_gaussians
 from repro.gaussians.loss import photometric_loss

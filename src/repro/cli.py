@@ -154,15 +154,21 @@ def cmd_train(args) -> int:
     # Unknown engine names never reach this point: the --engine choices
     # come from available_engines(), so argparse rejects them with the
     # registry's name list.
+    engine = args.engine
+    if args.devices > 1 and engine == "clm":
+        # --devices implies the sharded engine; plain clm has no device
+        # dimension.
+        engine = "clm_sharded"
     sess = session(
         scene,
-        engine=args.engine,
+        engine=engine,
         config=EngineConfig(
             batch_size=4,
             seed=args.seed,
             ordering=args.ordering,
             plan_cache_size=args.plan_cache,
             overlap_workers=args.overlap_workers,
+            num_devices=args.devices,
         ),
         trainer_config=TrainerConfig(
             num_batches=args.batches, batch_size=4,
@@ -174,7 +180,7 @@ def cmd_train(args) -> int:
             zip(sess.metrics.eval_batches, sess.metrics.psnrs)]
     print(format_table(
         ["batch", "PSNR dB"], rows,
-        title=f"Functional training with the {args.engine} engine "
+        title=f"Functional training with the {engine} engine "
               f"(ordering={args.ordering})",
         floatfmt="{:.2f}",
     ))
@@ -191,6 +197,19 @@ def cmd_train(args) -> int:
         f"{perf.batches} batches, {perf.overlap_hidden_s * 1e3:.1f} ms "
         f"hidden under compute ({args.overlap_workers} overlap workers)"
     )
+    if perf.device_busy_s:
+        busy = ", ".join(
+            f"gpu{k}={s * 1e3:.1f}ms"
+            for k, s in sorted(perf.device_busy_s.items())
+        )
+        print(
+            f"sharding: {args.devices} devices, "
+            f"{perf.halo_gaussians} halo Gaussians "
+            f"({perf.halo_bytes / 1e6:.2f} MB exchanged), "
+            f"{perf.stolen_microbatches} microbatches stolen; "
+            f"simulated makespan {perf.sim_makespan_s * 1e3:.1f} ms, "
+            f"busy {busy}"
+        )
     return 0
 
 
@@ -507,6 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="overlap-runtime worker threads for the CPU Adam "
                         "(0 = synchronous fallback; results are "
                         "bit-identical at any setting)")
+    p.add_argument("--devices", type=int, default=1,
+                   help="simulated device count; >1 switches clm to the "
+                        "clm_sharded engine (spatial shards, halo "
+                        "exchange, work stealing)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("serve", help="concurrent render-serving demo")

@@ -6,8 +6,6 @@ Sparsity-guided CPU offloading for 3DGS training:
   attribute split (§4.1);
 - :mod:`repro.core.culling_index` — pre-rendering frustum culling producing
   per-view in-frustum index sets (§5.1);
-- :mod:`repro.core.scheduler` — the stochastic-local-search TSP solver
-  (§4.2.3, Appendix A.1);
 - :mod:`repro.core.pipeline` — the 1F1B microbatch pipeline DAG (Figure 6);
 - :mod:`repro.core.memory_model` — GPU/pinned memory accounting and OOM
   boundaries (Figures 8/10, Table 6);

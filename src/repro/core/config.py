@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.gaussians.rasterizer import RasterSettings
-from repro.hardware.specs import RTX4090_TESTBED, Testbed
+from repro.hardware.specs import RTX4090_TESTBED, DeviceTopology, Testbed
 from repro.optim.adam import AdamConfig
 
 
@@ -77,6 +77,14 @@ class EngineConfig:
     gpu_capacity_bytes: Optional[float] = None
     renderer: Optional[Callable] = None
     renderer_backward: Optional[Callable] = None
+    # Sharded training (the clm_sharded engine; ignored by the others).
+    # ``num_devices`` sizes the simulated device pool; ``topology``
+    # overrides the default homogeneous DeviceTopology built from the
+    # RTX 4090 testbed; ``work_stealing`` toggles the deterministic
+    # microbatch rebalancing between imbalanced shards.
+    num_devices: int = 1
+    topology: Optional[DeviceTopology] = None
+    work_stealing: bool = True
 
     def resolve_renderer(self) -> "tuple[Callable, Callable]":
         """The (forward, backward) pair engines should call."""

@@ -83,6 +83,21 @@ ACT_PER_PIXEL = 240
 #: model costs one read-only parameter copy plus transient per-request
 #: activations for the (frustum ∩ LOD) working set.
 
+#: Sharding note: the ``clm_sharded`` engine (:mod:`repro.sharding`)
+#: divides the budgets above by owned rows, not evenly.  Each of the K
+#: devices holds ``CLM_CRITICAL_BPG`` for its *owned* shard (spatial
+#: median cut → within ~±1 row of N/K) plus the same two-microbatch
+#: double buffer, and the host pins only owned non-critical rows + CPU
+#: moments per shard, so the K-device pool totals equal the single-device
+#: figures — sharding spreads the model, it does not replicate it.  The
+#: one overhead the single-device model lacks is the **halo**: boundary
+#: Gaussians a device reads but does not own are fetched per batch
+#: (critical params in, gradients back — ``ShardedBatchPlan.halo_bytes``
+#: counts both directions) and discarded afterwards, costing transient
+#: per-batch buffer space proportional to the shard boundary surface,
+#: never resident bytes.  Owners alone step Adam on halo rows, so moments
+#: are never duplicated across devices.
+
 
 @dataclass(frozen=True)
 class SceneMemoryProfile:

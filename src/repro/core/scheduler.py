@@ -1,208 +1,39 @@
-"""TSP-based pipeline order optimization (paper §4.2.3 + Appendix A.1).
+"""Deprecated location — the §4.2.3 TSP order optimizer moved to
+:mod:`repro.planning.tsp_order`.
 
-Microbatches are nodes; the distance between views ``i`` and ``j`` is the
-symmetric difference ``|S_i ^ S_j|`` of their in-frustum sets — the number
-of Gaussians that would have to move if the two views ran back-to-back.
-The schedule that maximizes consecutive overlap is the shortest Hamiltonian
-*path* through this graph (no return edge: the last microbatch of a batch
-has no successor).
-
-The distance is a metric (symmetric, triangle inequality — verified by a
-property test), so stochastic local search converges fast in practice.
-Following Appendix A.1 we implement:
-
-- nearest-neighbour construction from a random start,
-- 2-opt (segment reversal) and 3-opt-style or-opt (segment relocation)
-  improvement moves,
-- restarts until a wall-clock budget (default 1 ms, as in the paper) or
-  convergence,
-- an exact Held-Karp dynamic program for small instances, used by tests to
-  certify that SLS finds optimal tours at the paper's batch sizes.
+This module was never the discrete-event scheduler (that is
+:class:`repro.hardware.simulator.Simulator`); the old name conflated the
+two, hence the move.
 """
 
-from __future__ import annotations
+import warnings
 
-import itertools
-import time
-from typing import List, Optional, Sequence
+from repro.planning.tsp_order import (
+    distance_matrix,
+    held_karp_path,
+    nearest_neighbor_path,
+    or_opt_pass,
+    path_cost,
+    stochastic_local_search,
+    tsp_order,
+    two_opt_pass,
+)
 
-import numpy as np
+warnings.warn(
+    "repro.core.scheduler is deprecated; the TSP order optimizer lives at "
+    "repro.planning.tsp_order (the discrete-event scheduler is "
+    "repro.hardware.simulator.Simulator)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-from repro.utils import setops
-from repro.utils.rng import SeedLike, make_rng
-
-
-def distance_matrix(sets: Sequence[np.ndarray]) -> np.ndarray:
-    """Pairwise ``|S_i ^ S_j|`` (int64, symmetric, zero diagonal)."""
-    return setops.symmetric_difference_matrix(list(sets))
-
-
-def path_cost(dist: np.ndarray, order: Sequence[int]) -> float:
-    """Total edge weight of an open path."""
-    order = np.asarray(order)
-    if order.size <= 1:
-        return 0.0
-    return float(dist[order[:-1], order[1:]].sum())
-
-
-def nearest_neighbor_path(
-    dist: np.ndarray, start: int = 0
-) -> List[int]:
-    """Greedy construction: repeatedly hop to the closest unvisited node."""
-    n = dist.shape[0]
-    visited = np.zeros(n, dtype=bool)
-    order = [start]
-    visited[start] = True
-    current = start
-    for _ in range(n - 1):
-        costs = np.where(visited, np.inf, dist[current])
-        nxt = int(np.argmin(costs))
-        order.append(nxt)
-        visited[nxt] = True
-        current = nxt
-    return order
-
-
-def two_opt_pass(dist: np.ndarray, order: List[int]) -> "tuple[List[int], bool]":
-    """One full 2-opt sweep; returns (order, improved)."""
-    n = len(order)
-    improved = False
-    arr = list(order)
-    for i in range(0, n - 1):
-        for j in range(i + 1, n):
-            # Reversing arr[i..j] changes at most two path edges.
-            before = 0.0
-            after = 0.0
-            if i > 0:
-                before += dist[arr[i - 1], arr[i]]
-                after += dist[arr[i - 1], arr[j]]
-            if j < n - 1:
-                before += dist[arr[j], arr[j + 1]]
-                after += dist[arr[i], arr[j + 1]]
-            if after + 1e-12 < before:
-                arr[i : j + 1] = arr[i : j + 1][::-1]
-                improved = True
-    return arr, improved
-
-
-def or_opt_pass(
-    dist: np.ndarray, order: List[int], max_segment: int = 3
-) -> "tuple[List[int], bool]":
-    """Relocate short segments (the 3-opt-style move of Appendix A.1)."""
-    n = len(order)
-    improved = False
-    arr = list(order)
-    for seg_len in range(1, min(max_segment, n - 1) + 1):
-        i = 0
-        while i + seg_len <= n:
-            segment = arr[i : i + seg_len]
-            rest = arr[:i] + arr[i + seg_len :]
-            base = path_cost(dist, arr)
-            best_cost = base
-            best_pos = None
-            for pos in range(len(rest) + 1):
-                if pos == i:
-                    continue
-                candidate = rest[:pos] + segment + rest[pos:]
-                c = path_cost(dist, candidate)
-                if c + 1e-12 < best_cost:
-                    best_cost = c
-                    best_pos = pos
-            if best_pos is not None:
-                arr = rest[:best_pos] + segment + rest[best_pos:]
-                improved = True
-            i += 1
-    return arr, improved
-
-
-def stochastic_local_search(
-    dist: np.ndarray,
-    time_limit_s: float = 1e-3,
-    seed: SeedLike = 0,
-    use_or_opt: bool = True,
-) -> List[int]:
-    """SLS over Hamiltonian paths: NN starts + 2-opt/or-opt improvement.
-
-    Runs restarts from random start nodes until the time budget expires,
-    keeping the best path found.  With the paper's batch sizes (<= 64
-    nodes) the 1 ms default routinely reaches the Held-Karp optimum (the
-    claim of Appendix A.1, certified by our tests at B <= 12).
-    """
-    n = dist.shape[0]
-    if n == 0:
-        return []
-    if n == 1:
-        return [0]
-    rng = make_rng(seed)
-    deadline = time.perf_counter() + time_limit_s
-    best: Optional[List[int]] = None
-    best_cost = np.inf
-    starts = rng.permutation(n)
-    for restart, start in enumerate(itertools.cycle(starts)):
-        order = nearest_neighbor_path(dist, start=int(start))
-        while True:
-            order, improved2 = two_opt_pass(dist, order)
-            improved3 = False
-            if use_or_opt:
-                order, improved3 = or_opt_pass(dist, order)
-            if not (improved2 or improved3):
-                break
-            if time.perf_counter() > deadline and best is not None:
-                break
-        cost = path_cost(dist, order)
-        if cost < best_cost:
-            best_cost = cost
-            best = order
-        if time.perf_counter() > deadline or restart >= n:
-            break
-    assert best is not None
-    return best
-
-
-def held_karp_path(dist: np.ndarray) -> List[int]:
-    """Exact shortest Hamiltonian path by dynamic programming.
-
-    O(n^2 2^n); intended for n <= 13 (test oracle for the SLS solver).
-    """
-    n = dist.shape[0]
-    if n == 0:
-        return []
-    if n > 16:
-        raise ValueError("Held-Karp oracle limited to n <= 16")
-    full = 1 << n
-    inf = np.inf
-    dp = np.full((full, n), inf)
-    parent = np.full((full, n), -1, dtype=np.int64)
-    for v in range(n):
-        dp[1 << v, v] = 0.0
-    for mask in range(full):
-        for last in range(n):
-            cost = dp[mask, last]
-            if not np.isfinite(cost):
-                continue
-            for nxt in range(n):
-                if mask & (1 << nxt):
-                    continue
-                nmask = mask | (1 << nxt)
-                ncost = cost + dist[last, nxt]
-                if ncost < dp[nmask, nxt]:
-                    dp[nmask, nxt] = ncost
-                    parent[nmask, nxt] = last
-    end = int(np.argmin(dp[full - 1]))
-    order = [end]
-    mask = full - 1
-    while parent[mask, order[-1]] >= 0:
-        prev = int(parent[mask, order[-1]])
-        mask ^= 1 << order[-1]
-        order.append(prev)
-    return order[::-1]
-
-
-def tsp_order(
-    sets: Sequence[np.ndarray],
-    time_limit_s: float = 1e-3,
-    seed: SeedLike = 0,
-) -> List[int]:
-    """The CLM ordering: shortest-overlap-path permutation of a batch."""
-    dist = distance_matrix(sets)
-    return stochastic_local_search(dist, time_limit_s=time_limit_s, seed=seed)
+__all__ = [
+    "distance_matrix",
+    "path_cost",
+    "nearest_neighbor_path",
+    "two_opt_pass",
+    "or_opt_pass",
+    "stochastic_local_search",
+    "held_karp_path",
+    "tsp_order",
+]

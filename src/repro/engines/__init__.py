@@ -7,7 +7,7 @@ through the registry::
 
     from repro.engines import available_engines, create_engine
 
-    available_engines()   # ('clm', 'naive', 'baseline', 'enhanced')
+    available_engines()   # ('clm', 'clm_sharded', 'naive', 'baseline', ...)
     engine = create_engine("clm", model, cameras, config)
 
 For end-to-end training prefer the facade::
@@ -32,6 +32,7 @@ from repro.engines.registry import (
     unregister_engine,
 )
 from repro.engines.clm import CLMEngine
+from repro.engines.clm_sharded import ShardedCLMEngine
 from repro.engines.naive import NaiveOffloadEngine
 from repro.engines.gpu_only import GpuOnlyEngine
 from repro.engines.session import TrainingSession, session
@@ -48,6 +49,7 @@ __all__ = [
     "register_engine",
     "unregister_engine",
     "CLMEngine",
+    "ShardedCLMEngine",
     "NaiveOffloadEngine",
     "GpuOnlyEngine",
     "TrainingSession",

@@ -83,6 +83,16 @@ class BatchResult:
     #: training thread's compute by the overlap runtime
     #: (:class:`repro.runtime.OverlapExecutor`); 0 on synchronous paths.
     overlap_hidden_s: float = 0.0
+    #: Sharded-training extras (zero on single-device engines): rows
+    #: borrowed across shard boundaries this batch, the modeled PCIe bytes
+    #: of their exchange, and microbatches migrated by work stealing.
+    halo_gaussians: int = 0
+    halo_bytes: float = 0.0
+    stolen_microbatches: int = 0
+    #: Simulated multi-device schedule of this batch (seconds): the
+    #: discrete-event makespan and each device's busy compute time.
+    sim_makespan_s: float = 0.0
+    device_busy_s: Dict[int, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -115,6 +125,12 @@ class PerfCounters:
     loaded_gaussians: int = 0
     stored_gaussians: int = 0
     cached_gaussians: int = 0
+    #: Sharded-training tallies (stay zero on single-device engines).
+    halo_gaussians: int = 0
+    halo_bytes: float = 0.0
+    stolen_microbatches: int = 0
+    sim_makespan_s: float = 0.0
+    device_busy_s: Dict[int, float] = field(default_factory=dict)
 
     @property
     def transfer_bytes(self) -> float:
@@ -141,6 +157,12 @@ class PerfCounters:
         self.loaded_gaussians += result.loaded_gaussians
         self.stored_gaussians += result.stored_gaussians
         self.cached_gaussians += result.cached_gaussians
+        self.halo_gaussians += result.halo_gaussians
+        self.halo_bytes += result.halo_bytes
+        self.stolen_microbatches += result.stolen_microbatches
+        self.sim_makespan_s += result.sim_makespan_s
+        for k, busy in result.device_busy_s.items():
+            self.device_busy_s[k] = self.device_busy_s.get(k, 0.0) + busy
 
 
 class Engine(abc.ABC):

@@ -1,0 +1,230 @@
+"""Multi-device sharded CLM training (ROADMAP item 2).
+
+:class:`ShardedCLMEngine` runs the CLM batch step over K *simulated*
+devices: Gaussian rows are spatially sharded through the culling grid
+(:func:`repro.sharding.spatial_shard`), each batch is planned **once**
+through the ordinary :class:`~repro.planning.BatchPlanner` and then split
+into per-device :class:`~repro.planning.BatchPlan` chains by the
+shard-aware :meth:`BatchPlanner.plan_sharded` path (home device by
+working-set plurality, deterministic work stealing between imbalanced
+shards), and every device's microbatch chain executes against the shared
+stores in device-id order.
+
+Semantics on real arrays:
+
+- *halo* rows (working-set members owned by a peer) are assembled into a
+  device's working set exactly like owned rows — the functional stores
+  play the role of the exchanged critical attributes — and their
+  gradients accumulate into the same shared gradient buffers the owner
+  reads, which is precisely the halo-gradient return of the simulated
+  pipeline;
+- each device's optimizer updates only the touched rows it *owns*
+  (:attr:`ShardedBatchPlan.adam_rows`): the K row sets are disjoint with
+  union equal to the global plan's ``touched``, so no row is ever
+  double-stepped.  At K=1 the whole derivation collapses — same planner
+  call, same RNG draws, same microbatch order, same Adam rows — and the
+  engine is **bit-identical** to ``clm`` (pinned by
+  ``tests/sharding/test_equivalence.py``).  At K>1 the devices execute
+  views in a different interleaving, so gradient sums reassociate;
+  results agree with ``clm`` to float rounding (~1e-16), not bit-for-bit.
+
+Alongside the functional step, each batch is also scheduled on the
+discrete-event simulator over the engine's
+:class:`~repro.hardware.specs.DeviceTopology` (``gpu{k}.compute`` /
+``gpu{k}.comm`` / ``cpu{k}.adam`` resources, halo exchange costed on the
+PCIe links), and the resulting makespan and per-device busy seconds ride
+on the :class:`~repro.engines.base.BatchResult` — the scaling numbers the
+``sharding`` benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core import attributes
+from repro.core.stores import GpuWorkingSet
+from repro.engines.base import BatchResult, PositionGradHook
+from repro.engines.clm import CLMEngine
+from repro.engines.registry import register_engine
+from repro.gaussians.model import GaussianModel
+from repro.hardware.kernels import KernelCostModel
+from repro.hardware.simulator import Simulator
+from repro.hardware.specs import (
+    HOST,
+    RTX4090_TESTBED,
+    DeviceTopology,
+    Testbed,
+)
+from repro.sharding.partition import spatial_shard
+from repro.sharding.pipeline import add_sharded_batch
+
+
+@register_engine(
+    "clm_sharded",
+    description="CLM sharded across K simulated devices: spatial row "
+    "shards, per-device plans with halo exchange and work stealing, "
+    "per-device utilization from the discrete-event simulator",
+)
+class ShardedCLMEngine(CLMEngine):
+    """CLM over a :class:`DeviceTopology` of K simulated devices."""
+
+    def _setup(self, model: GaussianModel) -> None:
+        super()._setup(model)
+        cfg = self.config
+        if cfg.topology is not None:
+            self.topology = cfg.topology
+        else:
+            self.topology = DeviceTopology.homogeneous(
+                RTX4090_TESTBED, max(1, int(cfg.num_devices))
+            )
+        self.num_devices = self.topology.num_devices
+        # Cost model for the per-batch simulated schedule, built from the
+        # topology's (homogeneous) device + host + host-link specs.
+        self._costs = KernelCostModel(
+            Testbed(
+                name=self.topology.name,
+                gpu=self.topology.device(0),
+                cpu=self.topology.host,
+                pcie=self.topology.link(HOST, 0),
+            )
+        )
+        self._reshard()
+
+    def _reshard(self) -> None:
+        """(Re)partition rows across devices from the current critical
+        attributes — at setup and after every densify/prune rebuild."""
+        self.assignment = spatial_shard(
+            self.gpu_store.positions,
+            self.gpu_store.log_scales,
+            self.gpu_store.quaternions,
+            self.num_devices,
+        )
+
+    # ------------------------------------------------------------------
+    def _train_batch(
+        self,
+        view_ids: Sequence[int],
+        targets: Dict[int, np.ndarray],
+        position_grad_hook: Optional[PositionGradHook] = None,
+    ) -> BatchResult:
+        """One sharded CLM step: plan globally, split, execute per device.
+
+        Devices execute sequentially in id order (they are simulated — the
+        concurrency lives in the discrete-event schedule), so gradient
+        accumulation into the shared stores is deterministic.  All
+        optimizer updates run at batch end over per-device *owned* row
+        sets: a device's owned rows may receive halo gradient
+        contributions from any peer's microbatches, so no owned row is
+        final until every device's chain has retired.
+        """
+        cfg = self.config
+        batch = len(view_ids)
+        sets = self.cull_views(view_ids)
+        cams = [self.cameras[v] for v in view_ids]
+        splan = self.planner.plan_sharded(
+            sets,
+            list(view_ids),
+            self.assignment,
+            cameras=cams,
+            num_gaussians=self.num_gaussians,
+            work_stealing=cfg.work_stealing,
+        )
+        plan = splan.global_plan
+        touched = plan.touched
+        self.cpu_store.zero_grads(touched)
+        self.gpu_store.zero_grads(touched)
+
+        total_loss = 0.0
+        per_view_loss: Dict[int, float] = {}
+        loaded = stored = cached = 0
+        for dplan in splan.device_plans:
+            if not dplan.steps:
+                continue
+            working = GpuWorkingSet(
+                self.cpu_store,
+                self.gpu_store,
+                pool=self.pool,
+                num_pixels=self._num_pixels,
+            )
+            carried = None
+            for step in dplan.steps:
+                model_i = working.assemble(
+                    step.working_set, step.loads, step.cached, carried
+                )
+                cam = self.cameras[step.view_id]
+                loss, grads = self._forward_backward(
+                    cam, model_i, targets[step.view_id], batch
+                )
+                per_view_loss[step.view_id] = loss
+                total_loss += loss / batch
+                working.add_grads(grads)
+                if position_grad_hook is not None:
+                    position_grad_hook(
+                        step.view_id, step.working_set, grads["positions"]
+                    )
+                carried = working.retire(step.stores, step.carried)
+            working.release()
+            loaded += working.counters.loaded_gaussians
+            stored += working.counters.stored_gaussians
+            cached += working.counters.cached_gaussians
+
+        # Batch-end owner updates, one disjoint row set per device.  The
+        # non-critical lanes go through the overlap runtime (cpu{k}.adam
+        # in the simulated schedule); the critical update runs on each
+        # device's resident rows.
+        for rows in splan.adam_rows:
+            if rows.size:
+                self.runtime.submit(self._apply_noncritical_adam, rows)
+        for rows in splan.adam_rows:
+            self._apply_critical_adam(rows)
+        self.runtime.barrier()
+        stats = self.runtime.drain_stats()
+        self._step_adam_s += stats.task_s
+        self._step_overlap_hidden_s += stats.hidden_s
+
+        makespan, device_busy = self._simulate_batch(splan)
+        return BatchResult(
+            loss=total_loss,
+            per_view_loss=per_view_loss,
+            touched_gaussians=int(touched.size),
+            order=list(plan.order),
+            loaded_gaussians=loaded,
+            stored_gaussians=stored,
+            cached_gaussians=cached,
+            loaded_bytes=attributes.noncritical_bytes(loaded),
+            stored_bytes=attributes.noncritical_bytes(stored),
+            adam_chunk_sizes=[int(r.size) for r in splan.adam_rows],
+            halo_gaussians=splan.halo_gaussians,
+            halo_bytes=splan.halo_bytes,
+            stolen_microbatches=splan.num_steals,
+            sim_makespan_s=makespan,
+            device_busy_s=device_busy,
+        )
+
+    def _simulate_batch(self, splan) -> "tuple[float, Dict[int, float]]":
+        """Schedule this batch's per-device DAG on the topology and read
+        off makespan + per-device compute busy seconds."""
+        sim = Simulator(topology=self.topology)
+        add_sharded_batch(
+            sim,
+            self._costs,
+            splan,
+            self.topology,
+            count_scale=1.0,
+            num_pixels=self._num_pixels,
+            total_gaussians=float(self.num_gaussians),
+        )
+        schedule = sim.run()
+        util = schedule.utilization(self.topology.compute_resources())
+        busy = {
+            k: util.busy_s.get(self.topology.compute_resource(k), 0.0)
+            for k in range(self.num_devices)
+        }
+        return schedule.makespan, busy
+
+    # ------------------------------------------------------------------
+    def rebuild(self, model: GaussianModel, keep_rows: np.ndarray) -> None:
+        super().rebuild(model, keep_rows)
+        self._reshard()

@@ -46,7 +46,7 @@ def _ensure_builtin_engines() -> None:
     Lets ``from repro.engines.registry import create_engine`` work even
     when the caller never imported :mod:`repro.engines` itself.
     """
-    from repro.engines import clm, gpu_only, naive  # noqa: F401
+    from repro.engines import clm, clm_sharded, gpu_only, naive  # noqa: F401
 
 
 def register_engine(name: str, *, description: str = ""):
@@ -73,7 +73,7 @@ def register_engine(name: str, *, description: str = ""):
 #: Engines shipped with the package.  Unregistering one would be permanent
 #: for the process (their modules stay cached in sys.modules, so the
 #: decorators never re-run), so unregister_engine refuses them.
-_BUILTIN_ENGINES = ("clm", "naive", "baseline", "enhanced")
+_BUILTIN_ENGINES = ("clm", "clm_sharded", "naive", "baseline", "enhanced")
 
 
 def unregister_engine(name: str) -> None:

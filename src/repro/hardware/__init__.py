@@ -11,12 +11,19 @@ overlap, stalls and utilization emerge from the schedule rather than being
 asserted.
 """
 
-from repro.hardware.simulator import Simulator, Task, ScheduleResult
+from repro.hardware.simulator import (
+    Simulator,
+    Task,
+    ScheduleResult,
+    ResourceUtilization,
+)
 from repro.hardware.specs import (
     Testbed,
     GpuSpec,
     CpuSpec,
     PcieSpec,
+    DeviceTopology,
+    HOST,
     RTX4090_TESTBED,
     RTX2080TI_TESTBED,
     TESTBEDS,
@@ -28,10 +35,13 @@ __all__ = [
     "Simulator",
     "Task",
     "ScheduleResult",
+    "ResourceUtilization",
     "Testbed",
     "GpuSpec",
     "CpuSpec",
     "PcieSpec",
+    "DeviceTopology",
+    "HOST",
     "RTX4090_TESTBED",
     "RTX2080TI_TESTBED",
     "TESTBEDS",

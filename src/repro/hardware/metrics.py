@@ -68,10 +68,17 @@ def gpu_idle_rate_cdf(
 
 
 def average_gpu_utilization(result: ScheduleResult) -> float:
-    """Mean SMs-active over the schedule in [0, 100]."""
-    if result.makespan <= 0:
+    """Mean SMs-active over the schedule in [0, 100].
+
+    Multi-device schedules report the mean across every ``*.compute``
+    resource present (per-device breakdowns come from
+    ``result.utilization(topology.compute_resources())``).
+    """
+    util = result.utilization()
+    compute = [res for res in util.busy_s if res.endswith(".compute")]
+    if not compute:
         return 0.0
-    return 100.0 * result.busy_time(GPU_COMPUTE) / result.makespan
+    return 100.0 * sum(util.fraction(res) for res in compute) / len(compute)
 
 
 @dataclass
@@ -101,7 +108,7 @@ def hardware_utilization(
 
     rx = tx = dread = dwrite = 0.0
     sched_busy = 0.0
-    adam_by_batch: Dict[str, List[Tuple[float, float]]] = {}
+    adam_by_batch: Dict[tuple, List[Tuple[float, float]]] = {}
     for rec in result.records.values():
         p = rec.task.payload
         rx += p.get("rx_bytes", 0.0)
@@ -110,8 +117,10 @@ def hardware_utilization(
         dwrite += p.get("dram_write_bytes", 0.0)
         if rec.task.resource == CPU_SCHED:
             sched_busy += rec.end - rec.start
-        elif rec.task.resource == CPU_ADAM:
-            key = p.get("batch", rec.task.name)
+        elif rec.task.resource.endswith(".adam"):
+            # One flight window per (batch, Adam lane): multi-device
+            # schedules run a dedicated cpu{k}.adam thread per shard.
+            key = (p.get("batch", rec.task.name), rec.task.resource)
             adam_by_batch.setdefault(key, []).append((rec.start, rec.end))
 
     # The dedicated CPU Adam thread (§5.4) busy-waits on the pinned signal
@@ -163,11 +172,20 @@ def runtime_decomposition(result: ScheduleResult) -> Dict[str, float]:
     Returns wall-clock seconds attributed to: overlapped pipeline
     (compute+comm span), scheduling, and non-overlapped CPU Adam tail.
     Also reports raw busy times per category for the naive decomposition.
+    Multi-device schedules sum the per-device ``gpu{k}.*`` / ``cpu{k}.adam``
+    lanes into each category.
     """
-    compute = result.busy_time(GPU_COMPUTE)
-    comm = result.busy_time(GPU_COMM)
-    sched = result.busy_time(CPU_SCHED)
-    adam = result.busy_time(CPU_ADAM)
+    util = result.utilization()
+    compute = comm = sched = adam = 0.0
+    for res, busy in util.busy_s.items():
+        if res.endswith(".compute"):
+            compute += busy
+        elif res.endswith(".comm"):
+            comm += busy
+        elif res == CPU_SCHED:
+            sched = busy
+        elif res.endswith(".adam"):
+            adam += busy
     trailing = adam_trailing_time(result)
     return {
         "total": result.makespan,

@@ -19,7 +19,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (specs -> pcie only)
+    from repro.hardware.specs import DeviceTopology
 
 
 @dataclass
@@ -43,6 +46,39 @@ class TaskRecord:
     task: Task
     start: float
     end: float
+
+
+@dataclass(frozen=True)
+class ResourceUtilization:
+    """Per-resource busy summary of a schedule.
+
+    ``busy_s`` maps resource name -> busy seconds; fractions are relative
+    to the schedule makespan.  Produced by :meth:`ScheduleResult.utilization`
+    so consumers stop recomputing this from ``busy_time``/``intervals`` by
+    hand.
+    """
+
+    makespan: float
+    busy_s: Mapping[str, float]
+
+    def fraction(self, resource: str) -> float:
+        """Busy fraction of ``resource`` in [0, 1]."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.busy_s.get(resource, 0.0) / self.makespan
+
+    @property
+    def busy_fraction(self) -> Dict[str, float]:
+        """Resource -> busy fraction in [0, 1]."""
+        return {res: self.fraction(res) for res in self.busy_s}
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for logging/benchmark ``extra`` payloads."""
+        out = {"makespan": self.makespan}
+        for res, busy in sorted(self.busy_s.items()):
+            out[f"busy.{res}"] = busy
+            out[f"util.{res}"] = self.fraction(res)
+        return out
 
 
 @dataclass
@@ -78,6 +114,28 @@ class ScheduleResult:
         recs.sort(key=lambda r: r.start)
         return recs
 
+    def resources(self) -> Tuple[str, ...]:
+        """Every resource that appears in the schedule, sorted."""
+        return tuple(sorted({r.task.resource for r in self.records.values()}))
+
+    def utilization(
+        self, resources: Optional[Iterable[str]] = None
+    ) -> ResourceUtilization:
+        """Per-resource busy seconds + fractions over the makespan.
+
+        With ``resources`` given, the summary is restricted to those names
+        (absent ones report 0.0 busy) — e.g. a topology's
+        ``compute_resources()`` for a per-device GPU utilization table.
+        """
+        busy: Dict[str, float] = {}
+        for rec in self.records.values():
+            if rec.end > rec.start:
+                res = rec.task.resource
+                busy[res] = busy.get(res, 0.0) + (rec.end - rec.start)
+        if resources is not None:
+            busy = {res: busy.get(res, 0.0) for res in resources}
+        return ResourceUtilization(makespan=self.makespan, busy_s=busy)
+
 
 class Simulator:
     """Builds a task DAG and schedules it.
@@ -88,11 +146,23 @@ class Simulator:
         load = sim.add("LD 1", "gpu.comm", 2e-3, priority=1, kind="load")
         fwd = sim.add("FWD 1", "gpu.compute", 5e-3, deps=[load], kind="forward")
         result = sim.run()
+
+    With a :class:`~repro.hardware.specs.DeviceTopology`, resource names
+    are validated and canonicalized against it — tasks land on
+    ``gpu{k}.compute`` / ``gpu{k}.comm`` / ``cpu{k}.adam`` / ``cpu.sched``,
+    and the pre-topology ad-hoc strings alias device 0 with a
+    :class:`DeprecationWarning`.  Without one (the default), any string is
+    a valid serial resource, exactly as before.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, topology: Optional["DeviceTopology"] = None) -> None:
         self._tasks: Dict[int, Task] = {}
         self._counter = itertools.count()
+        self._topology = topology
+
+    @property
+    def topology(self) -> Optional["DeviceTopology"]:
+        return self._topology
 
     def add(
         self,
@@ -107,6 +177,8 @@ class Simulator:
         """Register a task; returns its id for use as a dependency."""
         if duration < 0:
             raise ValueError(f"negative duration for task {name}")
+        if self._topology is not None:
+            resource = self._topology.canonicalize(resource)
         task_id = next(self._counter)
         dep_tuple = tuple(deps)
         for d in dep_tuple:

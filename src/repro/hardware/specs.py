@@ -19,7 +19,9 @@ and Adam trailing times (Table 5b).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.hardware.pcie import PCIE3_X16, PCIE4_X16, PcieSpec
 
@@ -48,6 +50,192 @@ class CpuSpec:
     dram_bandwidth: float
 
 
+#: Pseudo device id of the host (CPU + pinned memory) in a
+#: :class:`DeviceTopology` link map.
+HOST = -1
+
+#: Legacy ad-hoc resource strings (pre-topology) and the device-0 canonical
+#: names they alias.  Kept working through :meth:`DeviceTopology.canonicalize`
+#: so single-device task DAGs built before the topology API keep running.
+_LEGACY_RESOURCE_ALIASES = {
+    "gpu.compute": "gpu0.compute",
+    "gpu.comm": "gpu0.comm",
+    "cpu.adam": "cpu0.adam",
+}
+
+
+@dataclass(frozen=True)
+class DeviceTopology:
+    """K simulated accelerators + one host, with the links between them.
+
+    The first-class answer to "what may a simulated schedule run on":
+
+    - per-device serial resources — ``gpu{k}.compute`` (the compute
+      stream) and ``gpu{k}.comm`` (the prioritized copy stream) — plus one
+      host Adam lane ``cpu{k}.adam`` per device shard (the dedicated
+      CPU-Adam thread of §5.4, one per device) and a shared host
+      scheduling thread ``cpu.sched``;
+    - a directional ``links`` map of :class:`PcieSpec` operating points
+      keyed by ``(src, dst)`` device ids, with :data:`HOST` (= -1) for the
+      CPU side, so halo exchange between shards and host offload traffic
+      are costed on the link they actually cross.
+
+    :class:`~repro.hardware.simulator.Simulator` accepts a topology and
+    then validates/canonicalizes every task's resource name against it;
+    the pre-topology strings (``"gpu.compute"`` …) keep working as
+    deprecated aliases for device 0.
+    """
+
+    devices: Tuple[GpuSpec, ...]
+    host: CpuSpec
+    links: Mapping[Tuple[int, int], PcieSpec] = field(default_factory=dict)
+    name: str = "topology"
+
+    # -- structure ------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def device_ids(self) -> Tuple[int, ...]:
+        return tuple(range(len(self.devices)))
+
+    def device(self, k: int) -> GpuSpec:
+        return self.devices[k]
+
+    # -- resource naming ------------------------------------------------
+    @staticmethod
+    def compute_resource(k: int) -> str:
+        """The serial compute stream of device ``k``."""
+        return f"gpu{k}.compute"
+
+    @staticmethod
+    def comm_resource(k: int) -> str:
+        """The prioritized communication stream of device ``k``."""
+        return f"gpu{k}.comm"
+
+    @staticmethod
+    def adam_resource(k: int) -> str:
+        """Host CPU-Adam lane dedicated to device ``k``'s shard (§5.4)."""
+        return f"cpu{k}.adam"
+
+    #: Shared host-side scheduling thread (TSP + culling bookkeeping).
+    SCHED_RESOURCE = "cpu.sched"
+
+    def compute_resources(self) -> Tuple[str, ...]:
+        return tuple(self.compute_resource(k) for k in self.device_ids)
+
+    def comm_resources(self) -> Tuple[str, ...]:
+        return tuple(self.comm_resource(k) for k in self.device_ids)
+
+    def resources(self) -> Tuple[str, ...]:
+        """Every canonical resource name this topology schedules on."""
+        out = []
+        for k in self.device_ids:
+            out.append(self.compute_resource(k))
+            out.append(self.comm_resource(k))
+            out.append(self.adam_resource(k))
+        out.append(self.SCHED_RESOURCE)
+        return tuple(out)
+
+    def canonicalize(self, resource: str) -> str:
+        """Map a resource name onto this topology's canonical names.
+
+        Canonical names pass through; the pre-topology ad-hoc strings
+        (``"gpu.compute"``, ``"gpu.comm"``, ``"cpu.adam"``) alias device 0
+        with a :class:`DeprecationWarning`; anything else raises.
+        """
+        if resource in _LEGACY_RESOURCE_ALIASES:
+            warnings.warn(
+                f"ad-hoc resource name '{resource}' is deprecated with a "
+                f"DeviceTopology; use DeviceTopology.compute_resource(k) / "
+                f"comm_resource(k) / adam_resource(k)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            resource = _LEGACY_RESOURCE_ALIASES[resource]
+        if resource not in self.resources():
+            raise ValueError(
+                f"resource '{resource}' is not part of topology "
+                f"'{self.name}' ({self.num_devices} devices)"
+            )
+        return resource
+
+    # -- link costing ---------------------------------------------------
+    def link(self, src: int, dst: int) -> PcieSpec:
+        """The link a ``src -> dst`` transfer crosses (falls back to the
+        reverse direction's spec when only one direction is declared)."""
+        spec = self.links.get((src, dst)) or self.links.get((dst, src))
+        if spec is None:
+            raise KeyError(
+                f"no link between device {src} and device {dst} in "
+                f"topology '{self.name}'"
+            )
+        return spec
+
+    def transfer_time(
+        self,
+        src: int,
+        dst: int,
+        num_bytes: float,
+        scattered: bool = False,
+        direction: Optional[str] = None,
+    ) -> float:
+        """Seconds to move ``num_bytes`` from ``src`` to ``dst``.
+
+        ``direction`` (the :meth:`PcieSpec.transfer_time` efficiency
+        selector) defaults to ``h2d`` for host-to-device, ``d2h`` for
+        device-to-host, and bulk-friendly ``h2d`` for peer transfers
+        (halo rows are packed into a contiguous send buffer first).
+        """
+        if direction is None:
+            direction = "d2h" if dst == HOST else "h2d"
+        return self.link(src, dst).transfer_time(
+            num_bytes, scattered=scattered, direction=direction
+        )
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def single(cls, testbed: "Testbed") -> "DeviceTopology":
+        """The one-GPU topology of a classic :class:`Testbed`."""
+        return cls(
+            devices=(testbed.gpu,),
+            host=testbed.cpu,
+            links={(HOST, 0): testbed.pcie, (0, HOST): testbed.pcie},
+            name=f"{testbed.name}-x1",
+        )
+
+    @classmethod
+    def homogeneous(
+        cls,
+        testbed: "Testbed",
+        num_devices: int,
+        peer_pcie: Optional[PcieSpec] = None,
+    ) -> "DeviceTopology":
+        """K copies of ``testbed.gpu`` on one host.
+
+        Every device gets the testbed's host link; every device pair gets
+        ``peer_pcie`` (default: the same spec — PCIe peer-to-peer through
+        the switch, no NVLink modelled).
+        """
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        peer = peer_pcie or testbed.pcie
+        links: Dict[Tuple[int, int], PcieSpec] = {}
+        for k in range(num_devices):
+            links[(HOST, k)] = testbed.pcie
+            links[(k, HOST)] = testbed.pcie
+            for j in range(num_devices):
+                if j != k:
+                    links[(k, j)] = peer
+        return cls(
+            devices=tuple(testbed.gpu for _ in range(num_devices)),
+            host=testbed.cpu,
+            links=links,
+            name=f"{testbed.name}-x{num_devices}",
+        )
+
+
 @dataclass(frozen=True)
 class Testbed:
     """A machine: GPU + CPU + interconnect."""
@@ -60,6 +248,13 @@ class Testbed:
     @property
     def short_name(self) -> str:
         return self.gpu.name
+
+    @property
+    def topology(self) -> DeviceTopology:
+        """This machine as a single-device :class:`DeviceTopology` — the
+        routing object simulators and cost models consume, so multi-device
+        code paths treat the classic testbeds as the K=1 special case."""
+        return DeviceTopology.single(self)
 
 
 RTX4090 = GpuSpec(

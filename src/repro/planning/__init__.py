@@ -16,8 +16,10 @@ discrete-event simulator, the benchmarks — derives its schedule from one
 Module → paper mapping:
 
 - :mod:`repro.planning.orders` — microbatch ordering strategies
-  (§4.2.3, Table 4; the TSP solver itself lives in
-  :mod:`repro.core.scheduler`);
+  (§4.2.3, Table 4);
+- :mod:`repro.planning.tsp_order` — the stochastic-local-search TSP
+  solver behind the ``tsp`` strategy (§4.2.3, Appendix A.1; formerly
+  the misnamed ``repro.core.scheduler``);
 - :mod:`repro.planning.caching` — precise Gaussian caching: the
   per-microbatch loads/cached/stores/carried partitions (§4.2.1);
 - :mod:`repro.planning.adam_overlap` — finalization maps and eager CPU

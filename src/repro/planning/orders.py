@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core import scheduler
+from repro.planning import tsp_order
 from repro.gaussians.camera import Camera
 from repro.utils.rng import SeedLike, make_rng
 
@@ -72,7 +72,7 @@ def order_microbatches(
         sizes = [s.size for s in sets]
         return list(np.argsort(sizes, kind="stable")[::-1])
     if strategy == "tsp":
-        return scheduler.tsp_order(sets, time_limit_s=tsp_time_limit_s, seed=seed)
+        return tsp_order.tsp_order(sets, time_limit_s=tsp_time_limit_s, seed=seed)
     raise ValueError(
         f"unknown ordering strategy '{strategy}'; choose from {STRATEGIES}"
     )

@@ -260,6 +260,42 @@ class BatchPlanner:
         return plan
 
     # ------------------------------------------------------------------
+    def plan_sharded(
+        self,
+        sets: Sequence[np.ndarray],
+        view_ids: Sequence[int],
+        assignment,
+        cameras=None,
+        *,
+        num_gaussians: int,
+        strategy: Optional[str] = None,
+        work_stealing: bool = True,
+    ):
+        """Plan one batch and split it across the devices of a
+        :class:`repro.sharding.ShardAssignment`.
+
+        The global plan comes from the ordinary :meth:`plan` call — same
+        RNG draws, same cache, same ordering — and the per-device split is
+        a deterministic derivation on top (see
+        :func:`repro.sharding.build_sharded_plan`), which is what keeps
+        the K=1 configuration bit-identical to single-device planning.
+        Returns a :class:`repro.sharding.ShardedBatchPlan`.
+        """
+        # Lazy import: repro.sharding builds on this module.
+        from repro.sharding.plan import build_sharded_plan
+
+        plan = self.plan(
+            sets,
+            view_ids,
+            cameras=cameras,
+            num_gaussians=num_gaussians,
+            strategy=strategy,
+        )
+        return build_sharded_plan(
+            plan, assignment, work_stealing=work_stealing
+        )
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for reporting (CLI, benchmarks, serving).
 

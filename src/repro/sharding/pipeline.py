@@ -1,0 +1,263 @@
+"""Per-device task-DAG construction for one sharded batch.
+
+Clones the single-device CLM pipeline (:func:`repro.core.pipeline
+.add_clm_batch`) onto every device of a
+:class:`~repro.hardware.specs.DeviceTopology`: device ``k`` runs its
+load/forward/backward/store chain on ``gpu{k}.compute`` /
+``gpu{k}.comm`` and finishes its owned rows on ``cpu{k}.adam``, with two
+extra comm tasks per device for the halo exchange:
+
+- ``HALO_IN`` — before the first forward, device ``k`` pulls the
+  critical attributes of the rows it borrows from each owning peer,
+  costed per-link via :meth:`DeviceTopology.transfer_time`;
+- ``HALO_OUT`` — after the last backward, it returns the accumulated
+  critical gradients the same way.
+
+Owner optimizers (``GADAM`` for critical attributes on the device,
+``ADAM`` for non-critical rows on its host lane) therefore depend on
+every peer's ``HALO_OUT`` that carries gradients for rows they own —
+the cross-device synchronization point of the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import attributes
+from repro.core.pipeline import LOAD_PRIORITY, STORE_PRIORITY
+from repro.hardware.kernels import KernelCostModel
+from repro.hardware.simulator import Simulator
+from repro.hardware.specs import DeviceTopology
+from repro.sharding.plan import ShardedBatchPlan
+
+
+@dataclass
+class ShardedBatchEndpoints:
+    """Task ids later batches (and metrics) chain from."""
+
+    first_task: int
+    #: Per-device final GPU-side task (GADAM), keyed by device id.
+    last_compute: Dict[int, int] = field(default_factory=dict)
+    #: Per-device final CPU-Adam task, keyed by device id.
+    last_adam: Dict[int, int] = field(default_factory=dict)
+    barrier: List[int] = field(default_factory=list)
+
+
+def _halo_transfer_time(
+    topology: DeviceTopology,
+    peer_counts: np.ndarray,
+    device: int,
+    count_scale: float,
+    inbound: bool,
+) -> float:
+    """Serialized link time of one halo direction for ``device``."""
+    total = 0.0
+    for peer, count in enumerate(peer_counts):
+        if peer == device or count == 0:
+            continue
+        num_bytes = attributes.critical_bytes(float(count) * count_scale)
+        src, dst = (peer, device) if inbound else (device, peer)
+        total += topology.transfer_time(src, dst, num_bytes, scattered=True)
+    return total
+
+
+def add_sharded_batch(
+    sim: Simulator,
+    costs: KernelCostModel,
+    splan: ShardedBatchPlan,
+    topology: DeviceTopology,
+    count_scale: float,
+    num_pixels: int,
+    total_gaussians: float,
+    deps: Sequence[int] = (),
+    batch_tag: str = "",
+) -> ShardedBatchEndpoints:
+    """Add one sharded CLM batch to ``sim``, task-for-step from the
+    per-device plans of ``splan``."""
+    if topology.num_devices < splan.num_devices:
+        raise ValueError(
+            f"topology has {topology.num_devices} devices < plan's "
+            f"{splan.num_devices}"
+        )
+    owner = splan.assignment.owner
+    k_devices = splan.num_devices
+
+    sched_cost = (
+        costs.tsp_schedule_time(splan.global_plan.batch_size)
+        if splan.global_plan.strategy in ("tsp", "gs_count")
+        else 20e-6
+    )
+    sched = sim.add(
+        f"SCHED{batch_tag}",
+        DeviceTopology.SCHED_RESOURCE,
+        sched_cost,
+        deps=deps,
+        kind="sched",
+    )
+
+    # Rows borrowed *from* each device: halo_out[j] carries gradients for
+    # rows owned by the devices in this count vector.
+    out_counts = [
+        np.bincount(owner[splan.halo[j]], minlength=k_devices)
+        for j in range(k_devices)
+    ]
+    halo_out_ids: Dict[int, Optional[int]] = {}
+
+    per_device: Dict[int, Dict[str, object]] = {}
+    for k, plan in enumerate(splan.device_plans):
+        if not plan.steps:
+            continue
+        compute_res = topology.compute_resource(k)
+        comm_res = topology.comm_resource(k)
+        bw = costs.testbed.gpu.dram_bandwidth
+
+        cull = sim.add(
+            f"CULL{batch_tag}.d{k}",
+            compute_res,
+            len(plan.steps) * costs.cull_time(total_gaussians),
+            deps=deps,
+            kind="cull",
+        )
+        halo_in: Optional[int] = None
+        if splan.halo[k].size:
+            in_counts = np.bincount(owner[splan.halo[k]], minlength=k_devices)
+            halo_bytes = attributes.critical_bytes(
+                float(splan.halo[k].size) * count_scale
+            )
+            halo_in = sim.add(
+                f"HALO_IN{batch_tag}.d{k}",
+                comm_res,
+                _halo_transfer_time(
+                    topology, in_counts, k, count_scale, inbound=True
+                ),
+                deps=[sched, cull],
+                priority=LOAD_PRIORITY,
+                kind="halo",
+                rx_bytes=halo_bytes,
+            )
+
+        loads: List[int] = []
+        bwds: List[int] = []
+        stores: List[int] = []
+        prev_bwd: Optional[int] = None
+        for i, step in enumerate(plan.steps):
+            n_load = step.num_loads * count_scale
+            n_cached = step.cached.size * count_scale
+            n_work = step.working_set.size * count_scale
+            n_store = step.num_stores * count_scale
+
+            ld_deps = [sched, cull]
+            if i >= 2:
+                ld_deps.append(bwds[i - 2])  # double buffer reuse
+            ld = sim.add(
+                f"LD{batch_tag}.d{k}.{i}",
+                comm_res,
+                costs.load_params_time(n_load)
+                + costs.cache_copy_time(n_cached),
+                deps=ld_deps,
+                priority=LOAD_PRIORITY,
+                kind="load",
+                rx_bytes=costs.load_bytes(n_load),
+                dram_write_bytes=costs.load_bytes(n_load + n_cached),
+            )
+            loads.append(ld)
+
+            fwd_deps = [ld]
+            if halo_in is not None and i == 0:
+                fwd_deps.append(halo_in)
+            if prev_bwd is not None:
+                fwd_deps.append(prev_bwd)
+            fwd_time = costs.forward_time(n_work, num_pixels)
+            bwd_time = costs.backward_time(n_work, num_pixels)
+            fwd = sim.add(
+                f"FWD{batch_tag}.d{k}.{i}",
+                compute_res,
+                fwd_time + costs.pipeline_sync_overhead,
+                deps=fwd_deps,
+                kind="forward",
+                dram_read_bytes=0.25 * fwd_time * bw,
+                dram_write_bytes=0.12 * fwd_time * bw,
+            )
+            bwd = sim.add(
+                f"BWD{batch_tag}.d{k}.{i}",
+                compute_res,
+                bwd_time,
+                deps=[fwd],
+                kind="backward",
+                dram_read_bytes=0.25 * bwd_time * bw,
+                dram_write_bytes=0.12 * bwd_time * bw,
+            )
+            bwds.append(bwd)
+            prev_bwd = bwd
+
+            st = sim.add(
+                f"ST{batch_tag}.d{k}.{i}",
+                comm_res,
+                costs.store_grads_time(n_store),
+                deps=[bwd],
+                priority=STORE_PRIORITY,
+                kind="store",
+                tx_bytes=costs.store_bytes(n_store),
+                rx_bytes=costs.store_bytes(n_store),
+            )
+            stores.append(st)
+
+        halo_out: Optional[int] = None
+        if splan.halo[k].size:
+            halo_out = sim.add(
+                f"HALO_OUT{batch_tag}.d{k}",
+                comm_res,
+                _halo_transfer_time(
+                    topology, out_counts[k], k, count_scale, inbound=False
+                ),
+                deps=[bwds[-1]],
+                priority=STORE_PRIORITY,
+                kind="halo",
+                tx_bytes=attributes.critical_bytes(
+                    float(splan.halo[k].size) * count_scale
+                ),
+            )
+        halo_out_ids[k] = halo_out
+        per_device[k] = {
+            "bwds": bwds,
+            "stores": stores,
+            "cull": cull,
+        }
+
+    endpoints = ShardedBatchEndpoints(first_task=sched)
+    for k, state in per_device.items():
+        # Peers whose HALO_OUT carries gradients for rows device k owns.
+        grad_deps = [
+            halo_out_ids[j]
+            for j in per_device
+            if j != k
+            and halo_out_ids.get(j) is not None
+            and out_counts[j][k] > 0
+        ]
+        bwds = state["bwds"]
+        stores = state["stores"]
+        n_owned = float(splan.adam_rows[k].size) * count_scale
+        gadam = sim.add(
+            f"GADAM{batch_tag}.d{k}",
+            topology.compute_resource(k),
+            costs.gpu_adam_time(n_owned),
+            deps=[bwds[-1]] + grad_deps,
+            kind="gpu_adam",
+        )
+        adam = sim.add(
+            f"ADAM{batch_tag}.d{k}",
+            topology.adam_resource(k),
+            costs.cpu_adam_sparse_time(n_owned),
+            deps=[stores[-1]] + grad_deps,
+            kind="adam",
+            batch=batch_tag,
+        )
+        endpoints.last_compute[k] = gadam
+        endpoints.last_adam[k] = adam
+        endpoints.barrier.extend([gadam, adam])
+    if not per_device:  # degenerate: empty batch
+        endpoints.barrier.append(sched)
+    return endpoints

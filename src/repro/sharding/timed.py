@@ -1,0 +1,170 @@
+"""Simulated multi-device scaling runs (the ``sharding`` benchmark).
+
+Mirrors :func:`repro.core.timed.run_timed` for the sharded pipeline: the
+same batch sampler and planner produce global plans, which are split
+across a homogeneous :class:`~repro.hardware.specs.DeviceTopology` and
+scheduled as per-device task DAGs at paper-scale counts.  The result
+carries the 1→K scaling quantities ROADMAP item 2 asks for: makespan,
+images/s, per-device utilization, halo traffic, and steal counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import TimingConfig
+from repro.core.culling_index import CullingIndex
+from repro.hardware.kernels import KernelCostModel
+from repro.hardware.simulator import ScheduleResult, Simulator
+from repro.hardware.specs import DeviceTopology
+from repro.planning.planner import BatchPlanner
+from repro.scenes.datasets import Scene
+from repro.sharding.partition import spatial_shard
+from repro.sharding.pipeline import add_sharded_batch
+from repro.sharding.plan import build_sharded_plan
+from repro.core.timed import _sample_batches
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class ShardedTimedResult:
+    """Everything measured from one simulated sharded run."""
+
+    scene: str
+    testbed: str
+    num_devices: int
+    paper_num_gaussians: float
+    num_batches: int
+    batch_size: int
+    schedule: ScheduleResult
+    images_per_second: float
+    #: Busy fraction of each ``gpu{k}.compute``, keyed by device id.
+    device_utilization: Dict[int, float]
+    halo_gaussians_per_batch: float
+    halo_bytes_per_batch: float
+    total_steals: int
+
+    @property
+    def makespan_s(self) -> float:
+        return self.schedule.makespan
+
+    @property
+    def mean_device_utilization(self) -> float:
+        if not self.device_utilization:
+            return 0.0
+        return sum(self.device_utilization.values()) / len(
+            self.device_utilization
+        )
+
+
+def run_sharded_timed(
+    scene: Scene,
+    index: Optional[CullingIndex] = None,
+    config: Optional[TimingConfig] = None,
+    num_devices: int = 1,
+    work_stealing: bool = True,
+) -> ShardedTimedResult:
+    """Simulate ``num_batches`` of sharded training on K devices."""
+    config = config or TimingConfig()
+    if index is None:
+        index = CullingIndex.build(scene.model, scene.cameras)
+
+    paper_n = (
+        config.paper_num_gaussians
+        if config.paper_num_gaussians is not None
+        else float(scene.spec.paper_num_gaussians)
+    )
+    batch_size = config.batch_size or scene.spec.batch_size
+    count_scale = paper_n / index.num_gaussians
+    pixels = scene.spec.paper_pixels
+    costs = KernelCostModel(
+        config.testbed, splats_per_pixel=scene.spec.splats_per_pixel
+    )
+    topology = DeviceTopology.homogeneous(config.testbed, num_devices)
+    assignment = spatial_shard(
+        scene.model.positions,
+        scene.model.log_scales,
+        scene.model.quaternions,
+        num_devices,
+    )
+    rng = make_rng(config.seed)
+    batches = _sample_batches(index, batch_size, config.num_batches, rng)
+    cam_by_id = {c.view_id: c for c in scene.cameras}
+    planner = BatchPlanner(
+        ordering=config.ordering,
+        enable_cache=config.enable_cache,
+        cache_size=config.plan_cache_size,
+        seed=rng,
+    )
+
+    sim = Simulator(topology=topology)
+    deps: Sequence[int] = ()
+    halo_gaussians = 0
+    halo_bytes = 0.0
+    steals = 0
+    for b, view_ids in enumerate(batches):
+        sets = index.sets_for(view_ids)
+        cams = [cam_by_id[v] for v in view_ids]
+        plan = planner.plan(
+            sets, view_ids, cameras=cams, num_gaussians=index.num_gaussians
+        )
+        splan = build_sharded_plan(
+            plan, assignment, work_stealing=work_stealing
+        )
+        endpoints = add_sharded_batch(
+            sim,
+            costs,
+            splan,
+            topology,
+            count_scale,
+            pixels,
+            paper_n,
+            deps=deps,
+            batch_tag=f".b{b}",
+        )
+        halo_gaussians += splan.halo_gaussians
+        halo_bytes += splan.halo_bytes * count_scale
+        steals += splan.num_steals
+        deps = endpoints.barrier
+
+    schedule = sim.run()
+    util = schedule.utilization(topology.compute_resources())
+    total_images = sum(len(b) for b in batches)
+    return ShardedTimedResult(
+        scene=scene.name,
+        testbed=config.testbed.name,
+        num_devices=num_devices,
+        paper_num_gaussians=paper_n,
+        num_batches=len(batches),
+        batch_size=batch_size,
+        schedule=schedule,
+        images_per_second=total_images / schedule.makespan,
+        device_utilization={
+            k: util.fraction(topology.compute_resource(k))
+            for k in range(num_devices)
+        },
+        halo_gaussians_per_batch=halo_gaussians / len(batches),
+        halo_bytes_per_batch=halo_bytes / len(batches),
+        total_steals=steals,
+    )
+
+
+def scaling_curve(
+    scene: Scene,
+    device_counts: Sequence[int] = (1, 2, 4, 8),
+    config: Optional[TimingConfig] = None,
+    work_stealing: bool = True,
+) -> List[ShardedTimedResult]:
+    """Run the same workload at each device count (shared culling index)."""
+    index = CullingIndex.build(scene.model, scene.cameras)
+    return [
+        run_sharded_timed(
+            scene,
+            index=index,
+            config=config,
+            num_devices=k,
+            work_stealing=work_stealing,
+        )
+        for k in device_counts
+    ]

@@ -1,0 +1,119 @@
+"""Deterministic work stealing between device shards.
+
+Models MOT's ``load_balance_strategies.Worker`` shape: each device works
+through its own microbatch queue front-to-back; a device that runs dry
+while peers still have backlog steals from the *tail* of the most-loaded
+peer's queue (the classic work-stealing deque discipline — the owner pops
+the front, thieves take the back).
+
+The simulation runs on *estimated* microbatch costs (working-set sizes or
+modeled seconds), so the resulting schedule is a pure function of its
+inputs: ties break by lowest device id, and two runs over the same queues
+produce identical item placements.  The functional sharded engine and the
+discrete-event pipeline builder both consume the rebalanced queues, which
+is how "dynamic" stealing stays bit-reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WorkStealingResult:
+    """Outcome of one balancing run.
+
+    ``schedule[k]`` is device ``k``'s final execution order (item ids);
+    ``steals`` records ``(item, victim, thief)`` in occurrence order;
+    ``busy[k]`` is device ``k``'s simulated finish time.
+    """
+
+    schedule: Tuple[Tuple[int, ...], ...]
+    steals: Tuple[Tuple[int, int, int], ...]
+    busy: Tuple[float, ...]
+
+    @property
+    def num_steals(self) -> int:
+        return len(self.steals)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.busy) if self.busy else 0.0
+
+
+@dataclass
+class _Worker:
+    device: int
+    queue: List[Tuple[int, float]] = field(default_factory=list)
+    clock: float = 0.0
+    executed: List[int] = field(default_factory=list)
+
+    @property
+    def pending_cost(self) -> float:
+        return sum(cost for _, cost in self.queue)
+
+
+def run_work_stealing(
+    queues: Sequence[Sequence[Tuple[int, float]]],
+    steal_cost_factor: float = 0.0,
+) -> WorkStealingResult:
+    """Simulate the worker pool over ``queues[k] = [(item, cost), ...]``.
+
+    ``steal_cost_factor`` charges the thief an extra fraction of a stolen
+    item's cost (the peer transfer of its working set); 0 models free
+    migration.  Items execute exactly once; owners drain front-to-back.
+
+    A steal requires the victim to either hold two or more pending items,
+    or hold one item while being strictly busier (later clock) than the
+    thief — the second condition lets a lone queued microbatch migrate
+    off a lagging device.  Each item migrates at most once (migration
+    hysteresis: re-stealing an already-moved microbatch would just bounce
+    its working set between devices), which also bounds the steal count
+    by the item count, so balancing always terminates.
+    """
+    workers = [
+        _Worker(device=k, queue=list(q)) for k, q in enumerate(queues)
+    ]
+    steals: List[Tuple[int, int, int]] = []
+    migrated: set = set()
+
+    def try_steal() -> bool:
+        idle = sorted(
+            (w for w in workers if not w.queue),
+            key=lambda w: (w.clock, w.device),
+        )
+        for thief in idle:
+            victims = [
+                v
+                for v in workers
+                if v.queue
+                and v.queue[-1][0] not in migrated
+                and (len(v.queue) >= 2 or v.clock > thief.clock)
+            ]
+            if not victims:
+                continue
+            victim = max(victims, key=lambda v: (v.pending_cost, -v.device))
+            item, cost = victim.queue.pop()  # steal the tail
+            steals.append((item, victim.device, thief.device))
+            migrated.add(item)
+            thief.clock += steal_cost_factor * cost
+            thief.queue.append((item, cost))
+            return True
+        return False
+
+    while any(w.queue for w in workers):
+        if try_steal():
+            continue
+        w = min(
+            (x for x in workers if x.queue),
+            key=lambda x: (x.clock, x.device),
+        )
+        item, cost = w.queue.pop(0)
+        w.clock += cost
+        w.executed.append(item)
+    return WorkStealingResult(
+        schedule=tuple(tuple(w.executed) for w in workers),
+        steals=tuple(steals),
+        busy=tuple(w.clock for w in workers),
+    )

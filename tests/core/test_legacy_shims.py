@@ -21,6 +21,7 @@ SHIM_MODULES = (
     "repro.core.caching",
     "repro.core.orders",
     "repro.core.adam_overlap",
+    "repro.core.scheduler",
 )
 
 
@@ -62,6 +63,16 @@ def test_planning_shims_reexport_canonical_objects():
     assert old_adam.adam_chunks is planning.adam_chunks
     assert old_adam.touched_union is planning.touched_union
     assert old_adam.finalization_positions is planning.finalization_positions
+
+
+def test_scheduler_shim_reexports_tsp_optimizer():
+    import repro.core.scheduler as old_scheduler
+    import repro.planning.tsp_order as tsp_order
+
+    assert old_scheduler.tsp_order is tsp_order.tsp_order
+    assert old_scheduler.stochastic_local_search is tsp_order.stochastic_local_search
+    assert old_scheduler.held_karp_path is tsp_order.held_karp_path
+    assert old_scheduler.distance_matrix is tsp_order.distance_matrix
 
 
 def test_repro_core_lazy_reexports():

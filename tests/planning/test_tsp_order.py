@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import scheduler
+from repro.planning import tsp_order as scheduler
 from repro.utils import setops
 
 index_sets = st.lists(

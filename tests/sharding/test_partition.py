@@ -1,0 +1,93 @@
+"""Spatial sharding: coverage, balance, determinism, halo algebra."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.model import GaussianModel
+from repro.sharding import ShardAssignment, assign_views, halo_rows, spatial_shard
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GaussianModel.random(600, extent=2.0, sh_degree=1, seed=21)
+
+
+def shard(model, k):
+    return spatial_shard(
+        model.positions, model.log_scales, model.quaternions, k
+    )
+
+
+def test_single_device_owns_everything(model):
+    a = shard(model, 1)
+    assert a.num_devices == 1
+    assert (a.owner == 0).all()
+    assert a.counts().tolist() == [model.num_gaussians]
+
+
+def test_every_row_owned_exactly_once(model):
+    a = shard(model, 4)
+    assert a.owner.shape == (model.num_gaussians,)
+    assert a.owner.min() >= 0 and a.owner.max() < 4
+    assert int(a.counts().sum()) == model.num_gaussians
+
+
+def test_shards_are_nearly_balanced(model):
+    a = shard(model, 4)
+    counts = a.counts()
+    ideal = model.num_gaussians / 4
+    # Whole grid cells move at once, so balance is approximate.
+    assert counts.min() > 0.5 * ideal
+    assert counts.max() < 1.5 * ideal
+
+
+def test_deterministic(model):
+    a = shard(model, 8)
+    b = shard(model, 8)
+    assert np.array_equal(a.owner, b.owner)
+
+
+def test_rows_and_owned_subset(model):
+    a = shard(model, 3)
+    for k in range(3):
+        rows = a.rows(k)
+        assert (a.owner[rows] == k).all()
+        # owned_subset preserves the query order.
+        query = rows[::-1]
+        assert np.array_equal(a.owned_subset(query, k), query)
+        assert a.owned_subset(a.rows((k + 1) % 3), k).size == 0
+
+
+def test_halo_rows_are_exactly_the_foreign_rows(model):
+    a = shard(model, 4)
+    working = np.arange(0, model.num_gaussians, 3, dtype=np.int64)
+    for k in range(4):
+        h = halo_rows(working, a, k)
+        assert (a.owner[h] != k).all()
+        local = working[np.isin(working, h, invert=True)]
+        assert (a.owner[local] == k).all()
+        assert h.size + local.size == working.size
+
+
+def test_owner_array_is_read_only(model):
+    a = shard(model, 2)
+    with pytest.raises(ValueError):
+        a.owner[0] = 1
+
+
+def test_rejects_zero_devices(model):
+    with pytest.raises(ValueError, match="num_devices"):
+        shard(model, 0)
+
+
+def test_assign_views_plurality():
+    a = ShardAssignment(
+        num_devices=2, owner=np.array([0, 0, 0, 1, 1, 1], dtype=np.int64)
+    )
+    sets = [
+        np.array([0, 1, 3], dtype=np.int64),  # 2 votes device 0
+        np.array([3, 4, 5], dtype=np.int64),  # all device 1
+        np.array([0, 3], dtype=np.int64),  # tie -> lowest id
+        np.empty(0, dtype=np.int64),  # empty -> device 0
+    ]
+    assert assign_views(sets, a) == [0, 1, 0, 0]

@@ -1,0 +1,70 @@
+"""Work stealing: conservation, determinism, balance, termination."""
+
+import numpy as np
+
+from repro.sharding import run_work_stealing
+
+
+def executed_items(result):
+    return sorted(i for q in result.schedule for i in q)
+
+
+def test_items_execute_exactly_once():
+    queues = [[(0, 3.0), (1, 1.0)], [(2, 2.0)], [(3, 5.0), (4, 1.0)]]
+    result = run_work_stealing(queues)
+    assert executed_items(result) == [0, 1, 2, 3, 4]
+
+
+def test_deterministic():
+    rng = np.random.default_rng(9)
+    queues = [
+        [(i + 10 * k, float(c)) for i, c in enumerate(rng.integers(1, 9, 5))]
+        for k in range(4)
+    ]
+    a = run_work_stealing(queues)
+    b = run_work_stealing(queues)
+    assert a.schedule == b.schedule
+    assert a.steals == b.steals
+    assert a.busy == b.busy
+
+
+def test_balanced_queues_steal_nothing():
+    queues = [[(0, 2.0)], [(1, 2.0)], [(2, 2.0)]]
+    result = run_work_stealing(queues)
+    assert result.num_steals == 0
+    assert result.schedule == ((0,), (1,), (2,))
+
+
+def test_idle_devices_steal_from_the_loaded_one():
+    queues = [[(i, 1.0) for i in range(8)], [], []]
+    result = run_work_stealing(queues)
+    assert executed_items(result) == list(range(8))
+    assert result.num_steals > 0
+    # Thieves take from the tail; the owner drains the front.
+    assert result.schedule[0][0] == 0
+    # Balancing beats the serial makespan.
+    assert result.makespan < 8.0
+
+
+def test_owner_keeps_front_to_back_order():
+    queues = [[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)], []]
+    result = run_work_stealing(queues)
+    own = [i for i in result.schedule[0]]
+    assert own == sorted(own)
+
+
+def test_terminates_with_steal_cost_and_single_items():
+    # Regression guard: a lone item must not ping-pong between idle
+    # devices when each steal inflates the thief's clock.
+    queues = [[(0, 5.0)], [], []]
+    result = run_work_stealing(queues, steal_cost_factor=1.0)
+    assert executed_items(result) == [0]
+    assert result.num_steals <= 1  # each item migrates at most once
+
+
+def test_steal_cost_charges_the_thief():
+    queues = [[(0, 4.0), (1, 4.0)], []]
+    free = run_work_stealing(queues, steal_cost_factor=0.0)
+    paid = run_work_stealing(queues, steal_cost_factor=0.5)
+    assert free.num_steals == paid.num_steals == 1
+    assert paid.busy[1] > free.busy[1]
