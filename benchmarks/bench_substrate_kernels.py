@@ -1,11 +1,15 @@
-"""Substrate micro-benchmarks: wall-clock cost of the NumPy kernels.
+"""Substrate micro-benchmarks: wall-clock cost of the hot kernels.
 
 Not a paper table — these time the actual reproduction substrate (render
 forward/backward, frustum culling, transfer planning, TSP) so regressions
-in the hot paths are visible.  The pytest entry points use
-pytest-benchmark's real timing loop; the registered ``compute`` takes the
-best of a few repetitions so ``repro bench run`` records comparable
-wall times without pytest.
+in the hot paths are visible.  The render and fused-Adam variants run
+through the :mod:`repro.kernels` backend registry — one variant per
+*available* backend, each stamped with its ``kernel_backend`` — so a
+JIT-enabled host reports the compiled kernels alongside the NumPy
+reference instead of silently timing whichever backend ``auto`` picked.
+The pytest entry points use pytest-benchmark's real timing loop; the
+registered ``compute`` takes the best of a few repetitions so ``repro
+bench run`` records comparable wall times without pytest.
 """
 
 import time
@@ -15,12 +19,16 @@ import pytest
 
 from repro.analysis.reporting import format_table
 from repro.bench import register_benchmark
+from repro.kernels import backend_status
+from repro.optim.adam import AdamConfig
+from repro.optim.packed_adam import PackedSparseAdam
 from repro.planning.caching import build_transfer_plan
 from repro.planning.tsp_order import tsp_order
 from repro.gaussians.camera import look_at_camera
 from repro.gaussians.frustum import cull_gaussians
 from repro.gaussians.loss import photometric_loss
 from repro.gaussians.model import GaussianModel
+from repro.gaussians.rasterizer import RasterSettings
 from repro.gaussians.render import render, render_backward
 
 
@@ -37,20 +45,43 @@ def render_setup():
     return _setup()
 
 
-def _ops():
-    """(name, thunk) pairs — the hot paths worth tracking."""
+def _available_backend_names():
+    return [s["name"] for s in backend_status() if s["available"]]
+
+
+def _backend_ops(backend: str):
+    """(name, thunk) pairs for the backend-dispatched kernels."""
     model, cam, target = _setup()
-    result = render(cam, model)
+    settings = RasterSettings(kernel_backend=backend)
+    result = render(cam, model, settings)
     _, g_img = photometric_loss(result.image, target)
+    rows = 20_000
+    rng = np.random.default_rng(2)
+    params = rng.standard_normal((rows, 10))
+    grads = rng.standard_normal((rows, 10))
+    adam = PackedSparseAdam(
+        {"positions": (3,), "log_scales": (3,), "quaternions": (4,)},
+        rows, config=AdamConfig(), kernel_backend=backend,
+    )
+    all_rows = np.arange(rows)
+    return (
+        ("render_forward", lambda: render(cam, model, settings)),
+        ("render_backward", lambda: render_backward(result, model, g_img)),
+        ("adam_fused",
+         lambda: adam.step_packed(params, grads, all_rows)),
+    )
+
+
+def _shared_ops():
+    """(name, thunk) pairs for the backend-independent hot paths."""
     big = GaussianModel.random(50_000, extent=3.0, sh_degree=1, seed=1)
+    _, cam, _ = _setup()
     rng = np.random.default_rng(0)
     plan_sets = [np.unique(rng.integers(0, 200_000, 20_000))
                  for _ in range(16)]
     tsp_sets = [np.unique(rng.integers(0, 100_000, 3000))
                 for _ in range(64)]
     return (
-        ("render_forward", lambda: render(cam, model)),
-        ("render_backward", lambda: render_backward(result, model, g_img)),
         ("frustum_culling",
          lambda: cull_gaussians(cam, big.positions, big.log_scales,
                                 big.quaternions)),
@@ -60,16 +91,28 @@ def _ops():
     )
 
 
+def _best_of(thunk, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 @register_benchmark("substrate_kernels", tags=("micro", "kernels"))
 def compute(ctx, repeats: int = 3):
-    """Best-of-N wall times of the substrate's hot NumPy kernels."""
+    """Best-of-N wall times of the substrate's hot kernels, per backend."""
     rows = []
-    for name, thunk in _ops():
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            thunk()
-            best = min(best, time.perf_counter() - t0)
+    for backend in _available_backend_names():
+        for name, thunk in _backend_ops(backend):
+            thunk()  # warm-up: JIT backends compile here, untimed
+            best = _best_of(thunk, repeats)
+            rows.append([f"{name}[{backend}]", best * 1e3])
+            ctx.record(variant=name, kernel_backend=backend,
+                       wall_time_s=best)
+    for name, thunk in _shared_ops():
+        best = _best_of(thunk, repeats)
         rows.append([name, best * 1e3])
         ctx.record(variant=name, wall_time_s=best)
     ctx.emit(

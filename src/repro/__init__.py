@@ -45,6 +45,10 @@ Subpackages:
 - :mod:`repro.scenes` — synthetic dataset generators;
 - :mod:`repro.optim` — dense, sparse, and fused packed-row (CPU) Adam,
   all sharing one update kernel;
+- :mod:`repro.kernels` — the compiled kernel backend registry: the NumPy
+  reference and the optional numba JIT kernels behind one
+  :class:`~repro.kernels.KernelBackend` protocol, runtime-selected via
+  ``EngineConfig(kernel_backend=...)`` / ``repro backends``;
 - :mod:`repro.analysis` — sparsity statistics and report rendering.
 """
 
@@ -71,11 +75,18 @@ from repro.engines import (
     session,
 )
 from repro.gaussians import GaussianModel, render
+from repro.kernels import (
+    KernelBackend,
+    available_backends,
+    backend_status,
+    register_backend,
+    resolve_backend,
+)
 from repro.planning import BatchPlan, BatchPlanner
 from repro.scenes import build_scene
 from repro.scenes.images import make_trainable_scene
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # facade + registry (the documented entry points)
@@ -100,6 +111,12 @@ __all__ = [
     # the batch-planning layer
     "BatchPlan",
     "BatchPlanner",
+    # compiled kernel backends
+    "KernelBackend",
+    "available_backends",
+    "backend_status",
+    "register_backend",
+    "resolve_backend",
     # simulated-testbed experiments
     "CullingIndex",
     "run_timed",

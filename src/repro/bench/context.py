@@ -87,6 +87,7 @@ class BenchContext:
         scene: Optional[str] = None,
         engine: Optional[str] = None,
         variant: Optional[str] = None,
+        kernel_backend: Optional[str] = None,
         images_per_second: Optional[float] = None,
         transfer_bytes: Optional[float] = None,
         psnr: Optional[float] = None,
@@ -98,12 +99,15 @@ class BenchContext:
         The runner completes it into a full
         :class:`~repro.bench.record.BenchRecord` (benchmark name, figure,
         tier, seed, git revision, and — when ``wall_time_s`` is omitted —
-        the benchmark's own wall time).
+        the benchmark's own wall time).  ``kernel_backend`` names the
+        compiled kernel backend that produced the point; leave it ``None``
+        to inherit the runner's auto-resolved backend.
         """
         point = {
             "scene": scene,
             "engine": engine,
             "variant": variant,
+            "kernel_backend": kernel_backend,
             "images_per_second": _opt_float(images_per_second),
             "transfer_bytes": _opt_float(transfer_bytes),
             "psnr": _opt_float(psnr),

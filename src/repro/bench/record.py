@@ -26,8 +26,13 @@ class BenchRecord:
     ``scene``/``engine``/``variant`` discriminate records within a
     benchmark (variant carries the testbed, ordering, or model-size label);
     ``images_per_second``/``transfer_bytes``/``psnr`` are ``None`` when the
-    benchmark does not measure that axis.  ``extra`` holds benchmark-
-    specific payloads that the comparator ignores.
+    benchmark does not measure that axis.  ``kernel_backend`` names the
+    compiled kernel backend (:mod:`repro.kernels`) active when the point
+    was measured — the runner stamps the suite's auto-resolved backend
+    when a benchmark does not set it explicitly, so a perf trajectory
+    always attributes throughput to the kernels that produced it.
+    ``extra`` holds benchmark-specific payloads that the comparator
+    ignores.
     """
 
     benchmark: str
@@ -39,6 +44,7 @@ class BenchRecord:
     scene: Optional[str] = None
     engine: Optional[str] = None
     variant: Optional[str] = None
+    kernel_backend: Optional[str] = None
     images_per_second: Optional[float] = None
     transfer_bytes: Optional[float] = None
     psnr: Optional[float] = None
@@ -70,6 +76,7 @@ BENCH_RECORD_SCHEMA = {
         "scene": {"type": ["string", "null"]},
         "engine": {"type": ["string", "null"]},
         "variant": {"type": ["string", "null"]},
+        "kernel_backend": {"type": ["string", "null"]},
         "images_per_second": {"type": ["number", "null"], "minimum": 0},
         "transfer_bytes": {"type": ["number", "null"], "minimum": 0},
         "psnr": {"type": ["number", "null"]},

@@ -153,6 +153,12 @@ class BenchRunner:
         return entries
 
     def run(self, only: Optional[Sequence[str]] = None) -> BenchReport:
+        from repro.kernels import resolve_backend_name
+
+        # One auto-resolution per suite run: records whose benchmarks did
+        # not pin a backend are attributed to the backend the engines
+        # would pick (auto selection + REPRO_KERNEL_BACKEND override).
+        self._kernel_backend = resolve_backend_name(None)
         git_rev = git_revision()
         report = BenchReport(
             tier=self.tier.name, seed=self.seed, git_rev=git_rev
@@ -205,6 +211,10 @@ class BenchRunner:
             scene=point.get("scene"),
             engine=point.get("engine"),
             variant=point.get("variant"),
+            kernel_backend=(
+                point.get("kernel_backend")
+                or getattr(self, "_kernel_backend", None)
+            ),
             images_per_second=point.get("images_per_second"),
             transfer_bytes=point.get("transfer_bytes"),
             psnr=point.get("psnr"),

@@ -7,7 +7,9 @@ Examples::
     python -m repro.cli throughput --scene rubble --system clm --n 30.4e6
     python -m repro.cli comm-volume --scene ithaca --ordering tsp
     python -m repro.cli engines
+    python -m repro.cli backends
     python -m repro.cli train --engine clm --batches 20
+    python -m repro.cli train --engine clm --kernel-backend numba
     python -m repro.cli train --engine clm --ordering gs_count --plan-cache 16
     python -m repro.cli serve --stream trajectory --requests 96 --rate 500
     python -m repro.cli bench list
@@ -141,6 +143,29 @@ def cmd_engines(args) -> int:
     return 0
 
 
+def cmd_backends(args) -> int:
+    from repro.kernels import backend_status, resolve_backend_name
+
+    rows = [
+        [
+            s["name"],
+            "yes" if s["available"] else "no",
+            s["version"] or "-",
+            s["priority"],
+            s["description"],
+        ]
+        for s in backend_status()
+    ]
+    print(format_table(
+        ["backend", "available", "version", "priority", "description"],
+        rows,
+        title="Registered kernel backends "
+              "(repro train --kernel-backend NAME)",
+    ))
+    print(f"auto resolves to: {resolve_backend_name(None)}")
+    return 0
+
+
 def cmd_train(args) -> int:
     from repro import session
     from repro.core.config import EngineConfig
@@ -169,6 +194,7 @@ def cmd_train(args) -> int:
             plan_cache_size=args.plan_cache,
             overlap_workers=args.overlap_workers,
             num_devices=args.devices,
+            kernel_backend=args.kernel_backend,
         ),
         trainer_config=TrainerConfig(
             num_batches=args.batches, batch_size=4,
@@ -181,7 +207,8 @@ def cmd_train(args) -> int:
     print(format_table(
         ["batch", "PSNR dB"], rows,
         title=f"Functional training with the {engine} engine "
-              f"(ordering={args.ordering})",
+              f"(ordering={args.ordering}, "
+              f"kernels={sess.engine.kernel_backend})",
         floatfmt="{:.2f}",
     ))
     stats = sess.planner.stats()
@@ -510,6 +537,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("engines", help="list registered training engines")
     p.set_defaults(func=cmd_engines)
 
+    p = sub.add_parser("backends",
+                       help="list registered kernel backends")
+    p.set_defaults(func=cmd_backends)
+
     p = sub.add_parser("train", help="functional training demo")
     p.add_argument("--engine", "--system", dest="engine",
                    choices=available_engines(), default="clm",
@@ -530,6 +561,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated device count; >1 switches clm to the "
                         "clm_sharded engine (spatial shards, halo "
                         "exchange, work stealing)")
+    p.add_argument("--kernel-backend", default="auto",
+                   help="compiled kernel backend for the raster/Adam hot "
+                        "loops (see `repro backends`; 'auto' picks the "
+                        "fastest available)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("serve", help="concurrent render-serving demo")

@@ -58,6 +58,14 @@ class EngineConfig:
     rasterizer; any pair with the same ``(camera, model, settings) ->
     result`` / ``(result, model, dL_dimage) -> grads`` contract works —
     see :mod:`repro.gaussians.point_renderer` for an alternative.
+
+    ``kernel_backend`` selects the compiled kernel backend executing the
+    raster/Adam hot loops (:mod:`repro.kernels`): ``"auto"`` (default)
+    prefers the fastest available backend (honouring the
+    ``REPRO_KERNEL_BACKEND`` env override), an explicit name pins one.
+    Engines resolve it once at construction, thread it through
+    ``RasterSettings`` and ``PackedSparseAdam``, and stamp the resolved
+    name into ``PerfCounters.kernel_backend`` and their plan fingerprints.
     """
 
     batch_size: int = 4
@@ -85,6 +93,9 @@ class EngineConfig:
     num_devices: int = 1
     topology: Optional[DeviceTopology] = None
     work_stealing: bool = True
+    # Compiled-kernel backend for the raster/Adam hot loops ("auto",
+    # "numpy", "numba", or any registered plugin backend name).
+    kernel_backend: str = "auto"
 
     def resolve_renderer(self) -> "tuple[Callable, Callable]":
         """The (forward, backward) pair engines should call."""

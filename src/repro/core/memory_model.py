@@ -98,6 +98,18 @@ ACT_PER_PIXEL = 240
 #: never resident bytes.  Owners alone step Adam on halo rows, so moments
 #: are never duplicated across devices.
 
+#: Kernel-backend note: the compiled kernel backends (:mod:`repro.kernels`)
+#: change *timing and scratch allocation*, never pool accounting.  A JIT
+#: backend fuses the slab compositing and Adam passes — fewer memory
+#: passes, per-tile scratch and per-CSR-entry gradient staging allocated
+#: transiently inside one kernel call — and, like the paper's CUDA
+#: kernels, *recomputes* blend state backward instead of retaining it
+#: (``retains_blend_state = False``), so its activation footprint matches
+#: the analytic allowance above exactly (no ``blend_state_bytes``).  Every
+#: byte this model budgets — parameters, gradients, moments, double
+#: buffers — is identical under any backend; switching backends moves
+#: wall-clock time, not Figure 8/10 numbers.
+
 
 @dataclass(frozen=True)
 class SceneMemoryProfile:

@@ -108,6 +108,10 @@ class PerfCounters:
     batches: int = 0
     images: int = 0
     wall_time_s: float = 0.0
+    #: Resolved kernel-backend name the engine renders/steps with (see
+    #: :mod:`repro.kernels`) — stamped at engine construction so bench
+    #: records can attribute every number to the backend that produced it.
+    kernel_backend: str = "numpy"
     #: Cumulative renderer forward / backward seconds (the raster hot path
     #: the PR 4 substrate optimizes), split out of ``wall_time_s``.
     forward_s: float = 0.0
@@ -231,17 +235,26 @@ class EngineBase(Engine):
             (c.num_pixels for c in self.cameras.values()), default=0
         )
         self._rng = make_rng(self.config.seed)
+        #: Resolved kernel-backend name (``config.kernel_backend`` after
+        #: auto-selection/env override — see :mod:`repro.kernels`).  All
+        #: of this engine's raster and packed-Adam calls run on it, and it
+        #: keys the plan fingerprints so plans never leak across backends.
+        from repro.kernels import resolve_backend
+
+        self.kernel_backend = resolve_backend(
+            getattr(self.config, "kernel_backend", None)
+        ).name
         #: The engine's batch planner (shared RNG stream, so the ``random``
         #: ordering draws from the same sequence the pre-planner code did).
         self.planner = BatchPlanner.from_engine_config(
-            self.config, seed=self._rng
+            self.config, seed=self._rng, kernel_backend=self.kernel_backend
         )
         self._render, self._render_backward = self.config.resolve_renderer()
         self.pool: Optional[MemoryPool] = None
         if self.config.gpu_capacity_bytes is not None:
             self.pool = MemoryPool(self.config.gpu_capacity_bytes, name="gpu")
         self.batches_trained = 0
-        self.perf = PerfCounters()
+        self.perf = PerfCounters(kernel_backend=self.kernel_backend)
         # Per-batch renderer/optimizer timing accumulators, reset by
         # train_batch.
         self._step_forward_s = 0.0
@@ -267,6 +280,15 @@ class EngineBase(Engine):
         settings = self.config.raster
         if self.pool is not None and settings.cache_blend_state:
             settings = dc_replace(settings, cache_blend_state=False)
+        # Thread the engine's resolved kernel backend into the renderer as
+        # an overlay — only when the config pins an explicit backend and
+        # the raster settings don't already pin one themselves.  Under
+        # ``auto`` the renderer's own per-call resolution lands on the
+        # same backend, so the settings object passes through untouched
+        # (keeping the live-view identity contract).
+        requested = getattr(self.config, "kernel_backend", "auto")
+        if settings.kernel_backend is None and requested not in (None, "", "auto"):
+            settings = dc_replace(settings, kernel_backend=self.kernel_backend)
         return settings
 
     # -- subclass hooks -------------------------------------------------

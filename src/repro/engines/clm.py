@@ -76,6 +76,7 @@ class CLMEngine(EngineBase):
             {name: model.parameters()[name].shape[1:] for name in CRITICAL},
             model.num_gaussians,
             config=self.config.adam,
+            kernel_backend=self.kernel_backend,
         )
         # pad_to: moments share the pinned rows' cache-line-aligned width,
         # so every chunk operand moves as whole contiguous rows.
@@ -84,6 +85,7 @@ class CLMEngine(EngineBase):
             model.num_gaussians,
             config=self.config.adam,
             pad_to=self.cpu_store.row_floats,
+            kernel_backend=self.kernel_backend,
         )
         #: The overlap runtime.  ``overlap_workers == 0`` degrades to the
         #: synchronous inline fallback inside the same code path.

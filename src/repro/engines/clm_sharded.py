@@ -35,6 +35,15 @@ discrete-event simulator over the engine's
 PCIe links), and the resulting makespan and per-device busy seconds ride
 on the :class:`~repro.engines.base.BatchResult` — the scaling numbers the
 ``sharding`` benchmark reports.
+
+The engine inherits :meth:`CLMEngine._setup` unchanged, so the resolved
+kernel backend (``EngineConfig.kernel_backend``, see :mod:`repro.kernels`)
+threads through identically: both packed optimizers and every device's
+render path execute on the same backend, the identity rides
+``PerfCounters.kernel_backend`` and the plan fingerprints, and the K=1
+bit-identity with ``clm`` holds per backend (the fingerprinted plans and
+the fused float64 kernels are backend-parity-pinned by
+``tests/kernels/``).
 """
 
 from __future__ import annotations

@@ -95,6 +95,13 @@ class RasterSettings:
       :class:`RenderContext` for the backward pass.  Opt out to trade the
       backward recompute for activation memory (what the paper's CUDA
       kernels do, and what CLM's activation accounting assumes).
+    - ``kernel_backend``: which registered kernel backend executes the
+      compositing (see :mod:`repro.kernels`).  ``None``/``"auto"`` defers
+      to the ``REPRO_KERNEL_BACKEND`` env override, then the fastest
+      available backend.  A backend that does not retain blend state (the
+      fused JIT kernels recompute blending backward) leaves
+      ``RenderContext.blend_cache`` empty regardless of
+      ``cache_blend_state``.
     """
 
     tile_size: int = 16
@@ -106,6 +113,7 @@ class RasterSettings:
     group_size: int = 256
     dtype: str = "float64"
     cache_blend_state: bool = True
+    kernel_backend: Optional[str] = None
 
     @property
     def np_dtype(self) -> np.dtype:
@@ -194,6 +202,11 @@ class RenderContext:
     #: Per-group blending state retained by the forward pass when
     #: ``settings.cache_blend_state`` (see :func:`_group_blend_state`).
     blend_cache: Optional[List[dict]] = None
+    #: Name of the kernel backend that actually composited this render
+    #: (after auto-selection and per-op fallback) — stamped by
+    #: :func:`rasterize_forward`, surfaced through ``PerfCounters`` and
+    #: the bench records.
+    kernel_backend: str = "numpy"
     _tiles: Optional[Dict[Tuple[int, int], TileWork]] = field(
         default=None, repr=False
     )
@@ -727,22 +740,17 @@ def rasterize_forward(
     canvas_t = np.ones((num_tiles, pixels), dtype=dtype)
 
     aug = _AugArrays.from_proj(proj, dtype)
-    cache: Optional[List[dict]] = [] if settings.cache_blend_state else None
-    for tix, g in iter_tile_groups(bins, settings.group_size):
-        state = _group_blend_state(bins, aug, tix, g, settings)
-        alpha_eff = state["alpha_eff"]
-        t_before = state["t_before"]
-        weights = alpha_eff * t_before
-        weights *= state["active"]
-        colors = aug.colors[state["rows"]]  # (T, G, 3)
-        # Batched BLAS: (T, P, G) @ (T, G, 3) -> (T, P, 3).
-        rgb = np.matmul(weights.transpose(0, 2, 1), colors)
-        t_final = t_before[:, -1, :] * (1.0 - alpha_eff[:, -1, :])  # (T, P)
-        t_ids = bins.tile_ids[tix]
-        canvas_rgb[t_ids] = rgb + t_final[:, :, None] * bg
-        canvas_t[t_ids] = t_final
-        if cache is not None:
-            cache.append(state)
+    # Compositing runs on the runtime-selected kernel backend (the NumPy
+    # reference reproduces the grouped-slab loop verbatim; JIT backends
+    # fuse it).  Per-op fallback keeps unsupported layouts (e.g. float32
+    # blend state under the numba backend) on the reference.
+    from repro.kernels import compile_with_fallback, raster_spec, resolve_backend
+
+    fn, actual = compile_with_fallback(
+        resolve_backend(settings.kernel_backend),
+        raster_spec("raster_forward_slab", dtype),
+    )
+    cache: Optional[List[dict]] = fn(bins, aug, settings, bg, canvas_rgb, canvas_t)
 
     image = _tile_major_to_image(canvas_rgb, bins)
     transmittance = _tile_major_to_image(canvas_t, bins)
@@ -753,6 +761,7 @@ def rasterize_forward(
         bins=bins,
         num_input=model.num_gaussians,
         blend_cache=cache,
+        kernel_backend=actual.name,
     )
     return image, transmittance, ctx
 

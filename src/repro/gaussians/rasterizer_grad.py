@@ -28,6 +28,12 @@ float32 but all gradient accumulators stay float64.
 The pre-substrate per-tile loop survives as
 :func:`rasterize_backward_legacy`; the parity suite pins the grouped path
 against it for every parameter group.
+
+Since the kernel-backend layer, the compositing gradient dispatches
+through :mod:`repro.kernels`: the NumPy reference backend runs the
+grouped path described above, while JIT backends fuse the recompute +
+suffix-sum gradient into compiled per-tile loops (``tests/kernels``
+pins every backend to the same 1e-10 bar).
 """
 
 from __future__ import annotations
@@ -50,10 +56,8 @@ from repro.gaussians.projection import (
 from repro.gaussians.rasterizer import (
     RenderContext,
     _AugArrays,
-    _group_blend_state,
     _group_pixels,
     image_to_tile_major,
-    iter_tile_groups,
     tile_alpha_weights,
 )
 
@@ -113,19 +117,24 @@ def rasterize_backward(
         g_tiles = image_to_tile_major(
             np.asarray(dL_dimage, dtype=np.float64), bins
         )
-        groups = (
-            ctx.blend_cache
-            if ctx.blend_cache is not None
-            else (
-                _group_blend_state(bins, aug, tix, g, settings)
-                for tix, g in iter_tile_groups(bins, settings.group_size)
-            )
+        # Same backend resolution as the forward pass: the NumPy reference
+        # walks the retained blend cache (or regenerates it slab-wise),
+        # fused JIT backends recompute blending in-kernel and ignore it.
+        from repro.kernels import (
+            compile_with_fallback,
+            raster_spec,
+            resolve_backend,
         )
-        for state in groups:
-            _accumulate_group(
-                state, bins, aug, g_tiles, bg, settings,
-                d_colors, d_opac, d_means2d, d_conics,
-            )
+
+        fn, _ = compile_with_fallback(
+            resolve_backend(settings.kernel_backend),
+            raster_spec("raster_backward_slab", dtype),
+        )
+        fn(
+            bins, aug, settings, g_tiles, bg,
+            d_colors, d_opac, d_means2d, d_conics,
+            blend_cache=ctx.blend_cache,
+        )
 
     return _chain_to_parameters(
         ctx, model, d_colors[:m], d_opac[:m], d_means2d[:m], d_conics[:m]

@@ -1,0 +1,57 @@
+"""Runtime-selected kernel backends for the substrate's hot loops.
+
+Public surface of the MOT-style backend layer (ROADMAP item 1): the
+:class:`KernelBackend` protocol, the :class:`KernelData`/:class:`KernelSpec`
+layout descriptors, the decorator registry, and the resolution helpers
+every call site uses (``resolve_backend`` → ``compile_with_fallback``).
+
+The built-in backends are ``numpy`` (always-available reference) and
+``numba`` (optional JIT, graceful fallback when absent) — see
+``repro backends`` and the README's "Kernel backends" section.
+"""
+
+from repro.kernels.registry import (
+    AUTO,
+    ENV_VAR,
+    KERNEL_OPS,
+    REFERENCE_BACKEND,
+    KernelBackend,
+    KernelData,
+    KernelSpec,
+    UnknownBackendError,
+    UnsupportedKernelError,
+    adam_spec,
+    available_backends,
+    backend_descriptions,
+    backend_status,
+    compile_with_fallback,
+    get_backend,
+    raster_spec,
+    register_backend,
+    resolve_backend,
+    resolve_backend_name,
+    unregister_backend,
+)
+
+__all__ = [
+    "AUTO",
+    "ENV_VAR",
+    "KERNEL_OPS",
+    "REFERENCE_BACKEND",
+    "KernelBackend",
+    "KernelData",
+    "KernelSpec",
+    "UnknownBackendError",
+    "UnsupportedKernelError",
+    "adam_spec",
+    "available_backends",
+    "backend_descriptions",
+    "backend_status",
+    "compile_with_fallback",
+    "get_backend",
+    "raster_spec",
+    "register_backend",
+    "resolve_backend",
+    "resolve_backend_name",
+    "unregister_backend",
+]

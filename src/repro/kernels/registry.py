@@ -1,0 +1,342 @@
+"""The kernel backend registry — runtime-selected compiled hot paths.
+
+ROADMAP item 1: the substrate's hot loops (slab compositing in
+:mod:`repro.gaussians.rasterizer` / ``rasterizer_grad`` and the fused Adam
+update in :mod:`repro.optim.kernels`) are pure NumPy, which caps each op
+at one memory pass.  This module is the MOT-style answer (cf. the
+``CLFunctionEvaluator`` / ``CLFunction`` pattern from cbclab/MOT): a
+:class:`KernelBackend` protocol with *capabilities* and a
+``compile(spec)`` step, a :class:`KernelData` descriptor capturing the
+dtype/rank/contiguity of the packed operands, and a decorator registry
+mirroring :func:`repro.engines.registry.register_engine`::
+
+    @register_backend("numpy")
+    class NumpyKernelBackend(KernelBackend):
+        ...
+
+Backends are selected at runtime by :func:`resolve_backend`:
+
+1. an explicit non-``auto`` name (``EngineConfig.kernel_backend``,
+   ``RasterSettings.kernel_backend``, ``repro train --kernel-backend``)
+   wins; a registered-but-unavailable name degrades to the reference
+   backend with a warning (graceful fallback, never a crash);
+2. otherwise the ``REPRO_KERNEL_BACKEND`` environment variable, when set;
+3. otherwise ``auto``: the highest-priority *available* backend (the
+   NumPy reference has priority 0 and is always available; JIT backends
+   register with higher priorities).
+
+Per-op capability checks run through :meth:`KernelBackend.supports`: a
+backend that cannot execute one spec (e.g. a JIT kernel specialized to
+contiguous float64 rows being handed float32 staging buffers) falls back
+to the reference implementation for that op only — see
+:func:`compile_with_fallback`.  Every backend is pinned against the
+existing ``*_legacy`` comparators at the repo's 1e-10 parity bar by
+``tests/kernels/``.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+#: Environment override consulted by :func:`resolve_backend` when the
+#: caller asks for ``auto`` (or passes no name at all).
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: The always-available reference backend every fallback lands on.
+REFERENCE_BACKEND = "numpy"
+
+#: Sentinel name meaning "pick the fastest available backend".
+AUTO = "auto"
+
+#: The kernel operations a backend may implement.  ``raster_forward_slab``
+#: composites one padded (T, G, P) tile slab, ``raster_backward_slab``
+#: accumulates its compositing gradients, ``adam_fused_update`` is the
+#: fused packed-row Adam step.
+KERNEL_OPS = (
+    "raster_forward_slab",
+    "raster_backward_slab",
+    "adam_fused_update",
+)
+
+
+class UnknownBackendError(ValueError):
+    """Raised for backend names not in the registry."""
+
+
+class UnsupportedKernelError(ValueError):
+    """Raised by :meth:`KernelBackend.compile` for specs the backend's
+    :meth:`~KernelBackend.supports` rejects."""
+
+
+@dataclass(frozen=True)
+class KernelData:
+    """Layout descriptor of one kernel operand.
+
+    Captures what a compiled kernel specializes on — element dtype, array
+    rank, and C-contiguity — without holding the array itself, so specs
+    are hashable compile-cache keys.
+    """
+
+    dtype: str
+    rank: int = 0
+    contiguous: bool = True
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "KernelData":
+        arr = np.asarray(arr)
+        return cls(
+            dtype=str(arr.dtype),
+            rank=int(arr.ndim),
+            contiguous=bool(arr.flags["C_CONTIGUOUS"]),
+        )
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """What to compile: an op name plus its operand layouts."""
+
+    op: str
+    operands: Tuple[KernelData, ...] = ()
+
+    def dtypes(self) -> Tuple[str, ...]:
+        return tuple(d.dtype for d in self.operands)
+
+
+def raster_spec(op: str, dtype) -> KernelSpec:
+    """Spec of a raster slab op over ``dtype`` blend-state tensors."""
+    return KernelSpec(op, (KernelData(dtype=str(np.dtype(dtype)), rank=3),))
+
+
+def adam_spec(*arrays: np.ndarray) -> KernelSpec:
+    """Spec of the fused Adam update over the given packed operands."""
+    return KernelSpec(
+        "adam_fused_update",
+        tuple(KernelData.from_array(a) for a in arrays),
+    )
+
+
+class KernelBackend(abc.ABC):
+    """One implementation of the substrate's hot kernels.
+
+    Subclasses set :attr:`name` / :attr:`priority` / :attr:`description`,
+    report availability (JIT backends probe their import here), declare
+    :meth:`capabilities`, and implement :meth:`_compile`.  ``compile``
+    itself is final: it runs the capability check and caches the compiled
+    callable per spec, so warm-up compilation happens once per signature.
+    """
+
+    name: str = "?"
+    #: ``auto`` picks the highest-priority available backend; the NumPy
+    #: reference sits at 0, JIT backends register above it.
+    priority: int = 0
+    description: str = ""
+    #: Whether this backend's forward pass materializes the per-slab blend
+    #: state that ``RasterSettings.cache_blend_state`` retains for the
+    #: backward pass.  Fused JIT kernels recompute blending backward (like
+    #: the paper's CUDA kernels) and set this False.
+    retains_blend_state: bool = True
+
+    def __init__(self) -> None:
+        self._compiled: Dict[KernelSpec, Callable] = {}
+
+    # -- identity -------------------------------------------------------
+    def available(self) -> bool:
+        """Whether this backend can execute in the current process."""
+        return True
+
+    def version(self) -> Optional[str]:
+        """Version string of the backing implementation, if any."""
+        return None
+
+    # -- capability surface ---------------------------------------------
+    @abc.abstractmethod
+    def capabilities(self) -> "frozenset[str]":
+        """The :data:`KERNEL_OPS` names this backend implements."""
+
+    def supports(self, spec: KernelSpec) -> bool:
+        """Whether :meth:`compile` would accept ``spec``.
+
+        The base check is op membership; backends with layout
+        restrictions (dtype, contiguity) refine this.
+        """
+        return spec.op in self.capabilities()
+
+    # -- compilation ----------------------------------------------------
+    def compile(self, spec: KernelSpec) -> Callable:
+        """The compiled callable for ``spec``, cached per signature."""
+        fn = self._compiled.get(spec)
+        if fn is None:
+            if not self.available():
+                raise UnsupportedKernelError(
+                    f"backend '{self.name}' is not available"
+                )
+            if not self.supports(spec):
+                raise UnsupportedKernelError(
+                    f"backend '{self.name}' does not support {spec}"
+                )
+            fn = self._compile(spec)
+            self._compiled[spec] = fn
+        return fn
+
+    @abc.abstractmethod
+    def _compile(self, spec: KernelSpec) -> Callable:
+        """Build the callable for a supported ``spec``."""
+
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+#: Backends shipped with the package (mirrors ``_BUILTIN_ENGINES``).
+_BUILTIN_BACKENDS = ("numpy", "numba")
+
+
+def _ensure_builtin_backends() -> None:
+    """Import the built-in backend modules so their registrations run."""
+    from repro.kernels import numba_backend, numpy_backend  # noqa: F401
+
+
+def register_backend(name: str):
+    """Class decorator adding a :class:`KernelBackend` to the registry.
+
+    The class is instantiated immediately (construction must be cheap and
+    must not import optional dependencies — probe those in
+    :meth:`KernelBackend.available`).
+    """
+
+    def decorator(cls):
+        if name in _REGISTRY:
+            raise ValueError(
+                f"kernel backend '{name}' is already registered "
+                f"(by {type(_REGISTRY[name]).__name__})"
+            )
+        backend = cls()
+        backend.name = name
+        _REGISTRY[name] = backend
+        return cls
+
+    return decorator
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (tests/plugins only); built-ins stay."""
+    if name in _BUILTIN_BACKENDS:
+        raise ValueError(f"cannot unregister built-in backend '{name}'")
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, in registration order (availability is a
+    separate question — see :func:`backend_status`)."""
+    _ensure_builtin_backends()
+    return tuple(_REGISTRY)
+
+
+def backend_descriptions() -> Dict[str, str]:
+    """``{name: one-line description}`` for every registered backend."""
+    _ensure_builtin_backends()
+    return {name: b.description for name, b in _REGISTRY.items()}
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend instance for ``name``.
+
+    Raises :class:`UnknownBackendError` (a ``ValueError``) with the known
+    names when ``name`` is not registered.
+    """
+    _ensure_builtin_backends()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown kernel backend '{name}'; "
+            f"choose from {available_backends()}"
+        ) from None
+
+
+def backend_status() -> "list[dict]":
+    """One row per registered backend for reporting (``repro backends``)."""
+    _ensure_builtin_backends()
+    return [
+        {
+            "name": b.name,
+            "available": b.available(),
+            "version": b.version(),
+            "priority": b.priority,
+            "description": b.description,
+        }
+        for b in _REGISTRY.values()
+    ]
+
+
+def _auto_backend() -> KernelBackend:
+    """Highest-priority available backend (ties break on registration
+    order; the NumPy reference guarantees a non-empty candidate set)."""
+    _ensure_builtin_backends()
+    candidates = [b for b in _REGISTRY.values() if b.available()]
+    return max(candidates, key=lambda b: b.priority)
+
+
+def resolve_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend request to a usable backend instance.
+
+    ``None``/``""``/``"auto"`` consult the ``REPRO_KERNEL_BACKEND``
+    environment variable, then auto-select.  An explicit name must be
+    registered (else :class:`UnknownBackendError`); a registered but
+    unavailable backend — or an env override naming one — degrades to the
+    reference backend with a :class:`RuntimeWarning` instead of failing,
+    so a config written for a JIT-enabled host still runs everywhere.
+    """
+    from_env = False
+    if name in (None, "", AUTO):
+        env_name = os.environ.get(ENV_VAR, "").strip()
+        if env_name and env_name != AUTO:
+            name, from_env = env_name, True
+        else:
+            return _auto_backend()
+    try:
+        backend = get_backend(name)
+    except UnknownBackendError:
+        if not from_env:
+            raise
+        warnings.warn(
+            f"{ENV_VAR}={name!r} names an unknown kernel backend; "
+            f"falling back to auto selection",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _auto_backend()
+    if not backend.available():
+        warnings.warn(
+            f"kernel backend '{name}' is not available in this "
+            f"environment; falling back to '{REFERENCE_BACKEND}'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return get_backend(REFERENCE_BACKEND)
+    return backend
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """The resolved backend's name (see :func:`resolve_backend`)."""
+    return resolve_backend(name).name
+
+
+def compile_with_fallback(
+    backend: KernelBackend, spec: KernelSpec
+) -> Tuple[Callable, KernelBackend]:
+    """Compile ``spec`` on ``backend``, degrading per-op to the reference.
+
+    Returns ``(callable, backend_actually_used)``.  This is the per-call
+    capability gate: a JIT backend that cannot execute one particular
+    layout (say, float32 blend state) hands exactly that op back to the
+    NumPy reference while keeping every op it *can* run.
+    """
+    if backend.available() and backend.supports(spec):
+        return backend.compile(spec), backend
+    reference = get_backend(REFERENCE_BACKEND)
+    return reference.compile(spec), reference

@@ -34,7 +34,6 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.optim.adam import AdamConfig
-from repro.optim.kernels import fused_adam_update
 
 #: Rows per kernel block — sized so a block's operands and temporaries
 #: (~7 arrays of block x width floats) stay cache-resident.
@@ -53,6 +52,13 @@ class PackedSparseAdam:
     bias-correction semantics; learning-rate overrides are expanded into a
     per-column vector so one fused update applies every attribute's own
     rate.
+
+    ``kernel_backend`` selects the compiled kernel executing the fused
+    update (see :mod:`repro.kernels`); ``None``/``"auto"`` resolves to the
+    fastest available backend.  Unsupported operand layouts (e.g. float32
+    gradient staging under a float64-only JIT backend) fall back per-block
+    to the NumPy reference, so results stay within the repo's parity bar
+    on every backend.
     """
 
     def __init__(
@@ -63,8 +69,14 @@ class PackedSparseAdam:
         *,
         pad_to: Optional[int] = None,
         block_rows: int = DEFAULT_BLOCK_ROWS,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         self.config = config or AdamConfig()
+        self.kernel_backend = kernel_backend
+        self._backend = None  # resolved lazily on first step
+        #: Name of the backend that executed the most recent block (after
+        #: auto-selection and per-op fallback); None before any step.
+        self.active_kernel_backend: Optional[str] = None
         self.columns: Dict[str, Tuple[int, ...]] = {
             name: tuple(shape) for name, shape in columns.items()
         }
@@ -104,6 +116,23 @@ class PackedSparseAdam:
         for name, sl in self.slices.items():
             out[sl] = self.config.lr_for(name)
         return out
+
+    # ------------------------------------------------------------------
+    def _adam_kernel(self, p, g, m, v):
+        """The compiled fused-update callable for one block's operands.
+
+        The backend resolves once per optimizer (honouring the explicit
+        name, the env override, then auto-selection); the per-spec compile
+        is cached by the backend, so steady-state cost is one descriptor
+        build + dict hit per block.
+        """
+        from repro.kernels import adam_spec, compile_with_fallback, resolve_backend
+
+        if self._backend is None:
+            self._backend = resolve_backend(self.kernel_backend)
+        fn, actual = compile_with_fallback(self._backend, adam_spec(p, g, m, v))
+        self.active_kernel_backend = actual.name
+        return fn
 
     # ------------------------------------------------------------------
     @classmethod
@@ -154,7 +183,7 @@ class PackedSparseAdam:
             g = g_rows[:, :width] if g_rows.shape[1] > width else g_rows
             m = self.packed_m.take(r, axis=0)
             v = self.packed_v.take(r, axis=0)
-            fused_adam_update(
+            self._adam_kernel(p, g, m, v)(
                 p, g, m, v, t, lr, cfg.beta1, cfg.beta2, cfg.eps
             )
             packed_params[r] = p_rows
@@ -196,7 +225,7 @@ class PackedSparseAdam:
             g = gathered_grads[s : s + self.block_rows, :width]
             m = self.packed_m.take(r, axis=0)
             v = self.packed_v.take(r, axis=0)
-            fused_adam_update(
+            self._adam_kernel(p, g, m, v)(
                 p, g, m, v, t, lr, cfg.beta1, cfg.beta2, cfg.eps
             )
             self.packed_m[r] = m

@@ -51,6 +51,7 @@ def plan_fingerprint(
     enable_cache: bool,
     num_gaussians: int,
     cameras=None,
+    kernel_backend: Optional[str] = None,
 ) -> Tuple:
     """The :class:`PlanCache` key: per-view set digests plus every input
     that changes the resulting plan.
@@ -58,6 +59,13 @@ def plan_fingerprint(
     ``cameras`` only enters the key when given — callers pass it for the
     strategies that read camera geometry (``camera``), so a moved camera
     with unchanged in-frustum sets still misses the cache.
+
+    ``kernel_backend`` is the resolved kernel-backend identity of the
+    planning engine: plans themselves are backend-agnostic index algebra,
+    but downstream consumers attribute measured per-plan timings (the
+    reconciliation loop, serving SLO reports) to the backend that executed
+    them, so a backend switch must miss rather than revive plans observed
+    under different kernels.
     """
     camera_digest = None
     if cameras is not None:
@@ -72,6 +80,7 @@ def plan_fingerprint(
         enable_cache,
         int(num_gaussians),
         camera_digest,
+        kernel_backend,
         tuple(int(v) for v in view_ids),
         tuple(set_fingerprint(s) for s in sets),
     )
@@ -151,24 +160,35 @@ class BatchPlanner:
         cache_size: int = 8,
         seed: SeedLike = 0,
         tsp_time_limit_s: float = 1e-3,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         self.ordering = ordering
         self.enable_cache = enable_cache
         self.tsp_time_limit_s = tsp_time_limit_s
+        #: Resolved kernel-backend identity keyed into every fingerprint
+        #: (None for standalone planners — keys simply omit the backend).
+        self.kernel_backend = kernel_backend
         self._rng = make_rng(seed)
         self.cache = PlanCache(cache_size)
         self.counters = PlannerCounters()
 
     @classmethod
-    def from_engine_config(cls, config, seed: SeedLike = None) -> "BatchPlanner":
+    def from_engine_config(
+        cls,
+        config,
+        seed: SeedLike = None,
+        kernel_backend: Optional[str] = None,
+    ) -> "BatchPlanner":
         """Planner configured from an :class:`repro.core.config.EngineConfig`
         (or anything with ``ordering`` / ``enable_cache`` /
-        ``plan_cache_size`` attributes)."""
+        ``plan_cache_size`` attributes).  ``kernel_backend`` is the
+        engine's resolved backend name, keyed into plan fingerprints."""
         return cls(
             ordering=config.ordering,
             enable_cache=config.enable_cache,
             cache_size=getattr(config, "plan_cache_size", 8),
             seed=config.seed if seed is None else seed,
+            kernel_backend=kernel_backend,
         )
 
     # ------------------------------------------------------------------
@@ -211,6 +231,7 @@ class BatchPlanner:
             key = plan_fingerprint(
                 sets, view_ids, strategy, self.enable_cache, num_gaussians,
                 cameras=cameras if strategy == "camera" else None,
+                kernel_backend=self.kernel_backend,
             )
             cached = self.cache.get(key)
             if cached is not None:

@@ -1,0 +1,204 @@
+"""Graceful degradation and engine threading of the kernel backends.
+
+The numba backend must register but report unavailable when the import is
+absent (simulated by monkeypatching the module's guarded import), and
+every resolution path must land on the NumPy reference with a warning —
+never an ImportError.  The engine layer must thread the resolved backend
+identity everywhere the ISSUE requires it to be visible: PerfCounters,
+RasterSettings / RenderContext, PackedSparseAdam, and plan fingerprints.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.engines import available_engines, create_engine
+from repro.gaussians.model import GaussianModel
+from repro.kernels import (
+    ENV_VAR,
+    adam_spec,
+    compile_with_fallback,
+    get_backend,
+    resolve_backend,
+)
+from repro.kernels import numba_backend
+from repro.optim.adam import AdamConfig
+from repro.optim.packed_adam import PackedSparseAdam
+from repro.planning.planner import plan_fingerprint
+
+BATCH = [0, 1, 2, 3]
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+
+
+@pytest.fixture()
+def no_numba(monkeypatch):
+    """Simulate a host without numba, regardless of what is installed."""
+    monkeypatch.setattr(numba_backend, "_NUMBA", None)
+    return get_backend("numba")
+
+
+def _engine_setup(trainable_scene):
+    init = GaussianModel.from_point_cloud(
+        trainable_scene.init_points, colors=trainable_scene.init_colors,
+        sh_degree=1, seed=0,
+    )
+    targets = {c.view_id: img for c, img in
+               zip(trainable_scene.cameras, trainable_scene.images)}
+    return init, targets
+
+
+# ----------------------------------------------------------------------
+# numba-absence degradation
+# ----------------------------------------------------------------------
+
+
+def test_numba_registers_unavailable_without_import(no_numba):
+    assert no_numba.available() is False
+    assert no_numba.version() is None
+
+
+def test_explicit_numba_request_falls_back_with_warning(no_numba):
+    with pytest.warns(RuntimeWarning, match="not available"):
+        backend = resolve_backend("numba")
+    assert backend.name == "numpy"
+
+
+def test_auto_skips_unavailable_numba(no_numba):
+    assert resolve_backend(None).name == "numpy"
+    assert resolve_backend("auto").name == "numpy"
+
+
+def test_env_requested_numba_falls_back(no_numba, monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "numba")
+    with pytest.warns(RuntimeWarning, match="not available"):
+        backend = resolve_backend(None)
+    assert backend.name == "numpy"
+
+
+def test_compile_with_fallback_hands_ops_to_reference(no_numba):
+    ops = [np.zeros((8, 10)) for _ in range(4)]
+    fn, used = compile_with_fallback(no_numba, adam_spec(*ops))
+    assert used.name == "numpy"
+    fn(ops[0], ops[1], ops[2], ops[3],
+       np.ones(8, dtype=np.int64), np.full(10, 1e-2), 0.9, 0.999, 1e-8)
+
+
+def test_float32_operands_decline_the_jit_backend():
+    """Even where numba IS importable, float32 staging stays on the
+    reference (numba promotion differs from NumPy value-based casting)."""
+    backend = get_backend("numba")
+    ops32 = [np.zeros((8, 10), dtype=np.float32) for _ in range(4)]
+    assert backend.supports(adam_spec(*ops32)) is False
+    fn, used = compile_with_fallback(backend, adam_spec(*ops32))
+    assert used.name == "numpy"
+
+
+def test_optimizer_runs_and_reports_reference_under_fallback(no_numba):
+    rng = np.random.default_rng(0)
+    params = rng.standard_normal((64, 10))
+    opt = PackedSparseAdam(
+        {"packed": (10,)}, 64, config=AdamConfig(lr=1e-2),
+        kernel_backend="numba",
+    )
+    with pytest.warns(RuntimeWarning, match="not available"):
+        opt.step_packed(params, rng.standard_normal((64, 10)),
+                        np.arange(64))
+    assert opt.active_kernel_backend == "numpy"
+
+
+# ----------------------------------------------------------------------
+# engine threading of the resolved backend identity
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", available_engines())
+def test_engines_stamp_backend_into_perf(name, trainable_scene):
+    init, targets = _engine_setup(trainable_scene)
+    engine = create_engine(
+        name, init, trainable_scene.cameras,
+        EngineConfig(batch_size=4, kernel_backend="numpy"),
+    )
+    assert engine.kernel_backend == "numpy"
+    assert engine.perf.kernel_backend == "numpy"
+    engine.train_batch(BATCH, targets)
+    assert engine.perf.kernel_backend == "numpy"
+
+
+def test_engine_env_override_resolves_at_construction(
+    trainable_scene, monkeypatch
+):
+    monkeypatch.setenv(ENV_VAR, "numpy")
+    init, _ = _engine_setup(trainable_scene)
+    engine = create_engine(
+        "clm", init, trainable_scene.cameras, EngineConfig(batch_size=4)
+    )
+    assert engine.kernel_backend == "numpy"
+
+
+def test_explicit_config_pins_raster_settings(trainable_scene):
+    init, _ = _engine_setup(trainable_scene)
+    engine = create_engine(
+        "clm", init, trainable_scene.cameras,
+        EngineConfig(batch_size=4, kernel_backend="numpy"),
+    )
+    assert engine.raster_settings.kernel_backend == "numpy"
+    # The shared config object is never mutated.
+    assert engine.config.raster.kernel_backend is None
+
+
+def test_auto_config_keeps_live_settings_identity(trainable_scene):
+    init, _ = _engine_setup(trainable_scene)
+    engine = create_engine(
+        "clm", init, trainable_scene.cameras, EngineConfig(batch_size=4)
+    )
+    assert engine.raster_settings is engine.config.raster
+
+
+def test_render_context_reports_executing_backend(trainable_scene):
+    init, _ = _engine_setup(trainable_scene)
+    engine = create_engine(
+        "clm", init, trainable_scene.cameras,
+        EngineConfig(batch_size=4, kernel_backend="numpy"),
+    )
+    result = engine.render_view(trainable_scene.cameras[0].view_id)
+    assert result.ctx.kernel_backend == "numpy"
+
+
+def test_clm_threads_backend_into_both_optimizers(trainable_scene):
+    init, targets = _engine_setup(trainable_scene)
+    engine = create_engine(
+        "clm", init, trainable_scene.cameras,
+        EngineConfig(batch_size=4, kernel_backend="numpy"),
+    )
+    assert engine.adam_critical.kernel_backend == "numpy"
+    assert engine.adam_noncritical.kernel_backend == "numpy"
+    engine.train_batch(BATCH, targets)
+    assert engine.adam_critical.active_kernel_backend == "numpy"
+    assert engine.adam_noncritical.active_kernel_backend == "numpy"
+
+
+def test_planner_keys_backend_into_fingerprints(trainable_scene):
+    init, _ = _engine_setup(trainable_scene)
+    engine = create_engine(
+        "clm", init, trainable_scene.cameras,
+        EngineConfig(batch_size=4, kernel_backend="numpy"),
+    )
+    assert engine.planner.kernel_backend == "numpy"
+
+
+def test_plan_fingerprint_varies_with_backend():
+    sets = [np.array([0, 3, 5]), np.array([1, 2])]
+    views = [0, 1]
+    base = plan_fingerprint(sets, views, "tsp", True, 10)
+    numpy_key = plan_fingerprint(
+        sets, views, "tsp", True, 10, kernel_backend="numpy"
+    )
+    numba_key = plan_fingerprint(
+        sets, views, "tsp", True, 10, kernel_backend="numba"
+    )
+    assert len({base, numpy_key, numba_key}) == 3
+    assert "numpy" in numpy_key
