@@ -1,0 +1,240 @@
+"""Chaos benchmark (the robustness PR): fault injection end to end.
+
+Four variants, each one record in ``BENCH_results.json`` and each an
+acceptance criterion of the fault-tolerance work:
+
+- ``train_failstop_k4`` — a K=4 sharded run with one injected fail-stop
+  must recover onto the three survivors losing at most one batch per
+  fail-stop, and its final parameters must match a fault-free twin
+  restarted from the same snapshot with the dead device removed by hand
+  (``equivalence_max_diff`` <= 1e-10; in practice bit-exact).
+- ``replay_determinism`` — the same fault seed must replay to a
+  bit-identical fault event log and bit-identical post-recovery
+  parameters.
+- ``serving_faults`` — a faulty serving run (seeded transient render
+  faults, retry-with-backoff, circuit breaker) against its fault-free
+  twin on the same stream: the SLO-violation rate under fault must stay
+  under 2x the fault-free rate (retries absorb the faults; the breaker
+  caps the damage).  The gate asserts *aggregates* (injected faults,
+  violation rates) — record-level timings are measured wall clock.
+- ``serving_degraded`` — a burst that crosses the queue high watermark
+  must flip the degradation controller into coarse-LOD mode and back.
+
+All fault *structure* is seeded/deterministic; only measured plan/render
+durations vary run to run, and no assertion depends on them.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.core.config import EngineConfig
+from repro.engines.clm_sharded import ShardedCLMEngine
+from repro.gaussians.model import GaussianModel
+from repro.resilience import FaultEvent, FaultSchedule
+from repro.scenes.images import make_trainable_scene
+from repro.serving import (
+    LodConfig,
+    RenderFaultInjector,
+    RenderRequest,
+    ResilienceConfig,
+    ServingConfig,
+    ServingSession,
+    bursty_stream,
+    ring_cameras,
+)
+
+BATCHES = [
+    [0, 1, 2, 3],
+    [4, 5, 6, 7],
+    [8, 9, 1, 3],
+    [0, 2, 5, 7],
+    [1, 4, 6, 9],
+    [2, 3, 7, 8],
+]
+FAIL_BATCH, FAIL_DEVICE = 2, 1
+
+LOD = LodConfig(distance_edges=(2.0, 5.0), keep_fractions=(0.5, 0.25))
+SERVE_REQUESTS = 96
+FAULT_RATE = 0.15
+
+
+def _train_scene(ctx):
+    scene = make_trainable_scene(
+        reference_gaussians=150, num_views=10, image_size=(32, 24),
+        seed=5,
+    )
+    init = GaussianModel.from_point_cloud(
+        scene.init_points, colors=scene.init_colors, sh_degree=1, seed=0
+    )
+    targets = {
+        c.view_id: img for c, img in zip(scene.cameras, scene.images)
+    }
+    return scene, init, targets
+
+
+def _train(scene, init, targets, schedule, **kwargs):
+    engine = ShardedCLMEngine(
+        init, scene.cameras,
+        EngineConfig(batch_size=4, num_devices=4,
+                     fault_schedule=schedule, **kwargs),
+    )
+    for batch in BATCHES:
+        engine.train_batch(batch, targets)
+    return engine
+
+
+def _max_param_diff(a, b):
+    pa, pb = a.snapshot_model().parameters(), b.snapshot_model().parameters()
+    return max(
+        float(np.max(np.abs(pa[name] - pb[name]))) for name in pa
+    )
+
+
+def _serve(model, cams, stream, fault_injector=None, resilience=None):
+    cfg = ServingConfig(
+        max_batch=4, queue_capacity=12, lod=LOD, seed=0,
+        resilience=resilience, fault_injector=fault_injector,
+    )
+    return ServingSession(model, cfg).serve(stream)
+
+
+@register_benchmark("chaos", figure="robustness PR",
+                    tags=("resilience", "faults", "serving"))
+def compute(ctx):
+    """Fault injection across training recovery and serving degradation."""
+    scene, init, targets = _train_scene(ctx)
+
+    # -- 1. fail-stop recovery + failover equivalence -------------------
+    sched = FaultSchedule(
+        events=(FaultEvent.fail_stop(FAIL_BATCH, FAIL_DEVICE),)
+    )
+    faulty = _train(scene, init, targets, sched)
+    twin = ShardedCLMEngine(
+        init, scene.cameras, EngineConfig(batch_size=4, num_devices=4),
+    )
+    for batch in BATCHES[:FAIL_BATCH]:
+        twin.train_batch(batch, targets)
+    twin.remove_device(FAIL_DEVICE)
+    for batch in BATCHES[FAIL_BATCH:]:
+        twin.train_batch(batch, targets)
+    equivalence = _max_param_diff(faulty, twin)
+    ctx.record(
+        scene="synthetic", engine="clm_sharded", variant="train_failstop_k4",
+        failed_devices=faulty.perf.failed_devices,
+        lost_batches=faulty.perf.lost_batches,
+        recovery_s=faulty.perf.recovery_s,
+        survivors=len(faulty.alive),
+        equivalence_max_diff=equivalence,
+    )
+
+    # -- 2. seeded replay ------------------------------------------------
+    gen_sched = FaultSchedule.generate(
+        seed=11, num_devices=4, num_batches=len(BATCHES),
+        fail_stop_prob=0.15, straggler_prob=0.2, link_fault_prob=0.2,
+    )
+    run_a = _train(scene, init, targets, gen_sched)
+    run_b = _train(scene, init, targets, gen_sched)
+    log_identical = run_a.injector.log_json() == run_b.injector.log_json()
+    params_identical = _max_param_diff(run_a, run_b) == 0.0
+    ctx.record(
+        scene="synthetic", engine="clm_sharded", variant="replay_determinism",
+        fault_events=len(gen_sched.events),
+        fail_stops=gen_sched.fail_stop_count,
+        log_identical=log_identical,
+        params_identical=params_identical,
+    )
+
+    # -- 3. serving under transient render faults -----------------------
+    model = GaussianModel.random(150, extent=1.0, sh_degree=1, seed=4)
+    cams = ring_cameras(views_per_ring=4, radii=(2.2, 5.5, 12.0),
+                        width=32, height_px=24)
+    stream = bursty_stream(cams, SERVE_REQUESTS, rate_rps=600.0,
+                           burst_size=8, seed=2)
+    clean = _serve(model, cams, stream)
+    degraded = _serve(
+        model, cams, stream,
+        fault_injector=RenderFaultInjector(fault_rate=FAULT_RATE, seed=21),
+        resilience=ResilienceConfig(retry_max=2, retry_backoff_s=2e-3),
+    )
+    slo_ratio = (
+        degraded.slo_violation_rate / clean.slo_violation_rate
+        if clean.slo_violation_rate > 0
+        else float("inf")
+    )
+    ctx.record(
+        scene="synthetic", engine="serving", variant="serving_faults",
+        injected_faults=degraded.resilience_stats["injected_faults"],
+        total_retries=degraded.total_retries,
+        failed_requests=degraded.failed_count,
+        slo_rate_fault_free=clean.slo_violation_rate,
+        slo_rate_faulty=degraded.slo_violation_rate,
+        slo_ratio=slo_ratio,
+        breaker_trips=degraded.breaker_trips,
+    )
+
+    # -- 4. overload degradation -----------------------------------------
+    # Everything arrives at once against a small batch size: the backlog
+    # crosses the high watermark immediately and drains through degraded
+    # (coarser-LOD) batches.
+    simultaneous = [
+        RenderRequest(request_id=i, view_id=cams[i % len(cams)].view_id,
+                      camera=cams[i % len(cams)], arrival_s=0.0, slo_s=10.0)
+        for i in range(16)
+    ]
+    overload_cfg = ServingConfig(
+        max_batch=2, queue_capacity=16, lod=LOD, seed=0,
+        resilience=ResilienceConfig(enable_degrade=True,
+                                    degrade_lod_bump=1),
+    )
+    overload = ServingSession(model, overload_cfg).serve(simultaneous)
+    ctx.record(
+        scene="synthetic", engine="serving", variant="serving_degraded",
+        degraded_batches=overload.resilience_stats["degraded_batches"],
+        degraded_fraction=overload.degraded_fraction,
+        slo_rate_degraded=overload.slo_violation_rate,
+    )
+
+    ctx.emit(
+        "Chaos — fault injection across training and serving",
+        format_table(
+            ["check", "value"],
+            [
+                ["fail-stop lost batches", faulty.perf.lost_batches],
+                ["failover max |diff|", equivalence],
+                ["replay log identical", float(log_identical)],
+                ["replay params identical", float(params_identical)],
+                ["injected serving faults",
+                 degraded.resilience_stats["injected_faults"]],
+                ["SLO rate fault-free", clean.slo_violation_rate],
+                ["SLO rate faulty", degraded.slo_violation_rate],
+                ["degraded batches",
+                 overload.resilience_stats["degraded_batches"]],
+            ],
+            floatfmt="{:.3g}",
+        ),
+    )
+    ctx.log_raw("chaos", {
+        "equivalence_max_diff": equivalence,
+        "log_identical": log_identical,
+        "slo_ratio": slo_ratio,
+    })
+    return faulty, equivalence, log_identical, params_identical, \
+        clean, degraded, overload
+
+
+def test_chaos(benchmark, bench_ctx):
+    (faulty, equivalence, log_identical, params_identical, clean,
+     degraded, overload) = benchmark.pedantic(
+        compute, args=(bench_ctx,), rounds=1, iterations=1
+    )
+    # The acceptance bars of the robustness issue.
+    assert faulty.perf.failed_devices == 1
+    assert faulty.perf.lost_batches <= 1  # <= 1 lost batch per fail-stop
+    assert equivalence <= 1e-10
+    assert log_identical and params_identical
+    assert degraded.resilience_stats["injected_faults"] > 0
+    assert clean.slo_violation_rate > 0  # burst overload sheds either way
+    assert degraded.slo_violation_rate < 2.0 * clean.slo_violation_rate
+    assert overload.resilience_stats["degraded_batches"] >= 1
+    assert overload.degraded_fraction > 0.0

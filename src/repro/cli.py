@@ -184,6 +184,18 @@ def cmd_train(args) -> int:
         # --devices implies the sharded engine; plain clm has no device
         # dimension.
         engine = "clm_sharded"
+    fault_schedule = None
+    if args.fail_at is not None:
+        if args.devices < 2:
+            raise SystemExit(
+                "repro train: --fail-at needs --devices >= 2 "
+                "(a fail-stop must leave survivors to recover onto)"
+            )
+        from repro.resilience import FaultEvent, FaultSchedule
+
+        fault_schedule = FaultSchedule(
+            events=(FaultEvent.fail_stop(args.fail_at, args.fail_device),)
+        )
     sess = session(
         scene,
         engine=engine,
@@ -195,6 +207,7 @@ def cmd_train(args) -> int:
             overlap_workers=args.overlap_workers,
             num_devices=args.devices,
             kernel_backend=args.kernel_backend,
+            fault_schedule=fault_schedule,
         ),
         trainer_config=TrainerConfig(
             num_batches=args.batches, batch_size=4,
@@ -237,6 +250,13 @@ def cmd_train(args) -> int:
             f"simulated makespan {perf.sim_makespan_s * 1e3:.1f} ms, "
             f"busy {busy}"
         )
+    if perf.failed_devices:
+        print(
+            f"resilience: {perf.failed_devices} device(s) failed, "
+            f"{perf.lost_batches} batch(es) lost, recovered in "
+            f"{perf.recovery_s * 1e3:.1f} ms onto "
+            f"{len(sess.engine.alive)} survivors"
+        )
     return 0
 
 
@@ -248,6 +268,8 @@ def cmd_serve(args) -> int:
     from repro.scenes.images import make_trainable_scene
     from repro.serving import (
         LodConfig,
+        RenderFaultInjector,
+        ResilienceConfig,
         ServingConfig,
         ServingSession,
         build_stream,
@@ -270,6 +292,15 @@ def cmd_serve(args) -> int:
         drop_expired=args.drop_expired,
         lod=None if args.no_lod else LodConfig(),
         seed=args.seed,
+        fault_injector=(
+            RenderFaultInjector(fault_rate=args.fault_rate,
+                                seed=args.fault_seed)
+            if args.fault_rate > 0 else None
+        ),
+        resilience=(
+            ResilienceConfig(enable_degrade=args.degrade)
+            if args.fault_rate > 0 or args.degrade else None
+        ),
     ))
     # Ring radii scale with the cloud's bounding radius so the near ring
     # exercises full detail and the far ring the LOD-culled path on any
@@ -565,6 +596,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compiled kernel backend for the raster/Adam hot "
                         "loops (see `repro backends`; 'auto' picks the "
                         "fastest available)")
+    p.add_argument("--fail-at", type=int, default=None, metavar="BATCH",
+                   help="inject a fail-stop at this batch index "
+                        "(requires --devices >= 2; the run recovers by "
+                        "re-sharding onto the survivors)")
+    p.add_argument("--fail-device", type=int, default=1, metavar="DEV",
+                   help="device that fail-stops at --fail-at (default 1)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("serve", help="concurrent render-serving demo")
@@ -589,6 +626,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-lod", action="store_true",
                    help="disable level-of-detail culling")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="probability a render attempt faults "
+                        "transiently (0 disables injection; faults are "
+                        "absorbed by retry-with-backoff and a per-view "
+                        "circuit breaker)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the render fault injector")
+    p.add_argument("--degrade", action="store_true",
+                   help="enable queue-watermark degraded mode (coarser "
+                        "LOD under backlog)")
     p.set_defaults(func=cmd_serve)
 
     _add_bench_parser(sub)

@@ -33,7 +33,10 @@ from repro.core.memory_model import (
 )
 from repro.core.trainer import Trainer, TrainerConfig
 from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
     load_model,
+    read_checkpoint,
     restore_into_engine,
     save_checkpoint,
 )
@@ -60,7 +63,10 @@ def __getattr__(name: str):
 __all__ = [
     "save_checkpoint",
     "load_model",
+    "read_checkpoint",
     "restore_into_engine",
+    "CheckpointError",
+    "CheckpointManager",
     "EngineConfig",
     "TimingConfig",
     "CullingIndex",

@@ -8,6 +8,7 @@ from typing import Callable, Optional
 from repro.gaussians.rasterizer import RasterSettings
 from repro.hardware.specs import RTX4090_TESTBED, DeviceTopology, Testbed
 from repro.optim.adam import AdamConfig
+from repro.resilience.faults import FaultSchedule
 
 
 def default_adam_config() -> AdamConfig:
@@ -93,6 +94,14 @@ class EngineConfig:
     num_devices: int = 1
     topology: Optional[DeviceTopology] = None
     work_stealing: bool = True
+    # Fault tolerance (the clm_sharded engine).  ``fault_schedule``
+    # attaches a seeded :class:`repro.resilience.FaultSchedule` the
+    # engine's injector replays batch by batch; with one attached, the
+    # engine keeps an in-memory recovery snapshot refreshed every
+    # ``recovery_snapshot_every`` successful batches (1 bounds the loss
+    # to a single batch per fail-stop — the CI chaos-gate bound).
+    fault_schedule: Optional[FaultSchedule] = None
+    recovery_snapshot_every: int = 1
     # Compiled-kernel backend for the raster/Adam hot loops ("auto",
     # "numpy", "numba", or any registered plugin backend name).
     kernel_backend: str = "auto"

@@ -93,6 +93,15 @@ class BatchResult:
     #: discrete-event makespan and each device's busy compute time.
     sim_makespan_s: float = 0.0
     device_busy_s: Dict[int, float] = field(default_factory=dict)
+    #: Fault-tolerance accounting (zero on fault-free batches): seconds
+    #: spent in elastic recovery (snapshot restore + re-shard +
+    #: re-execution), batches of work lost to fail-stops, devices that
+    #: failed this batch, and link retransmissions charged by the fault
+    #: injector's degraded links.
+    recovery_s: float = 0.0
+    lost_batches: int = 0
+    failed_devices: int = 0
+    link_retries: int = 0
 
 
 @dataclass
@@ -135,6 +144,13 @@ class PerfCounters:
     stolen_microbatches: int = 0
     sim_makespan_s: float = 0.0
     device_busy_s: Dict[int, float] = field(default_factory=dict)
+    #: Fault-tolerance tallies (stay zero on fault-free runs): cumulative
+    #: elastic-recovery seconds, batches lost to fail-stops, devices
+    #: failed, and link retransmissions on degraded PCIe links.
+    recovery_s: float = 0.0
+    lost_batches: int = 0
+    failed_devices: int = 0
+    link_retries: int = 0
 
     @property
     def transfer_bytes(self) -> float:
@@ -165,6 +181,10 @@ class PerfCounters:
         self.halo_bytes += result.halo_bytes
         self.stolen_microbatches += result.stolen_microbatches
         self.sim_makespan_s += result.sim_makespan_s
+        self.recovery_s += result.recovery_s
+        self.lost_batches += result.lost_batches
+        self.failed_devices += result.failed_devices
+        self.link_retries += result.link_retries
         for k, busy in result.device_busy_s.items():
             self.device_busy_s[k] = self.device_busy_s.get(k, 0.0) + busy
 
@@ -333,7 +353,27 @@ class EngineBase(Engine):
         result.overlap_hidden_s = self._step_overlap_hidden_s
         self.batches_trained += 1
         self.perf.observe(result, len(view_ids))
+        # Re-stamp the backend identity from what actually executed: a
+        # backend whose compile() failed mid-run falls back per-op to the
+        # reference (see repro.kernels.compile_with_fallback), and the
+        # perf counters must report the post-fallback truth.
+        self.perf.kernel_backend = self._active_kernel_backend()
         return result
+
+    def _active_kernel_backend(self) -> str:
+        """The backend name the engine's kernels *actually* ran on.
+
+        Defaults to the resolved :attr:`kernel_backend`; when any of the
+        engine's optimizers recorded a per-op fallback (their
+        ``active_kernel_backend`` differs from the resolved name), that
+        post-fallback identity wins — it is what produced the numbers.
+        """
+        for attr in ("adam_critical", "adam_noncritical", "optimizer"):
+            opt = getattr(self, attr, None)
+            active = getattr(opt, "active_kernel_backend", None)
+            if active and active != self.kernel_backend:
+                return active
+        return self.kernel_backend
 
     @abc.abstractmethod
     def _culling_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":

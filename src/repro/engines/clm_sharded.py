@@ -36,6 +36,27 @@ PCIe links), and the resulting makespan and per-device busy seconds ride
 on the :class:`~repro.engines.base.BatchResult` — the scaling numbers the
 ``sharding`` benchmark reports.
 
+Fault tolerance (``EngineConfig.fault_schedule``): the engine threads a
+:class:`repro.resilience.FaultInjector` through every batch.  Transient
+faults (stragglers, lossy links) affect only the simulated schedule;
+**fail-stop** triggers elastic recovery:
+
+1. the batch executes with the doomed device still participating — its
+   work is torn, and the failure is *detected at the batch barrier*;
+2. the engine restores the last good in-memory snapshot (parameters,
+   both optimizers, the RNG stream — see
+   :mod:`repro.resilience.recovery`), discarding the torn batch: with
+   the default ``recovery_snapshot_every=1`` exactly **one batch of
+   work is lost** per fail-stop;
+3. the surviving rows are re-sharded with :func:`spatial_shard` over the
+   K-1 remaining devices (the plan cache is cleared so ordering-RNG
+   draws replay exactly as a fresh restart from the snapshot would);
+4. the same batch re-executes on the survivors and its result is
+   returned, with ``recovery_s`` / ``lost_batches`` stamped — the
+   post-recovery trajectory is bit-identical to a fault-free run
+   restarted from the same snapshot on the surviving device set
+   (pinned by ``tests/resilience/test_recovery.py``).
+
 The engine inherits :meth:`CLMEngine._setup` unchanged, so the resolved
 kernel backend (``EngineConfig.kernel_backend``, see :mod:`repro.kernels`)
 threads through identically: both packed optimizers and every device's
@@ -48,7 +69,8 @@ the fused float64 kernels are backend-parity-pinned by
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -66,6 +88,11 @@ from repro.hardware.specs import (
     DeviceTopology,
     Testbed,
 )
+from repro.resilience.faults import BatchFaultState, FaultInjector
+from repro.resilience.recovery import (
+    capture_engine_state,
+    restore_engine_state,
+)
 from repro.sharding.partition import spatial_shard
 from repro.sharding.pipeline import add_sharded_batch
 
@@ -74,7 +101,8 @@ from repro.sharding.pipeline import add_sharded_batch
     "clm_sharded",
     description="CLM sharded across K simulated devices: spatial row "
     "shards, per-device plans with halo exchange and work stealing, "
-    "per-device utilization from the discrete-event simulator",
+    "per-device utilization from the discrete-event simulator, elastic "
+    "fail-stop recovery under an injected fault schedule",
 )
 class ShardedCLMEngine(CLMEngine):
     """CLM over a :class:`DeviceTopology` of K simulated devices."""
@@ -89,6 +117,9 @@ class ShardedCLMEngine(CLMEngine):
                 RTX4090_TESTBED, max(1, int(cfg.num_devices))
             )
         self.num_devices = self.topology.num_devices
+        #: Topology device ids still alive, in id order.  Shard index k of
+        #: the current assignment executes on device ``alive[k]``.
+        self.alive: List[int] = list(range(self.num_devices))
         # Cost model for the per-batch simulated schedule, built from the
         # topology's (homogeneous) device + host + host-link specs.
         self._costs = KernelCostModel(
@@ -99,17 +130,70 @@ class ShardedCLMEngine(CLMEngine):
                 pcie=self.topology.link(HOST, 0),
             )
         )
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(cfg.fault_schedule)
+            if cfg.fault_schedule is not None
+            else None
+        )
         self._reshard()
+        # Recovery snapshots are only maintained under an injected fault
+        # schedule (they copy params + moments every batch); the elastic
+        # remove_device() path treats the *current* state as the
+        # snapshot when none is kept.
+        self._snapshot = (
+            capture_engine_state(self, batches_trained=0)
+            if self.injector is not None
+            else None
+        )
 
     def _reshard(self) -> None:
-        """(Re)partition rows across devices from the current critical
-        attributes — at setup and after every densify/prune rebuild."""
+        """(Re)partition rows across the *surviving* devices from the
+        current critical attributes — at setup, after every densify/prune
+        rebuild, and after fail-stop recovery."""
         self.assignment = spatial_shard(
             self.gpu_store.positions,
             self.gpu_store.log_scales,
             self.gpu_store.quaternions,
-            self.num_devices,
+            len(self.alive),
         )
+
+    # -- elastic recovery ----------------------------------------------
+    def remove_device(self, device: int) -> None:
+        """Administratively fail ``device``: restore the last good
+        snapshot (the current state when no snapshot is kept), shrink the
+        alive set, and re-shard the rows over the survivors.
+
+        This is the recovery path minus the fault detection — the
+        equivalence tests use it to build the fault-free twin restarted
+        from the same snapshot.
+        """
+        if device not in self.alive:
+            raise ValueError(f"device {device} is not alive")
+        if len(self.alive) == 1:
+            raise RuntimeError("cannot remove the last surviving device")
+        if self._snapshot is not None:
+            restore_engine_state(self, self._snapshot)
+        self.alive.remove(device)
+        self._reshard()
+        # Replaying from the snapshot must consume ordering-RNG draws
+        # exactly like a fresh restart: memoized plans skip the draw, so
+        # the cache restarts cold alongside the restored RNG state.
+        self.planner.cache.clear()
+
+    def _recover(self, failed_devices: Sequence[int]) -> None:
+        """Fail-stop recovery: roll back to the last good snapshot and
+        re-shard over the survivors (assumes a snapshot exists — the
+        injector path always keeps one)."""
+        survivors = [d for d in self.alive if d not in set(failed_devices)]
+        if not survivors:
+            raise RuntimeError(
+                f"all devices failed at batch {self.batches_trained}; "
+                f"no survivors to recover onto"
+            )
+        restore_engine_state(self, self._snapshot)
+        self.alive = survivors
+        self._reshard()
+        self.planner.cache.clear()
 
     # ------------------------------------------------------------------
     def _train_batch(
@@ -118,7 +202,53 @@ class ShardedCLMEngine(CLMEngine):
         targets: Dict[int, np.ndarray],
         position_grad_hook: Optional[PositionGradHook] = None,
     ) -> BatchResult:
-        """One sharded CLM step: plan globally, split, execute per device.
+        """One sharded CLM step under the (optional) fault schedule.
+
+        Fault-free batches go straight through :meth:`_execute_batch`.
+        When the injector reports a fail-stop for this batch, the torn
+        attempt is discarded at the barrier, recovery restores the last
+        snapshot and re-shards the survivors, and the same batch
+        re-executes on them — its result carries the recovery
+        accounting.
+        """
+        state: Optional[BatchFaultState] = None
+        if self.injector is not None:
+            state = self.injector.begin_batch(self.batches_trained)
+        result = self._execute_batch(
+            view_ids, targets, position_grad_hook, state
+        )
+        if state is not None and state.new_failures:
+            # The barrier has retired every device chain of the torn
+            # attempt — this is the detection point.  Discard and recover.
+            t0 = time.perf_counter()
+            lost = max(
+                1,
+                self.batches_trained - self._snapshot.batches_trained + 1,
+            )
+            self._recover(state.new_failures)
+            result = self._execute_batch(
+                view_ids, targets, position_grad_hook, state
+            )
+            result.recovery_s = time.perf_counter() - t0
+            result.lost_batches = lost
+            result.failed_devices = len(state.new_failures)
+        if self.injector is not None:
+            every = max(1, int(self.config.recovery_snapshot_every))
+            if (self.batches_trained + 1) % every == 0:
+                self._snapshot = capture_engine_state(
+                    self, batches_trained=self.batches_trained + 1
+                )
+        return result
+
+    def _execute_batch(
+        self,
+        view_ids: Sequence[int],
+        targets: Dict[int, np.ndarray],
+        position_grad_hook: Optional[PositionGradHook],
+        fault_state: Optional[BatchFaultState] = None,
+    ) -> BatchResult:
+        """One sharded CLM attempt: plan globally, split, execute per
+        device.
 
         Devices execute sequentially in id order (they are simulated — the
         concurrency lives in the discrete-event schedule), so gradient
@@ -193,7 +323,9 @@ class ShardedCLMEngine(CLMEngine):
         self._step_adam_s += stats.task_s
         self._step_overlap_hidden_s += stats.hidden_s
 
-        makespan, device_busy = self._simulate_batch(splan)
+        makespan, device_busy, link_retries = self._simulate_batch(
+            splan, fault_state
+        )
         return BatchResult(
             loss=total_loss,
             per_view_loss=per_view_loss,
@@ -210,30 +342,57 @@ class ShardedCLMEngine(CLMEngine):
             stolen_microbatches=splan.num_steals,
             sim_makespan_s=makespan,
             device_busy_s=device_busy,
+            link_retries=link_retries,
         )
 
-    def _simulate_batch(self, splan) -> "tuple[float, Dict[int, float]]":
+    def _simulate_batch(
+        self,
+        splan,
+        fault_state: Optional[BatchFaultState] = None,
+    ) -> "tuple[float, Dict[int, float], int]":
         """Schedule this batch's per-device DAG on the topology and read
-        off makespan + per-device compute busy seconds."""
+        off makespan + per-device compute busy seconds (keyed by real
+        device id) + link retransmissions charged by degraded links."""
         sim = Simulator(topology=self.topology)
+        costed = self.topology
+        compute_scale = None
+        retries_before = 0
+        if fault_state is not None and self.injector is not None:
+            costed = self.injector.degraded_topology(
+                self.topology, fault_state
+            )
+            compute_scale = fault_state.slowdowns or None
+            retries_before = self.injector.stats.link_retries
         add_sharded_batch(
             sim,
             self._costs,
             splan,
-            self.topology,
+            costed,
             count_scale=1.0,
             num_pixels=self._num_pixels,
             total_gaussians=float(self.num_gaussians),
+            device_ids=self.alive,
+            compute_scale=compute_scale,
         )
         schedule = sim.run()
         util = schedule.utilization(self.topology.compute_resources())
         busy = {
-            k: util.busy_s.get(self.topology.compute_resource(k), 0.0)
-            for k in range(self.num_devices)
+            dev: util.busy_s.get(self.topology.compute_resource(dev), 0.0)
+            for dev in self.alive
         }
-        return schedule.makespan, busy
+        link_retries = (
+            self.injector.stats.link_retries - retries_before
+            if self.injector is not None
+            else 0
+        )
+        return schedule.makespan, busy, link_retries
 
     # ------------------------------------------------------------------
     def rebuild(self, model: GaussianModel, keep_rows: np.ndarray) -> None:
         super().rebuild(model, keep_rows)
         self._reshard()
+        if self._snapshot is not None:
+            # Row counts changed; the old snapshot is unrestorable.
+            self._snapshot = capture_engine_state(
+                self, batches_trained=self.batches_trained
+            )

@@ -335,8 +335,26 @@ def compile_with_fallback(
     capability gate: a JIT backend that cannot execute one particular
     layout (say, float32 blend state) hands exactly that op back to the
     NumPy reference while keeping every op it *can* run.
+
+    Compilation *failures* degrade the same way: a backend that claims
+    support but raises from ``compile(spec)`` mid-run (a JIT toolchain
+    breaking under it, a driver fault) hands the op to the reference with
+    a :class:`RuntimeWarning` instead of killing training — the returned
+    backend identity records the fallback so callers can stamp the truth
+    into their perf counters.  Only a failing *reference* compile raises.
     """
     if backend.available() and backend.supports(spec):
-        return backend.compile(spec), backend
+        try:
+            return backend.compile(spec), backend
+        except Exception as exc:
+            if backend.name == REFERENCE_BACKEND:
+                raise
+            warnings.warn(
+                f"kernel backend '{backend.name}' failed to compile "
+                f"'{spec.op}' ({exc!r}); falling back to "
+                f"'{REFERENCE_BACKEND}' for this op",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     reference = get_backend(REFERENCE_BACKEND)
     return reference.compile(spec), reference

@@ -1,0 +1,49 @@
+"""Fault injection and elastic recovery (ROADMAP robustness track).
+
+Two halves:
+
+- :mod:`repro.resilience.faults` — a seeded, schedule-replayable fault
+  injector layered on :class:`repro.hardware.specs.DeviceTopology` and the
+  discrete-event simulator: device fail-stop at a chosen batch, transient
+  straggler slowdowns on ``gpu{k}.compute``, and lossy/slow PCIe links
+  whose retry + exponential-backoff cost rides ``transfer_time``.
+- :mod:`repro.resilience.recovery` — transient engine-state snapshots
+  (parameters, both optimizers' moments, the RNG stream) that the sharded
+  engine restores on fail-stop before re-sharding over the survivors.
+
+The serving-side counterpart (render retries, circuit breaker, degraded
+LOD mode) lives in :mod:`repro.serving.resilience` next to the serving
+loop it instruments.
+"""
+
+from repro.resilience.faults import (
+    FAIL_STOP,
+    LINK_FAULT,
+    STRAGGLER,
+    BatchFaultState,
+    DegradedTopology,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultStats,
+)
+from repro.resilience.recovery import (
+    EngineSnapshot,
+    capture_engine_state,
+    restore_engine_state,
+)
+
+__all__ = [
+    "FAIL_STOP",
+    "STRAGGLER",
+    "LINK_FAULT",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "FaultStats",
+    "BatchFaultState",
+    "DegradedTopology",
+    "EngineSnapshot",
+    "capture_engine_state",
+    "restore_engine_state",
+]

@@ -13,6 +13,16 @@ Execution model (§4.2.2 made literal):
   every submitted task finished and re-raises the first worker exception
   (wrapped in :class:`WorkerError`) if any task crashed.
 
+Fail-fast on worker crash: once any task has errored, later ``submit()``
+calls and already-queued tasks are *cancelled* (counted in
+``ExecutorStats.cancelled``) instead of executed.  Because callers write
+through the submitted tasks into shared parameter/optimizer arrays, a
+batch whose task ``j`` crashed must not let tasks ``j+1..`` keep
+mutating state behind the imminent :class:`WorkerError` — the barrier
+then re-raises with every store exactly as the completed tasks left it,
+so the engine's recovery path restores from a consistent boundary.  The
+error (and the cancelling behaviour) clears when ``barrier()`` re-raises.
+
 Why threads work here: the tasks are NumPy gather/update/scatter kernels,
 which release the GIL for the bulk of their runtime, so the chunk update
 genuinely executes while the training thread is inside the rasterizer's
@@ -69,6 +79,9 @@ class ExecutorStats:
     #: submitting thread's other work: ``max(0, busy_span_s - blocked_s)``
     #: with workers, 0 inline.
     hidden_s: float
+    #: Tasks cancelled (never executed) because an earlier task in the
+    #: interval crashed — the executor's fail-fast drain.
+    cancelled: int = 0
 
 
 class OverlapExecutor:
@@ -98,6 +111,7 @@ class OverlapExecutor:
         self._tasks = 0
         self._task_s = 0.0
         self._blocked_s = 0.0
+        self._cancelled = 0
         # Busy-span bookkeeping: count of currently-executing tasks and
         # the instant the pool last transitioned idle -> busy.
         self._running = 0
@@ -123,6 +137,9 @@ class OverlapExecutor:
         if self._closed:
             raise RuntimeError("submit() on a closed OverlapExecutor")
         if self.workers == 0:
+            if self._errors:  # fail-fast: don't mutate past a crash
+                self._cancelled += 1
+                return
             start = time.perf_counter()
             try:
                 fn(*args, **kwargs)
@@ -135,15 +152,22 @@ class OverlapExecutor:
                 self._tasks += 1
             return
         with self._cond:
+            if self._errors:  # fail-fast: don't mutate past a crash
+                self._cancelled += 1
+                return
             if len(self._queue) >= self.queue_depth:
                 start = time.perf_counter()
                 self._cond.wait_for(
                     lambda: len(self._queue) < self.queue_depth
                     or self._closed
+                    or bool(self._errors)
                 )
                 self._blocked_s += time.perf_counter() - start
             if self._closed:
                 raise RuntimeError("submit() on a closed OverlapExecutor")
+            if self._errors:
+                self._cancelled += 1
+                return
             self._queue.append((fn, args, kwargs))
             self._pending += 1
             self._cond.notify_all()
@@ -182,12 +206,21 @@ class OverlapExecutor:
                     if self.workers > 0
                     else 0.0
                 ),
+                cancelled=self._cancelled,
             )
             self._tasks = 0
             self._task_s = 0.0
             self._busy_span_s = 0.0
             self._blocked_s = 0.0
+            self._cancelled = 0
         return stats
+
+    @property
+    def failed(self) -> bool:
+        """Whether a not-yet-re-raised task error is pending (after which
+        new submissions cancel until :meth:`barrier` surfaces it)."""
+        with self._lock:
+            return bool(self._errors)
 
     # -- the worker side -------------------------------------------------
     def _worker_loop(self) -> None:
@@ -199,6 +232,11 @@ class OverlapExecutor:
                         return
                     continue
                 fn, args, kwargs = self._queue.popleft()
+                if self._errors:  # drain: cancel work queued behind a crash
+                    self._cancelled += 1
+                    self._pending -= 1
+                    self._cond.notify_all()
+                    continue
                 if self._running == 0:
                     self._busy_since = time.perf_counter()
                 self._running += 1

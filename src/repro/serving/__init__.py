@@ -35,6 +35,12 @@ from repro.serving.requests import (
     ring_cameras,
     trajectory_stream,
 )
+from repro.serving.resilience import (
+    CircuitBreaker,
+    DegradationController,
+    RenderFaultInjector,
+    ResilienceConfig,
+)
 from repro.serving.session import (
     ServingConfig,
     ServingSession,
@@ -43,12 +49,16 @@ from repro.serving.session import (
 
 __all__ = [
     "BatcherCounters",
+    "CircuitBreaker",
+    "DegradationController",
     "LodConfig",
     "LodSelector",
     "QueueStats",
+    "RenderFaultInjector",
     "RenderRequest",
     "RequestQueue",
     "RequestRecord",
+    "ResilienceConfig",
     "STREAMS",
     "ServingBatcher",
     "ServingConfig",

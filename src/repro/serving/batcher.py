@@ -28,8 +28,13 @@ import numpy as np
 from repro.gaussians.camera import Camera
 from repro.planning.planner import BatchPlanner
 from repro.serving.lod import LodSelector
-from repro.serving.metrics import STATUS_DONE, RequestRecord
+from repro.serving.metrics import STATUS_DONE, STATUS_FAILED, RequestRecord
 from repro.serving.requests import RenderRequest
+from repro.serving.resilience import (
+    CircuitBreaker,
+    RenderFaultInjector,
+    ResilienceConfig,
+)
 
 #: The forward-render contract shared with ``EngineBase``.
 ForwardRenderFn = Callable[[Camera, object], object]
@@ -62,23 +67,35 @@ class ServingBatcher:
         render_fn: ForwardRenderFn,
         cull_fn: Callable[[Camera], np.ndarray],
         lod: Optional[LodSelector] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_injector: Optional[RenderFaultInjector] = None,
     ) -> None:
         self.model = model
         self.planner = planner
         self.render_fn = render_fn
         self.cull_fn = cull_fn
         self.lod = lod
+        self.resilience = resilience or ResilienceConfig()
+        self.fault_injector = fault_injector
+        self.breaker = CircuitBreaker(
+            self.resilience.breaker_threshold,
+            self.resilience.breaker_cooldown_s,
+        )
         self.counters = BatcherCounters()
 
     # ------------------------------------------------------------------
-    def plan_requests(self, requests: Sequence[RenderRequest]):
+    def plan_requests(
+        self, requests: Sequence[RenderRequest], lod_bump: int = 0
+    ):
         """Coalesce ``requests`` by view and plan the distinct views.
 
         Returns ``(plan, groups, levels)`` where ``groups`` maps view id
         to its request list and ``levels`` maps view id to its LOD level.
         Groups are keyed and planned in sorted view order, so the plan
         fingerprint depends only on batch *membership*, not arrival
-        interleaving — identical compositions hit the cache.
+        interleaving — identical compositions hit the cache.  A positive
+        ``lod_bump`` (overload degradation) coarsens every view by that
+        many levels, clamped to the coarsest available.
         """
         groups: Dict[int, List[RenderRequest]] = {}
         for request in sorted(requests, key=lambda r: r.view_id):
@@ -89,6 +106,8 @@ class ServingBatcher:
         sets: List[np.ndarray] = []
         for view_id, camera in zip(view_ids, cameras):
             level = self.lod.level_for(camera) if self.lod else 0
+            if lod_bump and self.lod is not None:
+                level = min(level + lod_bump, self.lod.num_levels - 1)
             levels[view_id] = level
             in_frustum = self.cull_fn(camera)
             if self.lod is not None:
@@ -107,6 +126,7 @@ class ServingBatcher:
         requests: Sequence[RenderRequest],
         start_s: float,
         batch_id: int,
+        lod_bump: int = 0,
     ) -> Tuple[List[RequestRecord], float]:
         """Serve one batch; returns ``(records, completion_clock)``.
 
@@ -114,21 +134,69 @@ class ServingBatcher:
         seconds; each request completes when its view's render step does,
         so later-ordered steps accumulate more latency — which is why the
         planner's request ordering shows up in the tail percentiles.
+
+        Fault handling per step (see :mod:`repro.serving.resilience`):
+        an open circuit breaker fast-fails the view's requests without a
+        render; injected transient faults are retried with exponential
+        backoff charged to the clock; exhausted retries fail the group
+        and feed the breaker.
         """
         t0 = time.perf_counter()
-        plan, groups, levels = self.plan_requests(requests)
+        plan, groups, levels = self.plan_requests(requests, lod_bump)
         plan_s = time.perf_counter() - t0
         clock = start_s + plan_s
+
+        def fail_group(group, level, retries, why_clock):
+            for request in group:
+                records.append(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        view_id=request.view_id,
+                        status=STATUS_FAILED,
+                        arrival_s=request.arrival_s,
+                        slo_s=request.slo_s,
+                        done_s=why_clock,
+                        queue_s=start_s - request.arrival_s,
+                        plan_s=plan_s,
+                        batch_id=batch_id,
+                        lod_level=level,
+                        retries=retries,
+                        degraded=bool(lod_bump),
+                    )
+                )
 
         records: List[RequestRecord] = []
         for step in plan.steps:
             group = groups[step.view_id]
-            t1 = time.perf_counter()
-            sub = self.model.gather(step.working_set)
-            result = self.render_fn(group[0].camera, sub)
-            render_s = time.perf_counter() - t1
-            clock += render_s
             level = levels[step.view_id]
+            if not self.breaker.allow(step.view_id, clock):
+                fail_group(group, level, 0, clock)
+                continue
+            attempts = 1 + self.resilience.retry_max
+            result = None
+            render_s = 0.0
+            retries = 0
+            for attempt in range(attempts):
+                if self.fault_injector is not None and (
+                    self.fault_injector.attempt_fails(step.view_id, attempt)
+                ):
+                    # Failed attempt: charge its backoff to the clock and
+                    # (maybe) go around again.
+                    clock += self.resilience.retry_backoff_s * 2**attempt
+                    retries = attempt + 1
+                    continue
+                t1 = time.perf_counter()
+                sub = self.model.gather(step.working_set)
+                result = self.render_fn(group[0].camera, sub)
+                render_s = time.perf_counter() - t1
+                clock += render_s
+                retries = attempt
+                break
+            if result is None:  # retries exhausted
+                self.breaker.record_failure(step.view_id, clock)
+                fail_group(group, level, retries, clock)
+                continue
+            self.breaker.record_success(step.view_id)
             self.counters.renders += 1
             self.counters.lod_level_renders[level] = (
                 self.counters.lod_level_renders.get(level, 0) + 1
@@ -149,6 +217,8 @@ class ServingBatcher:
                         lod_level=level,
                         working_set=int(step.working_set.size),
                         num_rendered=result.num_rendered,
+                        retries=retries,
+                        degraded=bool(lod_bump),
                     )
                 )
         self.counters.batches += 1

@@ -19,6 +19,9 @@ import numpy as np
 STATUS_DONE = "done"
 STATUS_SHED = "shed"
 STATUS_EXPIRED = "expired"
+#: Render faults exhausted their retries, or the view's circuit breaker
+#: fast-failed the request (see :mod:`repro.serving.resilience`).
+STATUS_FAILED = "failed"
 
 
 @dataclass
@@ -45,6 +48,10 @@ class RequestRecord:
     lod_level: int = 0
     working_set: int = 0
     num_rendered: int = 0
+    #: Failed render attempts retried before this outcome (done or failed).
+    retries: int = 0
+    #: Served under overload degradation (coarser-than-distance LOD).
+    degraded: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -76,6 +83,9 @@ class ServingReport:
     sim_time_s: float
     wall_time_s: float
     lod_subset_sizes: Dict[int, int] = field(default_factory=dict)
+    #: Fault-handling counters from :mod:`repro.serving.resilience`
+    #: (injected faults, breaker trips/fast-fails, degraded batches).
+    resilience_stats: Dict[str, float] = field(default_factory=dict)
 
     # -- request populations --------------------------------------------
     @property
@@ -93,6 +103,29 @@ class ServingReport:
     @property
     def expired_count(self) -> int:
         return sum(1 for r in self.records if r.status == STATUS_EXPIRED)
+
+    @property
+    def failed_count(self) -> int:
+        """Requests lost to render faults (retries exhausted or breaker
+        fast-fail) — SLO violations like any other non-served request."""
+        return sum(1 for r in self.records if r.status == STATUS_FAILED)
+
+    @property
+    def total_retries(self) -> int:
+        """Failed render attempts absorbed by retry across the run."""
+        return sum(r.retries for r in self.records)
+
+    @property
+    def breaker_trips(self) -> int:
+        return int(self.resilience_stats.get("breaker_trips", 0))
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of *served* requests rendered in degraded mode."""
+        done = self.completed
+        if not done:
+            return 0.0
+        return sum(r.degraded for r in done) / len(done)
 
     # -- latency percentiles --------------------------------------------
     def latencies_s(self) -> np.ndarray:
@@ -154,7 +187,7 @@ class ServingReport:
     # -- presentation ----------------------------------------------------
     def summary_rows(self) -> List[list]:
         """``[metric, value]`` rows for ``format_table`` (CLI / examples)."""
-        return [
+        rows = [
             ["requests served", float(len(self.completed))],
             ["requests shed", float(self.shed_count)],
             ["requests expired", float(self.expired_count)],
@@ -166,3 +199,13 @@ class ServingReport:
             ["plan-cache hit rate %", 100.0 * self.plan_cache_hit_rate],
             ["mean composited Gaussians", self.mean_composited],
         ]
+        if self.failed_count or self.total_retries or self.resilience_stats:
+            rows.extend(
+                [
+                    ["requests failed", float(self.failed_count)],
+                    ["render retries", float(self.total_retries)],
+                    ["breaker trips", float(self.breaker_trips)],
+                    ["degraded served %", 100.0 * self.degraded_fraction],
+                ]
+            )
+        return rows

@@ -45,6 +45,11 @@ from repro.serving.metrics import (
 )
 from repro.serving.queueing import RequestQueue
 from repro.serving.requests import RenderRequest
+from repro.serving.resilience import (
+    DegradationController,
+    RenderFaultInjector,
+    ResilienceConfig,
+)
 
 
 @dataclass
@@ -57,7 +62,10 @@ class ServingConfig:
     far harder than training (every batch is forward-only and recurring),
     so the default is generous compared to the trainer's 8.  ``lod=None``
     disables level-of-detail culling; ``drop_expired`` drops requests
-    whose deadline already passed at dispatch time.
+    whose deadline already passed at dispatch time.  ``resilience``
+    configures retry/breaker/degraded-mode fault handling (see
+    :mod:`repro.serving.resilience`); ``fault_injector`` plugs in a
+    seeded transient-render-fault source for chaos runs.
     """
 
     max_batch: int = 4
@@ -67,6 +75,8 @@ class ServingConfig:
     drop_expired: bool = False
     lod: Optional[LodConfig] = LodConfig()
     seed: int = 0
+    resilience: Optional[ResilienceConfig] = None
+    fault_injector: Optional[RenderFaultInjector] = None
 
 
 def forward_only_settings(settings: RasterSettings) -> RasterSettings:
@@ -127,6 +137,8 @@ class ServingSession:
             render_fn,
             cull_fn=self.grid.query,
             lod=self.lod,
+            resilience=self.config.resilience,
+            fault_injector=self.config.fault_injector,
         )
 
     @classmethod
@@ -157,6 +169,7 @@ class ServingSession:
         first_arrival = clock
         i = 0
         batch_id = 0
+        controller = DegradationController(self.batcher.resilience)
         while i < len(pending) or len(queue):
             if len(queue) == 0:
                 # Idle server: jump to the next arrival.
@@ -192,11 +205,25 @@ class ServingSession:
                 )
             if not batch:
                 continue
-            batch_records, clock = self.batcher.execute(batch, clock, batch_id)
+            # Degradation reacts to the *post-dispatch* backlog: what is
+            # still queued after this batch was carved off.
+            lod_bump = controller.update(len(queue), cfg.queue_capacity)
+            if lod_bump:
+                controller.degraded_batches += 1
+            batch_records, clock = self.batcher.execute(
+                batch, clock, batch_id, lod_bump=lod_bump
+            )
             records.extend(batch_records)
             batch_id += 1
 
         records.sort(key=lambda r: r.request_id)
+        injector = self.config.fault_injector
+        resilience_stats = {
+            "injected_faults": injector.injected if injector else 0,
+            "breaker_trips": self.batcher.breaker.stats.trips,
+            "breaker_fast_fails": self.batcher.breaker.stats.fast_fails,
+            "degraded_batches": controller.degraded_batches,
+        }
         return ServingReport(
             records=records,
             planner_stats=self.planner.stats(),
@@ -206,6 +233,7 @@ class ServingSession:
             lod_subset_sizes=(
                 self.lod.subset_sizes() if self.lod is not None else {}
             ),
+            resilience_stats=resilience_stats,
         )
 
     # ------------------------------------------------------------------

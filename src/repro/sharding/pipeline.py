@@ -22,7 +22,7 @@ the cross-device synchronization point of the batch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -52,15 +52,23 @@ def _halo_transfer_time(
     device: int,
     count_scale: float,
     inbound: bool,
+    device_ids: Sequence[int],
 ) -> float:
-    """Serialized link time of one halo direction for ``device``."""
+    """Serialized link time of one halo direction for shard ``device``.
+
+    ``device_ids`` maps shard index -> topology device id, so surviving
+    shards cost their exchange on the links they actually occupy after an
+    elastic re-shard (shard ids stay dense, device ids need not).
+    """
     total = 0.0
     for peer, count in enumerate(peer_counts):
         if peer == device or count == 0:
             continue
         num_bytes = attributes.critical_bytes(float(count) * count_scale)
         src, dst = (peer, device) if inbound else (device, peer)
-        total += topology.transfer_time(src, dst, num_bytes, scattered=True)
+        total += topology.transfer_time(
+            device_ids[src], device_ids[dst], num_bytes, scattered=True
+        )
     return total
 
 
@@ -74,14 +82,32 @@ def add_sharded_batch(
     total_gaussians: float,
     deps: Sequence[int] = (),
     batch_tag: str = "",
+    device_ids: Optional[Sequence[int]] = None,
+    compute_scale: Optional[Mapping[int, float]] = None,
 ) -> ShardedBatchEndpoints:
     """Add one sharded CLM batch to ``sim``, task-for-step from the
-    per-device plans of ``splan``."""
-    if topology.num_devices < splan.num_devices:
+    per-device plans of ``splan``.
+
+    ``device_ids`` maps shard index -> topology device id (identity by
+    default); after a fail-stop the surviving shards stay dense while the
+    device ids they run on need not be.  ``compute_scale`` applies a
+    per-*device-id* slowdown factor (>= 1) to every task on that device's
+    compute stream — the fault injector's straggler model.
+    """
+    if device_ids is None:
+        device_ids = list(range(splan.num_devices))
+    if len(device_ids) < splan.num_devices:
         raise ValueError(
-            f"topology has {topology.num_devices} devices < plan's "
-            f"{splan.num_devices}"
+            f"{len(device_ids)} device ids < plan's {splan.num_devices} "
+            f"shards"
         )
+    for dev in device_ids:
+        if not 0 <= dev < topology.num_devices:
+            raise ValueError(
+                f"device id {dev} out of range for topology "
+                f"'{topology.name}' ({topology.num_devices} devices)"
+            )
+    compute_scale = compute_scale or {}
     owner = splan.assignment.owner
     k_devices = splan.num_devices
 
@@ -110,14 +136,16 @@ def add_sharded_batch(
     for k, plan in enumerate(splan.device_plans):
         if not plan.steps:
             continue
-        compute_res = topology.compute_resource(k)
-        comm_res = topology.comm_resource(k)
+        dev = device_ids[k]
+        scale = max(1.0, float(compute_scale.get(dev, 1.0)))
+        compute_res = topology.compute_resource(dev)
+        comm_res = topology.comm_resource(dev)
         bw = costs.testbed.gpu.dram_bandwidth
 
         cull = sim.add(
             f"CULL{batch_tag}.d{k}",
             compute_res,
-            len(plan.steps) * costs.cull_time(total_gaussians),
+            len(plan.steps) * costs.cull_time(total_gaussians) * scale,
             deps=deps,
             kind="cull",
         )
@@ -131,7 +159,8 @@ def add_sharded_batch(
                 f"HALO_IN{batch_tag}.d{k}",
                 comm_res,
                 _halo_transfer_time(
-                    topology, in_counts, k, count_scale, inbound=True
+                    topology, in_counts, k, count_scale, inbound=True,
+                    device_ids=device_ids,
                 ),
                 deps=[sched, cull],
                 priority=LOAD_PRIORITY,
@@ -170,8 +199,8 @@ def add_sharded_batch(
                 fwd_deps.append(halo_in)
             if prev_bwd is not None:
                 fwd_deps.append(prev_bwd)
-            fwd_time = costs.forward_time(n_work, num_pixels)
-            bwd_time = costs.backward_time(n_work, num_pixels)
+            fwd_time = costs.forward_time(n_work, num_pixels) * scale
+            bwd_time = costs.backward_time(n_work, num_pixels) * scale
             fwd = sim.add(
                 f"FWD{batch_tag}.d{k}.{i}",
                 compute_res,
@@ -211,7 +240,8 @@ def add_sharded_batch(
                 f"HALO_OUT{batch_tag}.d{k}",
                 comm_res,
                 _halo_transfer_time(
-                    topology, out_counts[k], k, count_scale, inbound=False
+                    topology, out_counts[k], k, count_scale, inbound=False,
+                    device_ids=device_ids,
                 ),
                 deps=[bwds[-1]],
                 priority=STORE_PRIORITY,
@@ -239,17 +269,19 @@ def add_sharded_batch(
         ]
         bwds = state["bwds"]
         stores = state["stores"]
+        dev = device_ids[k]
+        scale = max(1.0, float(compute_scale.get(dev, 1.0)))
         n_owned = float(splan.adam_rows[k].size) * count_scale
         gadam = sim.add(
             f"GADAM{batch_tag}.d{k}",
-            topology.compute_resource(k),
-            costs.gpu_adam_time(n_owned),
+            topology.compute_resource(dev),
+            costs.gpu_adam_time(n_owned) * scale,
             deps=[bwds[-1]] + grad_deps,
             kind="gpu_adam",
         )
         adam = sim.add(
             f"ADAM{batch_tag}.d{k}",
-            topology.adam_resource(k),
+            topology.adam_resource(dev),
             costs.cpu_adam_sparse_time(n_owned),
             deps=[stores[-1]] + grad_deps,
             kind="adam",

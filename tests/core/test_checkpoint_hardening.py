@@ -1,0 +1,250 @@
+"""Hardened checkpoints: atomicity, checksums, generations, fallback.
+
+Every way a checkpoint can rot on disk — truncation, garbage bytes,
+flipped array content, missing arrays, bad metadata — must surface as a
+:class:`CheckpointError` naming the path (and generation, when known),
+and the :class:`CheckpointManager` must fall back to the newest
+generation that still verifies.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    load_model,
+    read_checkpoint,
+    restore_into_engine,
+    save_checkpoint,
+)
+from repro.core.config import EngineConfig
+from repro.engines import CLMEngine
+from repro.gaussians.model import GaussianModel
+
+
+@pytest.fixture()
+def engine(trainable_scene):
+    init = GaussianModel.from_point_cloud(
+        trainable_scene.init_points, colors=trainable_scene.init_colors,
+        sh_degree=1, seed=0,
+    )
+    targets = {
+        c.view_id: img
+        for c, img in zip(trainable_scene.cameras, trainable_scene.images)
+    }
+    eng = CLMEngine(init, trainable_scene.cameras, EngineConfig(batch_size=4))
+    eng.train_batch([0, 1, 2, 3], targets)
+    return eng
+
+
+def _rewrite(path, arrays, meta):
+    """Re-pack a checkpoint with tampered arrays/metadata."""
+    arrays = dict(arrays)
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+# -- load failure modes --------------------------------------------------
+def test_truncated_file_raises_checkpoint_error(tmp_path, engine):
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.truncate(size // 2)
+    with pytest.raises(CheckpointError, match="ckpt.npz") as err:
+        load_model(path, generation=7)
+    assert err.value.path == path
+    assert err.value.generation == 7
+    assert "generation=7" in str(err.value)
+
+
+def test_garbage_bytes_raise_checkpoint_error(tmp_path):
+    path = str(tmp_path / "junk.npz")
+    with open(path, "wb") as fh:
+        fh.write(b"this was never a checkpoint" * 100)
+    with pytest.raises(CheckpointError, match="junk.npz"):
+        read_checkpoint(path)
+
+
+def test_flipped_array_bytes_fail_checksum(tmp_path, engine):
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    arrays, meta = read_checkpoint(path)
+    arrays["model.positions"] = arrays["model.positions"] + 1e-3
+    _rewrite(path, arrays, meta)  # stale checksums in meta
+    with pytest.raises(CheckpointError, match="checksum mismatch"):
+        read_checkpoint(path)
+
+
+def test_missing_array_raises(tmp_path, engine):
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    arrays, meta = read_checkpoint(path)
+    del arrays["model.sh"]
+    _rewrite(path, arrays, meta)
+    with pytest.raises(CheckpointError, match="model.sh"):
+        read_checkpoint(path)
+
+
+def test_unsupported_version_raises(tmp_path, engine):
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    arrays, meta = read_checkpoint(path)
+    meta["version"] = 99
+    _rewrite(path, arrays, meta)
+    with pytest.raises(CheckpointError, match="version"):
+        read_checkpoint(path)
+
+
+def test_corrupt_metadata_raises(tmp_path, engine):
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    arrays, _ = read_checkpoint(path)
+    arrays["meta"] = np.frombuffer(b"{not json", dtype=np.uint8)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    with pytest.raises(CheckpointError, match="metadata"):
+        read_checkpoint(path)
+
+
+def test_v1_checkpoint_without_checksums_still_loads(tmp_path, engine):
+    """Version-1 checkpoints (same per-name layout, no checksums) load,
+    and restore optimizer state bit-exactly."""
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    arrays, meta = read_checkpoint(path)
+    meta["version"] = 1
+    del meta["checksums"]
+    _rewrite(path, arrays, meta)
+    model, loaded_meta = load_model(path)
+    assert loaded_meta["version"] == 1
+    np.testing.assert_array_equal(
+        model.positions, engine.snapshot_model().positions
+    )
+    fresh = CLMEngine(model, list(engine.cameras.values()), EngineConfig(batch_size=4))
+    restore_into_engine(path, fresh)
+    np.testing.assert_array_equal(
+        fresh.adam_noncritical.steps, engine.adam_noncritical.steps
+    )
+
+
+def test_missing_optimizer_arrays_wrapped(tmp_path, engine):
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    arrays, meta = read_checkpoint(path)
+    drop = [k for k in arrays if k.startswith("adam_critical.m")]
+    for k in drop:
+        del arrays[k]
+        del meta["checksums"][k]
+    _rewrite(path, arrays, meta)
+    fresh = CLMEngine(
+        load_model(path)[0], list(engine.cameras.values()), EngineConfig(batch_size=4)
+    )
+    with pytest.raises(CheckpointError, match="optimizer array"):
+        restore_into_engine(path, fresh)
+
+
+# -- atomic publish ------------------------------------------------------
+def test_save_leaves_no_temp_file(tmp_path, engine):
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine)
+    assert os.listdir(tmp_path) == ["ckpt.npz"]
+    read_checkpoint(path)  # and the published file verifies
+
+
+def test_failed_save_preserves_previous_checkpoint(tmp_path, engine,
+                                                   monkeypatch):
+    """A crash mid-write must leave the old checkpoint intact under the
+    real name (and clean up its temp file)."""
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, engine, batches_trained=1)
+
+    def boom(fh, **arrays):
+        fh.write(b"partial")
+        raise OSError("disk full")
+
+    monkeypatch.setattr(np, "savez", boom)
+    with pytest.raises(OSError, match="disk full"):
+        save_checkpoint(path, engine, batches_trained=2)
+    monkeypatch.undo()
+    assert os.listdir(tmp_path) == ["ckpt.npz"]
+    _, meta = read_checkpoint(path)
+    assert meta["batches_trained"] == 1  # the old generation survived
+
+
+# -- retained generations & fallback ------------------------------------
+def _stomp(path):
+    """Corrupt a checkpoint in a way the zip layer or checksums catch."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.seek(size // 2)
+        fh.write(b"\x00" * 64)
+
+
+def test_manager_numbers_and_prunes_generations(tmp_path, engine):
+    mgr = CheckpointManager(str(tmp_path / "ckpts"), keep=2)
+    paths = [mgr.save(engine, batches_trained=i) for i in range(4)]
+    assert mgr.generations() == [2, 3]
+    assert not os.path.exists(paths[0]) and not os.path.exists(paths[1])
+    assert paths[3].endswith("ckpt-000003.npz")
+    model, meta, path = mgr.load_latest_good()
+    assert meta["generation"] == 3
+    assert meta["batches_trained"] == 3
+    assert path == paths[3]
+
+
+def test_manager_falls_back_past_corrupt_tip(tmp_path, engine):
+    mgr = CheckpointManager(str(tmp_path / "ckpts"), keep=3)
+    for i in range(3):
+        mgr.save(engine, batches_trained=i)
+    _stomp(mgr.path_for(2))
+    with pytest.warns(RuntimeWarning, match="generation 2"):
+        model, meta, path = mgr.load_latest_good()
+    assert meta["generation"] == 1
+    assert path == mgr.path_for(1)
+
+
+def test_manager_restore_latest_good_falls_back(tmp_path, engine):
+    mgr = CheckpointManager(str(tmp_path / "ckpts"), keep=2)
+    mgr.save(engine, batches_trained=5)
+    mgr.save(engine, batches_trained=6)
+    _stomp(mgr.path_for(1))
+    fresh = CLMEngine(
+        engine.snapshot_model(), list(engine.cameras.values()), EngineConfig(batch_size=4)
+    )
+    with pytest.warns(RuntimeWarning):
+        meta = mgr.restore_latest_good(fresh)
+    assert meta["batches_trained"] == 5
+    np.testing.assert_array_equal(
+        fresh.adam_noncritical.steps, engine.adam_noncritical.steps
+    )
+
+
+def test_manager_all_generations_bad_raises(tmp_path, engine):
+    mgr = CheckpointManager(str(tmp_path / "ckpts"), keep=2)
+    mgr.save(engine)
+    mgr.save(engine)
+    _stomp(mgr.path_for(0))
+    _stomp(mgr.path_for(1))
+    with pytest.warns(RuntimeWarning):
+        with pytest.raises(CheckpointError, match="no loadable") as err:
+            mgr.load_latest_good()
+    assert err.value.path == str(tmp_path / "ckpts")
+
+
+def test_manager_empty_directory_raises(tmp_path):
+    mgr = CheckpointManager(str(tmp_path / "ckpts"))
+    with pytest.raises(CheckpointError, match="no checkpoint generations"):
+        mgr.load_latest_good()
+
+
+def test_manager_rejects_bad_keep(tmp_path):
+    with pytest.raises(ValueError, match="keep"):
+        CheckpointManager(str(tmp_path / "ckpts"), keep=0)

@@ -1,0 +1,247 @@
+"""Elastic recovery: snapshots, fail-stop failover, and replay equivalence.
+
+The acceptance bar of the robustness issue:
+
+- a K=4 run with one injected fail-stop must match a fault-free run
+  restarted from the same snapshot boundary to <= 1e-10 (it is in fact
+  bit-identical);
+- the same fault seed must replay to a bit-identical fault event log and
+  bit-identical post-recovery parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.engines.clm_sharded import ShardedCLMEngine
+from repro.gaussians.model import GaussianModel
+from repro.resilience import (
+    FaultEvent,
+    FaultSchedule,
+    capture_engine_state,
+    restore_engine_state,
+)
+
+BATCHES = [
+    [0, 1, 2, 3],
+    [4, 5, 6, 7],
+    [8, 9, 1, 3],
+    [0, 2, 5, 7],
+    [1, 4, 6, 9],
+    [2, 3, 7, 8],
+]
+
+
+@pytest.fixture()
+def setup(trainable_scene):
+    init = GaussianModel.from_point_cloud(
+        trainable_scene.init_points,
+        colors=trainable_scene.init_colors,
+        sh_degree=1,
+        seed=0,
+    )
+    targets = {
+        c.view_id: img
+        for c, img in zip(trainable_scene.cameras, trainable_scene.images)
+    }
+    return trainable_scene, init, targets
+
+
+def make_engine(scene, init, schedule, num_devices=4, **kwargs):
+    cfg = EngineConfig(
+        batch_size=4,
+        num_devices=num_devices,
+        fault_schedule=schedule,
+        **kwargs,
+    )
+    return ShardedCLMEngine(init, scene.cameras, cfg)
+
+
+def params_of(engine):
+    return engine.snapshot_model().parameters()
+
+
+# -- snapshot machinery -------------------------------------------------
+def test_snapshot_roundtrip_restores_exact_state(setup):
+    scene, init, targets = setup
+    engine = make_engine(scene, init, None)
+    engine.train_batch(BATCHES[0], targets)
+    snap = capture_engine_state(engine, batches_trained=1)
+    before = {k: v.copy() for k, v in params_of(engine).items()}
+    engine.train_batch(BATCHES[1], targets)  # diverge
+    restore_engine_state(engine, snap)
+    after = params_of(engine)
+    for name in before:
+        np.testing.assert_array_equal(before[name], after[name])
+    assert snap.batches_trained == 1
+    assert snap.num_bytes > 0
+
+
+def test_snapshot_is_a_deep_copy(setup):
+    scene, init, targets = setup
+    engine = make_engine(scene, init, None)
+    snap = capture_engine_state(engine)
+    frozen = {k: v.copy() for k, v in snap.params.items()}
+    engine.train_batch(BATCHES[0], targets)
+    for name in frozen:
+        np.testing.assert_array_equal(frozen[name], snap.params[name])
+
+
+def test_restore_rejects_mismatched_rows(setup):
+    scene, init, targets = setup
+    engine = make_engine(scene, init, None)
+    other = ShardedCLMEngine(
+        init.gather(np.arange(init.num_gaussians - 3)),
+        scene.cameras,
+        EngineConfig(batch_size=4, num_devices=4),
+    )
+    snap = capture_engine_state(other)
+    with pytest.raises(ValueError, match="Gaussians"):
+        restore_engine_state(engine, snap)
+
+
+# -- fail-stop failover -------------------------------------------------
+def test_fail_stop_recovers_and_counts(setup):
+    scene, init, targets = setup
+    sched = FaultSchedule(events=(FaultEvent.fail_stop(2, 1),))
+    engine = make_engine(scene, init, sched)
+    results = [engine.train_batch(b, targets) for b in BATCHES]
+    assert engine.alive == [0, 2, 3]
+    faulty = results[2]
+    assert faulty.failed_devices == 1
+    assert faulty.lost_batches == 1
+    assert faulty.recovery_s > 0.0
+    assert engine.perf.lost_batches == 1
+    assert engine.perf.failed_devices == 1
+    assert engine.perf.recovery_s > 0.0
+    # Batches before/after the fault are clean.
+    assert results[1].failed_devices == 0 and results[3].failed_devices == 0
+
+
+def test_failover_matches_explicit_removal_bit_exactly(setup):
+    """The 1e-10 equivalence criterion (actually exact): a faulty K=4 run
+    equals a fault-free run restarted from the same snapshot with the dead
+    device removed by hand."""
+    scene, init, targets = setup
+    faulty = make_engine(
+        scene, init, FaultSchedule(events=(FaultEvent.fail_stop(2, 1),))
+    )
+    for b in BATCHES:
+        faulty.train_batch(b, targets)
+
+    twin = make_engine(scene, init, FaultSchedule(events=()))
+    for b in BATCHES[:2]:
+        twin.train_batch(b, targets)
+    twin.remove_device(1)
+    for b in BATCHES[2:]:
+        twin.train_batch(b, targets)
+
+    assert faulty.alive == twin.alive == [0, 2, 3]
+    pf, pt = params_of(faulty), params_of(twin)
+    for name in pf:
+        np.testing.assert_allclose(
+            pf[name], pt[name], atol=1e-10, err_msg=name
+        )
+        np.testing.assert_array_equal(pf[name], pt[name], err_msg=name)
+
+
+def test_same_seed_replays_identically(setup):
+    scene, init, targets = setup
+    sched = FaultSchedule.generate(
+        seed=11, num_devices=4, num_batches=len(BATCHES),
+        fail_stop_prob=0.15, straggler_prob=0.2, link_fault_prob=0.2,
+    )
+
+    def run():
+        engine = make_engine(scene, init, sched)
+        for b in BATCHES:
+            engine.train_batch(b, targets)
+        return engine
+
+    a, b = run(), run()
+    assert a.injector.log_json() == b.injector.log_json()
+    assert a.injector.stats.as_dict() == b.injector.stats.as_dict()
+    pa, pb = params_of(a), params_of(b)
+    for name in pa:
+        np.testing.assert_array_equal(pa[name], pb[name], err_msg=name)
+
+
+def test_two_fail_stops_leave_two_survivors(setup):
+    scene, init, targets = setup
+    sched = FaultSchedule(
+        events=(FaultEvent.fail_stop(1, 3), FaultEvent.fail_stop(3, 0))
+    )
+    engine = make_engine(scene, init, sched)
+    for b in BATCHES[:5]:
+        engine.train_batch(b, targets)
+    assert engine.alive == [1, 2]
+    assert engine.perf.failed_devices == 2
+    assert engine.perf.lost_batches == 2
+
+
+def test_losing_every_device_raises(setup):
+    scene, init, targets = setup
+    sched = FaultSchedule(
+        events=(FaultEvent.fail_stop(1, 0), FaultEvent.fail_stop(1, 1))
+    )
+    engine = make_engine(scene, init, sched, num_devices=2)
+    engine.train_batch(BATCHES[0], targets)
+    with pytest.raises(RuntimeError, match="no survivors"):
+        engine.train_batch(BATCHES[1], targets)
+
+
+def test_remove_device_validates(setup):
+    scene, init, targets = setup
+    engine = make_engine(scene, init, None, num_devices=2)
+    with pytest.raises(ValueError, match="not alive"):
+        engine.remove_device(5)
+    engine.remove_device(0)
+    with pytest.raises(RuntimeError, match="last"):
+        engine.remove_device(1)
+
+
+def test_snapshot_cadence_bounds_lost_batches(setup):
+    """recovery_snapshot_every=2 means a fail-stop can lose up to 2
+    batches (the torn one plus the unsnapshotted predecessor)."""
+    scene, init, targets = setup
+    sched = FaultSchedule(events=(FaultEvent.fail_stop(3, 2),))
+    engine = make_engine(
+        scene, init, sched, recovery_snapshot_every=2
+    )
+    for b in BATCHES[:5]:
+        engine.train_batch(b, targets)
+    assert engine.alive == [0, 1, 3]
+    assert 1 <= engine.perf.lost_batches <= 2
+
+
+# -- performance-model faults ------------------------------------------
+def test_straggler_slows_makespan_but_not_results(setup):
+    scene, init, targets = setup
+    clean = make_engine(scene, init, None)
+    rc = [clean.train_batch(b, targets) for b in BATCHES[:3]]
+    strag = make_engine(
+        scene, init,
+        FaultSchedule(events=(FaultEvent.straggler(1, 0, 3.0),)),
+    )
+    rs = [strag.train_batch(b, targets) for b in BATCHES[:3]]
+    assert rs[1].sim_makespan_s > rc[1].sim_makespan_s
+    assert rs[2].sim_makespan_s == pytest.approx(rc[2].sim_makespan_s)
+    pc, ps = params_of(clean), params_of(strag)
+    for name in pc:
+        np.testing.assert_array_equal(pc[name], ps[name], err_msg=name)
+
+
+def test_link_fault_costs_retries_into_counters(setup):
+    scene, init, targets = setup
+    sched = FaultSchedule(
+        events=(
+            FaultEvent.link_fault(
+                1, 0, peer=1, factor=2.0, loss_prob=0.5, duration=2
+            ),
+        )
+    )
+    engine = make_engine(scene, init, sched)
+    results = [engine.train_batch(b, targets) for b in BATCHES[:4]]
+    assert engine.perf.link_retries == engine.injector.stats.link_retries
+    assert engine.perf.link_retries > 0
+    assert sum(r.link_retries for r in results) == engine.perf.link_retries

@@ -135,3 +135,71 @@ def test_close_is_idempotent_and_final():
     ex.close()
     with pytest.raises(RuntimeError):
         ex.submit(lambda: None)
+
+
+# -- fail-fast cancellation ----------------------------------------------
+@pytest.mark.parametrize("workers", [0, 1, 2])
+def test_error_cancels_queued_tasks(workers):
+    """Once a task crashes, everything behind it is cancelled, not run:
+    shared state stays exactly as the completed tasks left it."""
+    seen = []
+    release = threading.Event()
+    started = threading.Semaphore(0)
+
+    def boom():
+        if workers:
+            started.release()
+            release.wait(timeout=5.0)  # hold every worker on a crasher
+        raise ValueError("crash")
+
+    with OverlapExecutor(workers=workers, queue_depth=8) as ex:
+        for _ in range(max(1, workers)):
+            ex.submit(boom)
+        for _ in range(workers):  # every crasher is in flight before we queue
+            started.acquire(timeout=5.0)
+        for i in range(4):
+            ex.submit(seen.append, i)
+        release.set()
+        with pytest.raises(WorkerError):
+            ex.barrier()
+        stats = ex.drain_stats()
+        assert stats.cancelled == 4
+        assert stats.tasks == max(1, workers)
+        assert seen == []
+        # The error is consumed: the executor is reusable afterwards.
+        ex.submit(seen.append, 99)
+        ex.barrier()
+        assert seen == [99]
+
+
+def test_backpressured_submit_cancels_on_error():
+    """A submit blocked on backpressure wakes up and cancels when the
+    in-flight task crashes, instead of waiting for a slot forever."""
+    release = threading.Event()
+    seen = []
+
+    def boom():
+        release.wait(timeout=5.0)
+        raise ValueError("crash")
+
+    with OverlapExecutor(workers=1, queue_depth=1) as ex:
+        ex.submit(boom)  # picked up by the worker
+        ex.submit(seen.append, 1)  # fills the single staging slot
+        timer = threading.Timer(0.05, release.set)
+        timer.start()
+        ex.submit(seen.append, 2)  # blocks until the crash unblocks it
+        with pytest.raises(WorkerError):
+            ex.barrier()
+        assert seen == []
+        assert ex.drain_stats().cancelled == 2
+
+
+def test_failed_property_tracks_pending_error():
+    ex = OverlapExecutor(workers=0)
+    assert not ex.failed
+    ex.submit(lambda: 1 / 0)
+    assert ex.failed
+    with pytest.raises(WorkerError):
+        ex.barrier()
+    assert not ex.failed
+    ex.close()

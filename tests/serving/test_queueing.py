@@ -61,3 +61,31 @@ def test_stats_as_dict_round_trip():
     assert d["offered"] == 2.0
     assert d["shed"] == 1.0
     assert 0.0 < d["shed_rate"] < 1.0
+
+
+def test_deadline_exactly_at_dispatch_is_not_expired():
+    """Expiry is strict (`deadline < now`): a request dispatched at the
+    exact instant of its deadline still gets served."""
+    q = RequestQueue(capacity=4)
+    q.offer(make_request(0, arrival=0.0, slo=1.0))  # deadline 1.0
+    batch, expired = q.pop_batch(4, now=1.0, drop_expired=True)
+    assert [r.request_id for r in batch] == [0]
+    assert expired == []
+    assert q.stats.expired == 0
+
+
+def test_expiry_and_shedding_partition_the_offered_load():
+    """Shedding happens only at admission, expiry only at dispatch, and
+    the counters never overlap: every offered request is admitted or shed,
+    and expired ones are returned to the caller (so the serving loop can
+    record them as SLO violations) rather than silently vanishing."""
+    q = RequestQueue(capacity=2)
+    q.offer(make_request(0, arrival=0.0, slo=0.1))
+    q.offer(make_request(1, arrival=0.0, slo=0.1))
+    q.offer(make_request(2, arrival=0.0, slo=9.9))  # full: shed, not queued
+    batch, expired = q.pop_batch(2, now=5.0, drop_expired=True)
+    assert batch == []
+    assert [r.request_id for r in expired] == [0, 1]
+    s = q.stats
+    assert (s.offered, s.admitted, s.shed, s.expired) == (3, 2, 1, 2)
+    assert s.admitted + s.shed == s.offered  # expiry never double-counts

@@ -1,0 +1,228 @@
+"""Serving graceful degradation: retries, circuit breaker, degraded mode."""
+
+import pytest
+
+from repro.gaussians.model import GaussianModel
+from repro.serving import (
+    CircuitBreaker,
+    DegradationController,
+    LodConfig,
+    RenderFaultInjector,
+    RenderRequest,
+    ResilienceConfig,
+    ServingConfig,
+    ServingSession,
+)
+from repro.serving.metrics import STATUS_DONE, STATUS_FAILED
+
+LOD = LodConfig(distance_edges=(2.0, 5.0), keep_fractions=(0.5, 0.25))
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GaussianModel.random(120, extent=1.0, sh_degree=1, seed=4)
+
+
+@pytest.fixture(scope="module")
+def cams():
+    from repro.serving import ring_cameras
+
+    return ring_cameras(views_per_ring=4, radii=(2.2, 5.5), width=32,
+                        height_px=24)
+
+
+def steady_requests(cams, n, slo=10.0):
+    return [
+        RenderRequest(request_id=i, view_id=cams[i % len(cams)].view_id,
+                      camera=cams[i % len(cams)], arrival_s=0.0, slo_s=slo)
+        for i in range(n)
+    ]
+
+
+# -- config & injector ---------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError, match="retry_max"):
+        ResilienceConfig(retry_max=-1)
+    with pytest.raises(ValueError, match="breaker_threshold"):
+        ResilienceConfig(breaker_threshold=0)
+    with pytest.raises(ValueError, match="watermarks"):
+        ResilienceConfig(degrade_low_watermark=0.9,
+                         degrade_high_watermark=0.5)
+    with pytest.raises(ValueError, match="fault_rate"):
+        RenderFaultInjector(fault_rate=1.5)
+
+
+def test_injector_per_view_streams_are_order_independent():
+    """The n-th attempt a view makes draws the same verdict no matter how
+    attempts from different views interleave — the property that makes
+    chaos runs replayable despite timing-dependent batch composition."""
+    a = RenderFaultInjector(fault_rate=0.5, seed=9)
+    b = RenderFaultInjector(fault_rate=0.5, seed=9)
+    verdicts_a = [(v, a.attempt_fails(v, 0)) for v in (1, 2, 1, 3, 2, 1)]
+    # Same per-view attempt counts, different global interleaving.
+    order_b = [1, 1, 1, 2, 2, 3]
+    verdicts_b = [(v, b.attempt_fails(v, 0)) for v in order_b]
+    assert sorted(verdicts_a) == sorted(verdicts_b)
+    assert a.injected == b.injected
+
+
+def test_injector_rates():
+    never = RenderFaultInjector(fault_rate=0.0)
+    assert not any(never.attempt_fails(0, k) for k in range(32))
+    assert never.injected == 0
+    always = RenderFaultInjector(view_rates={7: 1.0})
+    assert all(always.attempt_fails(7, k) for k in range(8))
+    assert not always.attempt_fails(8, 0)  # default rate 0
+    assert always.injected == 8
+
+
+# -- circuit breaker -----------------------------------------------------
+def test_breaker_opens_after_threshold_and_half_opens():
+    br = CircuitBreaker(threshold=2, cooldown_s=1.0)
+    assert br.allow(5, now=0.0)
+    br.record_failure(5, now=0.0)
+    assert br.allow(5, now=0.1)  # one failure: still closed
+    br.record_failure(5, now=0.1)  # second consecutive: trips
+    assert br.stats.trips == 1
+    assert br.is_open(5, 0.2)
+    assert not br.allow(5, now=0.2)  # fast-fail inside the cooldown
+    assert not br.allow(5, now=1.0)
+    assert br.stats.fast_fails == 2
+    assert br.allow(5, now=1.2)  # half-open probe past the cooldown
+    br.record_success(5)
+    assert br.allow(5, now=1.3)  # probe succeeded: closed again
+    assert br.stats.trips == 1
+
+
+def test_breaker_failed_probe_retrips():
+    br = CircuitBreaker(threshold=1, cooldown_s=1.0)
+    br.record_failure(3, now=0.0)  # threshold 1: trips immediately
+    assert br.allow(3, now=2.0)  # half-open probe
+    br.record_failure(3, now=2.0)  # probe failed: re-trips
+    assert br.stats.trips == 2
+    assert not br.allow(3, now=2.5)
+
+
+def test_breaker_success_interrupts_the_streak():
+    br = CircuitBreaker(threshold=2, cooldown_s=1.0)
+    br.record_failure(1, now=0.0)
+    br.record_success(1)
+    br.record_failure(1, now=0.1)  # streak restarted: no trip
+    assert br.stats.trips == 0
+    assert br.allow(1, now=0.2)
+
+
+# -- degradation controller ----------------------------------------------
+def test_degradation_hysteresis():
+    cfg = ResilienceConfig(enable_degrade=True, degrade_high_watermark=0.75,
+                           degrade_low_watermark=0.25, degrade_lod_bump=2)
+    ctl = DegradationController(cfg)
+    assert ctl.update(5, 10) == 0  # 0.5 < high: stays healthy
+    assert ctl.update(8, 10) == 2  # crossed high: degrade
+    assert ctl.update(5, 10) == 2  # between watermarks: sticky
+    assert ctl.update(2, 10) == 0  # fell below low: recover
+    assert ctl.update(5, 10) == 0
+
+
+def test_degradation_disabled_by_default():
+    ctl = DegradationController(ResilienceConfig())
+    assert ctl.update(10, 10) == 0 and not ctl.degraded
+
+
+# -- end-to-end through the session --------------------------------------
+class FailFirstAttempt:
+    """Duck-typed injector: every view's first-ever attempt faults."""
+
+    def __init__(self):
+        self.injected = 0
+        self._seen = set()
+
+    def attempt_fails(self, view_id, attempt):
+        if view_id not in self._seen:
+            self._seen.add(view_id)
+            self.injected += 1
+            return True
+        return False
+
+
+def test_retry_recovers_and_charges_backoff(model, cams):
+    cfg = ServingConfig(
+        max_batch=4, queue_capacity=32, lod=LOD, seed=0,
+        resilience=ResilienceConfig(retry_max=2, retry_backoff_s=1e-2),
+        fault_injector=FailFirstAttempt(),
+    )
+    sess = ServingSession(model, cfg)
+    report = sess.serve(steady_requests(cams, 8))
+    assert report.failed_count == 0  # every fault was absorbed by retry
+    assert report.resilience_stats["injected_faults"] == len(cams)
+    retried = [r for r in report.completed if r.retries > 0]
+    assert len(retried) == len(cams)
+    clean_twin = ServingSession(model, ServingConfig(
+        max_batch=4, queue_capacity=32, lod=LOD, seed=0))
+    clean = clean_twin.serve(steady_requests(cams, 8))
+    # The backoff is visible in latency: each retried view pays >= 1e-2 s
+    # more than its fault-free twin.
+    worst = max(r.latency_s for r in report.completed)
+    assert worst >= max(r.latency_s for r in clean.completed) + 0.9e-2
+
+
+def test_poisoned_view_fails_and_trips_breaker(model, cams):
+    poisoned = cams[0].view_id
+    cfg = ServingConfig(
+        max_batch=2, queue_capacity=64, lod=LOD, seed=0,
+        resilience=ResilienceConfig(retry_max=1, breaker_threshold=2,
+                                    breaker_cooldown_s=100.0),
+        fault_injector=RenderFaultInjector(view_rates={poisoned: 1.0}),
+    )
+    sess = ServingSession(model, cfg)
+    # Interleave the poisoned view with healthy ones across many batches.
+    reqs = []
+    for i in range(16):
+        cam = cams[0] if i % 2 == 0 else cams[1 + i % 3]
+        reqs.append(RenderRequest(request_id=i, view_id=cam.view_id,
+                                  camera=cam, arrival_s=0.0, slo_s=10.0))
+    report = sess.serve(reqs)
+    failed = [r for r in report.records if r.status == STATUS_FAILED]
+    assert report.failed_count == len(failed) == 8  # every poisoned request
+    assert all(r.view_id == poisoned for r in failed)
+    assert report.breaker_trips >= 1
+    assert report.resilience_stats["breaker_fast_fails"] >= 1
+    # Fast-failed requests never drew a fault: fewer injections than
+    # (requests * attempts) — the breaker saved capacity.
+    assert report.resilience_stats["injected_faults"] < 8 * 2
+    # Healthy views were untouched.
+    assert all(r.status == STATUS_DONE for r in report.records
+               if r.view_id != poisoned)
+    # Failures are SLO violations, not vanished load.
+    assert report.slo_violation_rate >= 8 / 16
+
+
+def test_overload_enters_degraded_mode(model, cams):
+    cfg = ServingConfig(
+        max_batch=2, queue_capacity=16, lod=LOD, seed=0,
+        resilience=ResilienceConfig(enable_degrade=True,
+                                    degrade_lod_bump=1),
+    )
+    sess = ServingSession(model, cfg)
+    report = sess.serve(steady_requests(cams, 16))  # all arrive at once
+    assert report.resilience_stats["degraded_batches"] >= 1
+    assert report.degraded_fraction > 0.0
+    degraded = [r for r in report.completed if r.degraded]
+    assert degraded and all(r.status == STATUS_DONE for r in degraded)
+    # Degraded renders composite no more than their healthy-mode level.
+    assert "degraded served %" in [row[0] for row in report.summary_rows()]
+
+
+def test_fault_aggregates_replay_across_runs(model, cams):
+    def run():
+        cfg = ServingConfig(
+            max_batch=4, queue_capacity=64, lod=LOD, seed=0,
+            resilience=ResilienceConfig(retry_max=2),
+            fault_injector=RenderFaultInjector(fault_rate=0.3, seed=21),
+        )
+        report = ServingSession(model, cfg).serve(
+            steady_requests(cams, 24))
+        return (report.resilience_stats["injected_faults"],
+                report.failed_count + len(report.completed))
+
+    assert run() == run()
