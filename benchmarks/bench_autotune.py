@@ -1,0 +1,276 @@
+"""Adaptive-runtime benchmark: auto-tuned config vs the hand-tuned grid.
+
+ROADMAP item 5's acceptance bar: the configuration the auto-tuner settles
+on must land within 10% of the best *hand-tuned* grid point, measured two
+ways:
+
+1. **Training grid** (``grid_*`` / ``autotuned`` variants): every
+   (``overlap_workers``, ``group_size``) grid point runs the same CLM
+   batch sequence with that configuration pinned; the auto-tuned session
+   runs the same batches with the tuner choosing per batch.  The tuner's
+   most-chosen exploited configuration is then compared against the grid —
+   ``ratio_vs_grid = measured(tuned) / measured(best)`` must be <= 1.10.
+
+2. **Raster sweep** (``raster_grid`` variant): forward-render wall time is
+   measured per candidate ``group_size`` on the trained model; the tuned
+   ``group_size`` (argmin of the calibrated cost model's forward rate)
+   must be within 10% of the fastest measured slab width.
+
+Both measured ratios get one remeasure-retry for noise headroom (CI
+runners are shared); the prediction-side ratio (tuned predicted makespan
+vs best predicted grid point) is deterministic and exactly 1.0 by argmin
+construction — recorded as a regression guard.  The records also carry
+the tuner's mean |predicted - measured| / measured reconciliation error.
+"""
+
+import time
+from dataclasses import replace as dc_replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.bench import register_benchmark
+from repro.core.config import EngineConfig
+from repro.gaussians.rasterizer import RasterSettings
+
+#: The hand-tuned grid (matches the tuned session's candidate space).
+GRID_WORKERS = (0, 2)
+GRID_GROUP_SIZES = (64, 256)
+ORDERING = "tsp"
+
+
+def _batches(count: int, views: int = 12):
+    """Deterministic 4-view batches cycling the scene's views."""
+    return [
+        [(4 * b + k) % views for k in range(4)] for b in range(count)
+    ]
+
+
+def _scene(tier_name: str):
+    from repro.scenes.images import make_trainable_scene
+
+    gaussians = 500 if tier_name == "full" else 300
+    return make_trainable_scene(
+        reference_gaussians=gaussians, num_views=12,
+        image_size=(32, 24), seed=3,
+    )
+
+
+def _run_grid_point(scene, workers, group_size, batches):
+    """Measured wall seconds of the batch sequence under one pinned
+    hand-tuned configuration."""
+    import repro
+
+    sess = repro.session(
+        scene, engine="clm",
+        config=EngineConfig(
+            batch_size=4, seed=0, ordering=ORDERING,
+            overlap_workers=workers,
+            raster=dc_replace(RasterSettings(), group_size=group_size),
+        ),
+    )
+    for batch in batches:
+        sess.train_batch(batch)
+    wall = sess.perf.wall_time_s
+    sess.engine.close()
+    return wall
+
+
+def _run_autotuned(scene, batches):
+    """The auto-tuned session over the same batches; returns the session
+    (its tuner holds the calibrated model and choice counts)."""
+    import repro
+
+    sess = repro.session(
+        scene, engine="clm",
+        config=EngineConfig(
+            batch_size=4, seed=0,
+            autotune=True,
+            autotune_workers=GRID_WORKERS,
+            autotune_group_sizes=GRID_GROUP_SIZES,
+            autotune_orderings=(ORDERING,),
+        ),
+    )
+    for batch in batches:
+        sess.train_batch(batch)
+    return sess
+
+
+def _measure_render(engine, group_size: int, repeats: int = 3) -> float:
+    """Best-of-N forward render seconds at one slab width."""
+    saved = dict(engine._raster_overrides)
+    engine._raster_overrides = {"group_size": int(group_size)}
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            engine.render_view(0)
+            best = min(best, time.perf_counter() - start)
+        return best
+    finally:
+        engine._raster_overrides = saved
+
+
+@register_benchmark("autotune", tags=("micro", "runtime", "autotune"))
+def compute(ctx, repeats: int = 2):
+    """Auto-tuned config vs hand-tuned grid on training + raster shapes."""
+    tier = ctx.tier.name
+    scene = _scene(tier)
+    train_batches = _batches(8 if tier == "quick" else 12)
+
+    # -- hand-tuned grid (best-of-`repeats` per point) -------------------
+    grid = {}
+    for workers in GRID_WORKERS:
+        for group_size in GRID_GROUP_SIZES:
+            grid[(workers, group_size)] = min(
+                _run_grid_point(scene, workers, group_size, train_batches)
+                for _ in range(repeats)
+            )
+    best_point = min(grid, key=grid.get)
+    best_s = grid[best_point]
+
+    # -- auto-tuned session ---------------------------------------------
+    sess = _run_autotuned(scene, train_batches)
+    tuner = sess.tuner
+    summary = tuner.summary()
+    chosen = summary["most_chosen"]
+    tuned_point = (chosen["overlap_workers"], chosen["group_size"])
+    tuned_s = grid[tuned_point]
+    ratio = tuned_s / best_s
+    if ratio > 1.10:
+        # Noise headroom: remeasure both points once before concluding.
+        tuned_s = min(
+            tuned_s, _run_grid_point(scene, *tuned_point, train_batches)
+        )
+        best_s = min(
+            best_s, _run_grid_point(scene, *best_point, train_batches)
+        )
+        ratio = tuned_s / best_s
+
+    # Prediction side: the tuner's choice is the argmin of its own table,
+    # so predicted(tuned) == min(predicted over grid).  Deterministic;
+    # guards the argmin invariant against regressions.
+    final_plans = {
+        ORDERING: sess.engine.plan_batch(train_batches[-1], strategy=ORDERING)
+    }
+    choice = tuner.choose(final_plans)
+    predicted_ratio = choice.predicted_s / min(p for _, p in choice.table)
+
+    # -- raster group_size sweep on the trained model --------------------
+    engine = sess.engine
+    render = {
+        g: _measure_render(engine, g) for g in GRID_GROUP_SIZES
+    }
+    tuned_gs = chosen["group_size"]
+    raster_ratio = render[tuned_gs] / min(render.values())
+    if raster_ratio > 1.10:
+        render = {
+            g: min(render[g], _measure_render(engine, g))
+            for g in GRID_GROUP_SIZES
+        }
+        raster_ratio = render[tuned_gs] / min(render.values())
+
+    ctx.record(
+        variant="grid_best",
+        engine="clm",
+        wall_time_s=best_s,
+        workers=best_point[0],
+        group_size=best_point[1],
+        grid={f"w{w}_g{g}": s for (w, g), s in grid.items()},
+    )
+    ctx.record(
+        variant="autotuned",
+        engine="clm",
+        wall_time_s=tuned_s,
+        ratio_vs_grid=ratio,
+        predicted_ratio=predicted_ratio,
+        workers=tuned_point[0],
+        group_size=tuned_point[1],
+        ordering=chosen["ordering"],
+        mean_rel_error=summary["mean_rel_error"],
+        explored_batches=summary["explored_batches"],
+        candidates=summary["candidates"],
+    )
+    ctx.record(
+        variant="raster_grid",
+        engine="clm",
+        wall_time_s=render[tuned_gs],
+        ratio_vs_grid=raster_ratio,
+        group_size=tuned_gs,
+        render={f"g{g}": s for g, s in render.items()},
+    )
+
+    rows = [
+        [f"grid w={w} g={g}", s * 1e3,
+         "best" if (w, g) == best_point else ""]
+        for (w, g), s in sorted(grid.items())
+    ]
+    rows += [
+        [f"autotuned (w={tuned_point[0]} g={tuned_point[1]})",
+         tuned_s * 1e3, f"{ratio:.3f}x of best"],
+        ["raster tuned slab", render[tuned_gs] * 1e3,
+         f"{raster_ratio:.3f}x of best"],
+    ]
+    ctx.emit(
+        f"Autotune — tuned within {100 * (ratio - 1):.1f}% of grid, "
+        f"{100 * summary['mean_rel_error']:.1f}% mean prediction error",
+        format_table(["configuration", "wall ms", "note"], rows,
+                     floatfmt="{:.2f}"),
+    )
+    out = {
+        "grid": {f"w{w}_g{g}": s for (w, g), s in grid.items()},
+        "tuned": {"workers": tuned_point[0], "group_size": tuned_point[1]},
+        "ratio_vs_grid": ratio,
+        "predicted_ratio": predicted_ratio,
+        "raster_ratio": raster_ratio,
+        "mean_rel_error": summary["mean_rel_error"],
+    }
+    ctx.log_raw("autotune", out)
+    sess.engine.close()
+    return out
+
+
+@pytest.fixture(scope="module")
+def autotune_results(bench_ctx):
+    return compute(bench_ctx)
+
+
+def test_autotuned_within_10pct_of_grid(autotune_results):
+    """The ROADMAP item-5 acceptance bar on the training workload."""
+    assert autotune_results["ratio_vs_grid"] <= 1.10, autotune_results
+
+
+def test_raster_tuned_group_size_within_10pct(autotune_results):
+    """...and on the raster (forward render) workload."""
+    assert autotune_results["raster_ratio"] <= 1.10, autotune_results
+
+
+def test_choice_is_argmin_of_predictions(autotune_results):
+    """Exploitation returns the argmin of its own table — exactly."""
+    assert autotune_results["predicted_ratio"] == pytest.approx(1.0)
+
+
+def test_prediction_error_bounded(autotune_results):
+    """The calibrated model's reconciled error stays sane (loose: shared
+    CI runners; the committed trajectory records the real figure)."""
+    assert 0.0 <= autotune_results["mean_rel_error"] <= 0.75
+
+
+def test_bit_identical_under_tuning(bench_ctx):
+    """Auto-tuning (default space: no backend switching) never changes a
+    bit of the trained parameters vs an untuned run."""
+    import repro
+
+    scene = _scene("quick")
+    batches = _batches(4)
+    plain = repro.session(
+        scene, engine="clm",
+        config=EngineConfig(batch_size=4, seed=0, ordering=ORDERING),
+    )
+    tuned = _run_autotuned(scene, batches)
+    for batch in batches:
+        plain.train_batch(batch)
+    a, b = plain.snapshot_model(), tuned.snapshot_model()
+    for name in a.parameters():
+        assert np.array_equal(a.parameters()[name], b.parameters()[name])

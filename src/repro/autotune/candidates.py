@@ -1,0 +1,117 @@
+"""Candidate configuration enumeration for the auto-tuner.
+
+A :class:`TunedConfig` bundles the four knobs the adaptive runtime owns;
+a :class:`CandidateSpace` is the grid the tuner searches.  Enumeration
+order is deterministic (workers, then group size, then ordering, then
+backend) and ties in predicted makespan resolve to the *earliest*
+candidate, so tuning is reproducible given the same measurements.
+
+Two deliberate exclusions:
+
+- the ``random`` ordering is rejected: it is plan-cache-exempt and draws
+  from the engine RNG per plan, so tuning over it would both defeat
+  memoization and perturb seeded streams;
+- ``kernel_backends`` defaults to ``(None,)`` — "whatever backend the
+  engine resolved" — because switching numeric backends mid-run changes
+  results within their 1e-10 parity envelope, which would break the
+  bit-identical-training guarantee the runtime otherwise keeps.  Callers
+  that accept that trade list explicit backend names
+  (``EngineConfig.autotune_kernel_backends``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """One point of the tuning grid (hashable, fingerprint-friendly)."""
+
+    overlap_workers: int
+    group_size: int
+    ordering: str
+    #: ``None`` = keep the engine's resolved backend (no overlay).
+    kernel_backend: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "overlap_workers": self.overlap_workers,
+            "group_size": self.group_size,
+            "ordering": self.ordering,
+            "kernel_backend": self.kernel_backend,
+        }
+
+
+@dataclass(frozen=True)
+class CandidateSpace:
+    """The grid of candidate configurations the tuner predicts over."""
+
+    workers: Tuple[int, ...] = (0, 1, 2)
+    group_sizes: Tuple[int, ...] = (64, 256)
+    orderings: Tuple[str, ...] = ("tsp", "gs_count", "identity")
+    kernel_backends: Tuple[Optional[str], ...] = (None,)
+
+    def __post_init__(self) -> None:
+        for name, values in (
+            ("workers", self.workers),
+            ("group_sizes", self.group_sizes),
+            ("orderings", self.orderings),
+            ("kernel_backends", self.kernel_backends),
+        ):
+            if not values:
+                raise ValueError(f"CandidateSpace.{name} must be non-empty")
+        if any(w < 0 for w in self.workers):
+            raise ValueError("negative worker counts are not candidates")
+        if any(g <= 0 for g in self.group_sizes):
+            raise ValueError("group sizes must be positive")
+        if "random" in self.orderings:
+            raise ValueError(
+                "the 'random' ordering is cache-exempt and RNG-consuming; "
+                "it cannot be auto-tuned"
+            )
+
+    @classmethod
+    def from_engine_config(cls, config) -> "CandidateSpace":
+        """Build the space an :class:`~repro.core.config.EngineConfig`
+        describes (``autotune_*`` fields, with safe defaults)."""
+        backends = getattr(config, "autotune_kernel_backends", None)
+        return cls(
+            workers=tuple(getattr(config, "autotune_workers", (0, 1, 2))),
+            group_sizes=tuple(
+                getattr(config, "autotune_group_sizes", (64, 256))
+            ),
+            orderings=tuple(
+                getattr(
+                    config, "autotune_orderings", ("tsp", "gs_count", "identity")
+                )
+            ),
+            kernel_backends=(None,) if not backends else tuple(backends),
+        )
+
+    def enumerate(self) -> List[TunedConfig]:
+        """Every candidate, in deterministic tie-break order."""
+        out: List[TunedConfig] = []
+        for w in self.workers:
+            for g in self.group_sizes:
+                for ordering in self.orderings:
+                    for backend in self.kernel_backends:
+                        out.append(
+                            TunedConfig(
+                                overlap_workers=int(w),
+                                group_size=int(g),
+                                ordering=ordering,
+                                kernel_backend=backend,
+                            )
+                        )
+        return out
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.workers)
+            * len(self.group_sizes)
+            * len(self.orderings)
+            * len(self.kernel_backends)
+        )

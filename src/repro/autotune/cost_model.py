@@ -1,0 +1,161 @@
+"""The auto-tuner's calibrated per-op cost model.
+
+Two ingredients, exactly as ROADMAP item 5 prescribes:
+
+- **Priors from ``hardware/specs``**: before anything is measured, rates
+  come from the :class:`repro.hardware.kernels.KernelCostModel` built on a
+  :class:`~repro.hardware.specs.Testbed` — the same constants the
+  discrete-event pipeline simulation uses.  Their absolute scale models
+  the paper's CUDA hardware, not this repo's functional NumPy kernels,
+  but the argmin over candidates only needs the *relative* shape
+  (backward ≈ 2× forward, Adam seconds ∝ finalized rows, transfer
+  seconds ∝ moved rows), which the specs encode.
+- **Measured rates**: every executed batch reports per-op seconds and
+  unit counts (working-set rows rendered, chunk rows updated, rows
+  moved); :meth:`CostModel.observe` folds ``seconds/units`` into an
+  exponential moving average per op key.  A single observation replaces
+  the prior entirely — from then on predictions are anchored to this
+  machine, and the EMA tracks drift (thermal throttling, competing
+  load) without forgetting history.
+
+Keys are tuples ``(op, *subkey)``.  Forward/backward rates are keyed by
+``(group_size, kernel_backend)`` because the slab width and the backend
+change the achieved rate per row; an unmeasured combination falls back to
+the measured rate of the nearest group size (same backend preferred)
+before falling back to the prior — so one measured slab width anchors
+its neighbours instead of leaving them on paper-hardware numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.kernels import KernelCostModel
+from repro.hardware.specs import RTX4090_TESTBED, Testbed
+
+#: Per-task hand-off cost of running an op on a pool worker instead of
+#: the training thread (condition-variable wake + GIL hand-off) — charged
+#: by predictions for every overlapped Adam chunk so worker counts are
+#: not free in the model.
+DISPATCH_OVERHEAD_S = 5e-5
+
+Key = Tuple
+
+
+class CostModel:
+    """Seconds-per-unit rate table: specs priors + online calibration."""
+
+    def __init__(
+        self,
+        testbed: Testbed = RTX4090_TESTBED,
+        num_pixels: int = 1024,
+        splats_per_pixel: float = 8.0,
+        ema: float = 0.5,
+    ) -> None:
+        if not 0.0 < ema <= 1.0:
+            raise ValueError(f"ema must be in (0, 1], got {ema}")
+        self.kernel_costs = KernelCostModel(
+            testbed=testbed, splats_per_pixel=splats_per_pixel
+        )
+        self.num_pixels = max(1, int(num_pixels))
+        self.ema = float(ema)
+        self._rates: Dict[Key, float] = {}
+        self.observations = 0
+
+    # -- calibration -----------------------------------------------------
+    def observe(self, key: Key, units: float, seconds: float) -> None:
+        """Fold one measurement of ``seconds`` over ``units`` into the
+        rate for ``key`` (no-op for empty or non-positive measurements)."""
+        if units <= 0 or seconds <= 0:
+            return
+        rate = seconds / units
+        prev = self._rates.get(key)
+        if prev is None:
+            self._rates[key] = rate
+        else:
+            self._rates[key] = self.ema * rate + (1.0 - self.ema) * prev
+        self.observations += 1
+
+    def measured(self, key: Key) -> bool:
+        return key in self._rates
+
+    # -- rate lookup -----------------------------------------------------
+    def rate(self, key: Key) -> float:
+        """Seconds per unit for ``key``: measured → nearest measured
+        sibling (same op) → specs prior."""
+        hit = self._rates.get(key)
+        if hit is not None:
+            return hit
+        sibling = self._nearest_sibling(key)
+        if sibling is not None:
+            return sibling
+        return self._prior(key)
+
+    def _nearest_sibling(self, key: Key) -> Optional[float]:
+        """For group-size-keyed ops, the measured rate whose group size is
+        nearest in log space (same-backend matches win ties)."""
+        if key[0] not in ("forward", "backward") or len(key) != 3:
+            return None
+        op, group_size, backend = key
+        candidates: List[Tuple[float, int, float]] = []
+        for other, rate in self._rates.items():
+            if len(other) != 3 or other[0] != op:
+                continue
+            distance = abs(
+                math.log(max(1, group_size)) - math.log(max(1, other[1]))
+            )
+            backend_penalty = 0 if other[2] == backend else 1
+            candidates.append((distance, backend_penalty, rate))
+        if not candidates:
+            return None
+        return min(candidates)[2]
+
+    def _prior(self, key: Key) -> float:
+        kc = self.kernel_costs
+        op = key[0]
+        if op == "forward":
+            # Per-row rate at a nominal working set, pixel term amortized.
+            nominal = 1000.0
+            return kc.forward_time(nominal, self.num_pixels) / nominal
+        if op == "backward":
+            nominal = 1000.0
+            return kc.backward_time(nominal, self.num_pixels) / nominal
+        if op == "adam":
+            return kc.cpu_adam_sparse_time(1.0)
+        if op == "critical_adam":
+            return kc.gpu_adam_time(1.0) - kc.kernel_launch_overhead
+        if op == "overhead":
+            # Assemble/retire traffic: one non-critical row over PCIe.
+            return kc.load_params_time(1.0)
+        raise KeyError(f"unknown cost-model op {op!r}")
+
+    # -- typed helpers (what the DAG builder calls) ----------------------
+    def forward_s(
+        self, rows: int, group_size: int, kernel_backend: Optional[str]
+    ) -> float:
+        return rows * self.rate(("forward", int(group_size), kernel_backend))
+
+    def backward_s(
+        self, rows: int, group_size: int, kernel_backend: Optional[str]
+    ) -> float:
+        return rows * self.rate(("backward", int(group_size), kernel_backend))
+
+    def adam_s(self, rows: int) -> float:
+        return rows * self.rate(("adam",))
+
+    def critical_adam_s(self, rows: int) -> float:
+        return rows * self.rate(("critical_adam",))
+
+    def overhead_s(self, traffic_rows: int) -> float:
+        """Assemble + retire cost of moving/copying ``traffic_rows``."""
+        return traffic_rows * self.rate(("overhead",))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat copy of the measured rates (diagnostics / CLI summary)."""
+        return {
+            ".".join(str(part) for part in key): rate
+            for key, rate in sorted(
+                self._rates.items(), key=lambda kv: str(kv[0])
+            )
+        }

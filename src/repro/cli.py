@@ -208,6 +208,8 @@ def cmd_train(args) -> int:
             num_devices=args.devices,
             kernel_backend=args.kernel_backend,
             fault_schedule=fault_schedule,
+            use_task_graph=getattr(args, "task_graph", False),
+            autotune=getattr(args, "autotune", False),
         ),
         trainer_config=TrainerConfig(
             num_batches=args.batches, batch_size=4,
@@ -256,6 +258,18 @@ def cmd_train(args) -> int:
             f"{perf.lost_batches} batch(es) lost, recovered in "
             f"{perf.recovery_s * 1e3:.1f} ms onto "
             f"{len(sess.engine.alive)} survivors"
+        )
+    if sess.tuner is not None:
+        summary = sess.tuner.summary()
+        chosen = summary["most_chosen"] or {}
+        print(
+            f"autotune: {summary['batches']} batches tuned over "
+            f"{summary['candidates']} candidates "
+            f"({summary['explored_batches']} exploration probes), "
+            f"mean |pred-meas|/meas = {100 * summary['mean_rel_error']:.1f}%; "
+            f"most chosen: workers={chosen.get('overlap_workers')}, "
+            f"group_size={chosen.get('group_size')}, "
+            f"ordering={chosen.get('ordering')}"
         )
     return 0
 
@@ -602,6 +616,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "re-sharding onto the survivors)")
     p.add_argument("--fail-device", type=int, default=1, metavar="DEV",
                    help="device that fail-stops at --fail-at (default 1)")
+    p.add_argument("--task-graph", action="store_true",
+                   help="execute batches through the dependency task-graph "
+                        "executor instead of the submit/barrier loop "
+                        "(bit-identical results)")
+    p.add_argument("--autotune", action="store_true",
+                   help="plan-guided adaptive runtime: per batch, predict "
+                        "every candidate config's makespan through the "
+                        "simulator, run the argmin, reconcile prediction "
+                        "vs measurement back into the cost model")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("serve", help="concurrent render-serving demo")

@@ -67,6 +67,27 @@ class EngineConfig:
     Engines resolve it once at construction, thread it through
     ``RasterSettings`` and ``PackedSparseAdam``, and stamp the resolved
     name into ``PerfCounters.kernel_backend`` and their plan fingerprints.
+
+    ``use_task_graph`` routes the CLM batch through the dependency
+    task-graph executor (:class:`repro.runtime.GraphExecutor`) instead of
+    the submit/barrier overlap loop: assembly, raster forward/backward,
+    retirement and Adam chunks become explicit graph nodes executed in
+    any dependency-respecting order — bit-identical either way, at every
+    worker count (``tests/runtime/test_graph_equivalence.py``).
+
+    ``autotune`` turns on the plan-guided adaptive runtime
+    (:mod:`repro.autotune`): per batch, the engine predicts the makespan
+    of every candidate configuration through the discrete-event simulator
+    and executes the argmin, then reconciles predicted vs measured wall
+    time back into the cost model.  ``autotune_workers`` /
+    ``autotune_group_sizes`` / ``autotune_orderings`` define the candidate
+    grid (orderings exclude ``random`` — cache-exempt and RNG-consuming).
+    ``autotune_kernel_backends`` defaults to ``None`` = tune everything
+    *except* the backend (backend switches change results within their
+    1e-10 parity envelope, breaking bit-identical training); pass explicit
+    backend names to opt into backend tuning.  Auto-tuning changes timing
+    only — never results for worker/group-size choices, and never pool
+    accounting (see :mod:`repro.core.memory_model`).
     """
 
     batch_size: int = 4
@@ -105,6 +126,16 @@ class EngineConfig:
     # Compiled-kernel backend for the raster/Adam hot loops ("auto",
     # "numpy", "numba", or any registered plugin backend name).
     kernel_backend: str = "auto"
+    # Adaptive runtime (ROADMAP item 5).  ``use_task_graph`` selects the
+    # dependency task-graph executor for the CLM batch; ``autotune``
+    # enables per-batch simulator-driven configuration choice over the
+    # ``autotune_*`` candidate grid.
+    use_task_graph: bool = False
+    autotune: bool = False
+    autotune_workers: "tuple[int, ...]" = (0, 1, 2)
+    autotune_group_sizes: "tuple[int, ...]" = (64, 256)
+    autotune_orderings: "tuple[str, ...]" = ("tsp", "gs_count", "identity")
+    autotune_kernel_backends: Optional["tuple[str, ...]"] = None
 
     def resolve_renderer(self) -> "tuple[Callable, Callable]":
         """The (forward, backward) pair engines should call."""

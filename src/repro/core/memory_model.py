@@ -121,6 +121,19 @@ ACT_PER_PIXEL = 240
 #: buffers — is identical under any backend; switching backends moves
 #: wall-clock time, not Figure 8/10 numbers.
 
+#: Auto-tuning note: the adaptive runtime (:mod:`repro.autotune` +
+#: ``repro.runtime.GraphExecutor``) changes *timing only*, never pool
+#: accounting.  Every knob the tuner turns is an execution detail of the
+#: same plans this model already budgets: ``overlap_workers`` moves Adam
+#: chunks between threads (worker pools hold row-*index* arrays, not
+#: parameter copies), ``group_size`` changes slab blocking inside the
+#: fixed per-slab scratch allowance, ordering permutes which microbatch
+#: occupies the same two-slot double buffer, and backend choice defers to
+#: the kernel-backend note above.  Cost-model calibration state is a few
+#: dozen scalar rates.  Auto-tuned runs therefore report bit-identical
+#: pool budgets — the tuner optimizes the schedule through the
+#: :mod:`repro.hardware` simulator, not the memory plan.
+
 
 @dataclass(frozen=True)
 class SceneMemoryProfile:

@@ -102,6 +102,17 @@ class BatchResult:
     lost_batches: int = 0
     failed_devices: int = 0
     link_retries: int = 0
+    #: Adaptive-runtime accounting (zero/None unless the engine ran with
+    #: ``config.autotune``): the configuration the tuner chose for this
+    #: batch, its simulator-predicted makespan, and the relative error of
+    #: that prediction against the measured wall time.
+    autotuned: bool = False
+    tuned_workers: Optional[int] = None
+    tuned_group_size: Optional[int] = None
+    tuned_ordering: Optional[str] = None
+    tuned_kernel_backend: Optional[str] = None
+    predicted_makespan_s: float = 0.0
+    autotune_rel_error: float = 0.0
 
 
 @dataclass
@@ -151,6 +162,20 @@ class PerfCounters:
     lost_batches: int = 0
     failed_devices: int = 0
     link_retries: int = 0
+    #: Adaptive-runtime tallies (stay zero without ``config.autotune``):
+    #: batches tuned, cumulative predicted makespan, cumulative relative
+    #: prediction error, and the most recently chosen configuration.
+    autotuned_batches: int = 0
+    predicted_makespan_s: float = 0.0
+    autotune_rel_error_sum: float = 0.0
+    tuned_config: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def autotune_mean_rel_error(self) -> float:
+        """Mean relative makespan-prediction error over tuned batches."""
+        if self.autotuned_batches == 0:
+            return 0.0
+        return self.autotune_rel_error_sum / self.autotuned_batches
 
     @property
     def transfer_bytes(self) -> float:
@@ -187,6 +212,16 @@ class PerfCounters:
         self.link_retries += result.link_retries
         for k, busy in result.device_busy_s.items():
             self.device_busy_s[k] = self.device_busy_s.get(k, 0.0) + busy
+        if result.autotuned:
+            self.autotuned_batches += 1
+            self.predicted_makespan_s += result.predicted_makespan_s
+            self.autotune_rel_error_sum += result.autotune_rel_error
+            self.tuned_config = {
+                "overlap_workers": result.tuned_workers,
+                "group_size": result.tuned_group_size,
+                "ordering": result.tuned_ordering,
+                "kernel_backend": result.tuned_kernel_backend,
+            }
 
 
 class Engine(abc.ABC):
@@ -275,6 +310,11 @@ class EngineBase(Engine):
             self.pool = MemoryPool(self.config.gpu_capacity_bytes, name="gpu")
         self.batches_trained = 0
         self.perf = PerfCounters(kernel_backend=self.kernel_backend)
+        #: Per-call raster-settings overlay (field -> value), applied last
+        #: by :attr:`raster_settings`.  The auto-tuner writes its per-batch
+        #: ``group_size`` (and, when backend tuning is opted into, the
+        #: ``kernel_backend``) here instead of mutating the shared config.
+        self._raster_overrides: Dict[str, object] = {}
         # Per-batch renderer/optimizer timing accumulators, reset by
         # train_batch.
         self._step_forward_s = 0.0
@@ -309,6 +349,11 @@ class EngineBase(Engine):
         requested = getattr(self.config, "kernel_backend", "auto")
         if settings.kernel_backend is None and requested not in (None, "", "auto"):
             settings = dc_replace(settings, kernel_backend=self.kernel_backend)
+        # Tuned overlays last: per-batch settings the adaptive runtime
+        # chose (group_size, opted-in backend) win over the static config
+        # without ever mutating the shared settings object.
+        if self._raster_overrides:
+            settings = dc_replace(settings, **self._raster_overrides)
         return settings
 
     # -- subclass hooks -------------------------------------------------

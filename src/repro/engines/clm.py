@@ -38,6 +38,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.autotune import MeasuredBatch
 from repro.core import attributes
 from repro.core.stores import (
     GpuCriticalStore,
@@ -46,9 +47,10 @@ from repro.core.stores import (
 )
 from repro.engines.base import BatchResult, EngineBase, PositionGradHook
 from repro.engines.registry import register_engine
+from repro.gaussians.loss import photometric_loss
 from repro.gaussians.model import GaussianModel
 from repro.optim.packed_adam import PackedSparseAdam
-from repro.runtime import OverlapExecutor
+from repro.runtime import GraphExecutor, OverlapExecutor, TaskGraph
 
 CRITICAL = ("positions", "log_scales", "quaternions")
 NONCRITICAL = ("sh", "opacity_logits")
@@ -87,11 +89,44 @@ class CLMEngine(EngineBase):
             pad_to=self.cpu_store.row_floats,
             kernel_backend=self.kernel_backend,
         )
-        #: The overlap runtime.  ``overlap_workers == 0`` degrades to the
-        #: synchronous inline fallback inside the same code path.
-        self.runtime = OverlapExecutor(
-            workers=self.config.overlap_workers, name="clm-adam"
-        )
+        #: Runtime pools by worker count.  The adaptive runtime may pick a
+        #: different ``overlap_workers`` every batch, so executors are
+        #: created lazily per count and kept warm (thread start/join never
+        #: lands on the batch path).  ``self.runtime`` stays the
+        #: configured-count overlap executor — the stable handle tests and
+        #: diagnostics read.
+        self._runtimes: Dict[int, OverlapExecutor] = {}
+        self._graph_runtimes: Dict[int, GraphExecutor] = {}
+        self.runtime = self._overlap_runtime(self.config.overlap_workers)
+        #: Per-batch critical (GPU-side) Adam seconds, split out of
+        #: ``_step_adam_s`` for the tuner's calibration samples.
+        self._step_adam_critical_s = 0.0
+        #: The auto-tuner (None unless ``config.autotune``): chooses
+        #: workers/group_size/ordering per batch by predicted makespan and
+        #: reconciles predictions against measured wall time.
+        self.tuner = None
+        if self.config.autotune:
+            from repro.autotune import AutoTuner, CandidateSpace
+
+            self.tuner = AutoTuner(
+                space=CandidateSpace.from_engine_config(self.config),
+                num_pixels=max(1, self._num_pixels),
+            )
+
+    # -- runtime pools ---------------------------------------------------
+    def _overlap_runtime(self, workers: int) -> OverlapExecutor:
+        runtime = self._runtimes.get(workers)
+        if runtime is None:
+            runtime = OverlapExecutor(workers=workers, name=f"clm-adam{workers}")
+            self._runtimes[workers] = runtime
+        return runtime
+
+    def _graph_runtime(self, workers: int) -> GraphExecutor:
+        runtime = self._graph_runtimes.get(workers)
+        if runtime is None:
+            runtime = GraphExecutor(workers=workers, name=f"clm-graph{workers}")
+            self._graph_runtimes[workers] = runtime
+        return runtime
 
     def _culling_arrays(self):
         return (
@@ -131,15 +166,101 @@ class CLMEngine(EngineBase):
         the trainer collect densification statistics without the engine
         knowing about them.
 
-        Concurrency contract: every task handed to :attr:`runtime` updates
-        a *finalized* chunk — rows no later microbatch loads, stores, or
+        With :attr:`tuner` set (``config.autotune``), the batch is planned
+        once per candidate ordering (memoized), the tuner picks the
+        configuration with the smallest simulator-predicted makespan, and
+        after execution the prediction is reconciled against the measured
+        wall time and fed back into the cost model.  The tuned knobs are
+        execution details only: worker count and slab ``group_size`` never
+        change results (bit-identical, pinned by tests), the ordering
+        changes the schedule semantics exactly as the ``ordering`` config
+        always has.
+
+        ``config.use_task_graph`` selects the dependency task-graph
+        executor instead of the submit/barrier overlap loop — same math,
+        same bit-identical guarantee.
+        """
+        cfg = self.config
+        self._step_adam_critical_s = 0.0
+        batch_start = time.perf_counter()
+        choice = None
+        if self.tuner is not None:
+            plans = {
+                ordering: self.plan_batch(view_ids, strategy=ordering)
+                for ordering in self.tuner.orderings
+            }
+            choice = self.tuner.choose(plans)
+            plan = plans[choice.config.ordering]
+            workers = choice.config.overlap_workers
+            self._raster_overrides = {"group_size": choice.config.group_size}
+            if choice.config.kernel_backend is not None:
+                self._raster_overrides["kernel_backend"] = (
+                    choice.config.kernel_backend
+                )
+            # Key future plans under the tuned slab width (see
+            # plan_fingerprint): tuned configs never share a cached plan.
+            self.planner.group_size = choice.config.group_size
+        else:
+            plan = self.plan_batch(view_ids)
+            workers = cfg.overlap_workers
+        if cfg.use_task_graph:
+            result, adam_noncritical_s, hidden_s = self._execute_plan_graph(
+                plan, targets, position_grad_hook, workers
+            )
+        else:
+            result, adam_noncritical_s, hidden_s = self._execute_plan(
+                plan, targets, position_grad_hook, workers
+            )
+        if choice is not None:
+            measured = MeasuredBatch(
+                wall_s=time.perf_counter() - batch_start,
+                forward_s=self._step_forward_s,
+                backward_s=self._step_backward_s,
+                adam_s=adam_noncritical_s,
+                critical_adam_s=self._step_adam_critical_s,
+                hidden_s=hidden_s,
+                working_rows=sum(
+                    int(s.working_set.size) for s in plan.steps
+                ),
+                traffic_rows=(
+                    plan.total_loads + plan.total_stores + plan.total_cached
+                ),
+                chunk_rows=sum(plan.adam_chunk_sizes),
+                touched_rows=int(plan.touched.size),
+            )
+            reconciliation = self.tuner.observe(choice, plan, measured)
+            result.autotuned = True
+            result.tuned_workers = choice.config.overlap_workers
+            result.tuned_group_size = choice.config.group_size
+            result.tuned_ordering = choice.config.ordering
+            result.tuned_kernel_backend = (
+                choice.config.kernel_backend or self.kernel_backend
+            )
+            result.predicted_makespan_s = choice.predicted_s
+            result.autotune_rel_error = reconciliation.relative_error
+        return result
+
+    # ------------------------------------------------------------------
+    def _execute_plan(
+        self,
+        plan,
+        targets: Dict[int, np.ndarray],
+        position_grad_hook: Optional[PositionGradHook],
+        workers: int,
+    ) -> "tuple[BatchResult, float, float]":
+        """The submit/barrier overlap loop (the pre-graph execution path).
+
+        Concurrency contract: every task handed to the runtime updates a
+        *finalized* chunk — rows no later microbatch loads, stores, or
         re-finalizes (the plan invariants ``validate`` asserts) — so the
         worker threads and the training thread never touch the same rows,
         and the barrier below is the only ordering the batch needs.
+
+        Returns ``(result, noncritical_adam_s, hidden_s)``.
         """
         cfg = self.config
-        batch = len(view_ids)
-        plan = self.plan_batch(view_ids)
+        runtime = self._overlap_runtime(workers)
+        batch = plan.batch_size
         touched = plan.touched
         self.cpu_store.zero_grads(touched)
         self.gpu_store.zero_grads(touched)
@@ -173,27 +294,184 @@ class CLMEngine(EngineBase):
             if cfg.enable_overlap_adam and chunk.size:
                 # Chunk F_j is final: its CPU Adam (+ writeback staging)
                 # runs on the pool while the next microbatch renders.
-                self.runtime.submit(self._apply_noncritical_adam, chunk)
+                runtime.submit(self._apply_noncritical_adam, chunk)
 
         if not cfg.enable_overlap_adam:
             # Ablation: all updates at batch end (functionally identical,
             # nothing to hide them under — the barrier follows at once).
             for chunk in plan.adam_chunks:
                 if chunk.size:
-                    self.runtime.submit(self._apply_noncritical_adam, chunk)
+                    runtime.submit(self._apply_noncritical_adam, chunk)
         # The GPU-side critical update is independent of the pinned store,
         # so it too proceeds under any still-running noncritical chunks.
         self._apply_critical_adam(touched)
-        self.runtime.barrier()
-        stats = self.runtime.drain_stats()
+        runtime.barrier()
+        stats = runtime.drain_stats()
         self._step_adam_s += stats.task_s
         self._step_overlap_hidden_s += stats.hidden_s
         working.release()
+        result = self._batch_result(plan, working, total_loss, per_view_loss)
+        return result, stats.task_s, stats.hidden_s
 
+    # ------------------------------------------------------------------
+    def _execute_plan_graph(
+        self,
+        plan,
+        targets: Dict[int, np.ndarray],
+        position_grad_hook: Optional[PositionGradHook],
+        workers: int,
+    ) -> "tuple[BatchResult, float, float]":
+        """The dependency task-graph execution path (ROADMAP item 5).
+
+        Per microbatch the chain ``assemble -> forward -> backward ->
+        retire`` is a linear dependency spine (each assemble also depends
+        on the previous retire: they share the double-buffered working
+        set, and backward gradient accumulation across tile slabs is
+        order-sensitive, so the spine must not be reordered).  Each
+        finalized Adam chunk hangs off its step's retire node with *no*
+        edges between chunks — the worker pool runs them in any order,
+        bit-identical by chunk disjointness (§4.2.2), concurrently with
+        later spine nodes.
+
+        Returns ``(result, noncritical_adam_s, hidden_s)``.
+        """
+        cfg = self.config
+        runtime = self._graph_runtime(workers)
+        batch = plan.batch_size
+        touched = plan.touched
+        self.cpu_store.zero_grads(touched)
+        self.gpu_store.zero_grads(touched)
+
+        working = GpuWorkingSet(
+            self.cpu_store,
+            self.gpu_store,
+            pool=self.pool,
+            num_pixels=self._num_pixels,
+        )
+        # Spine-carried state: only one spine node runs at a time (linear
+        # dependencies), so this dict is never accessed concurrently.
+        state: Dict[str, object] = {"carried": None, "loss": 0.0}
+        per_view_loss: Dict[int, float] = {}
+
+        graph = TaskGraph(name="clm-batch")
+        prev = None
+        for step, chunk in zip(plan.steps, plan.adam_chunks):
+            asm = graph.add(
+                self._graph_assemble,
+                working,
+                step,
+                state,
+                name=f"ASM.{step.position}",
+                kind="assemble",
+                deps=(prev,) if prev is not None else (),
+            )
+            fwd = graph.add(
+                self._graph_forward,
+                step,
+                state,
+                targets[step.view_id],
+                batch,
+                per_view_loss,
+                name=f"FWD.{step.position}",
+                kind="forward",
+                deps=(asm,),
+            )
+            bwd = graph.add(
+                self._graph_backward,
+                working,
+                step,
+                state,
+                position_grad_hook,
+                name=f"BWD.{step.position}",
+                kind="backward",
+                deps=(fwd,),
+            )
+            prev = graph.add(
+                self._graph_retire,
+                working,
+                step,
+                state,
+                name=f"RET.{step.position}",
+                kind="retire",
+                deps=(bwd,),
+            )
+            if cfg.enable_overlap_adam and chunk.size:
+                graph.add(
+                    self._apply_noncritical_adam,
+                    chunk,
+                    name=f"ADAM.{step.position}",
+                    kind="adam",
+                    deps=(prev,),
+                )
+        if not cfg.enable_overlap_adam:
+            for position, chunk in enumerate(plan.adam_chunks):
+                if chunk.size and prev is not None:
+                    graph.add(
+                        self._apply_noncritical_adam,
+                        chunk,
+                        name=f"ADAM.{position}",
+                        kind="adam",
+                        deps=(prev,),
+                    )
+        if prev is not None:
+            graph.add(
+                self._apply_critical_adam,
+                touched,
+                name="CRIT_ADAM",
+                kind="critical_adam",
+                deps=(prev,),
+            )
+        stats = runtime.run(graph)
+        adam_noncritical_s = stats.kind_s.get("adam", 0.0)
+        self._step_adam_s += adam_noncritical_s
+        self._step_overlap_hidden_s += stats.hidden_s
+        working.release()
+        result = self._batch_result(
+            plan, working, float(state["loss"]), per_view_loss
+        )
+        return result, adam_noncritical_s, stats.hidden_s
+
+    # -- graph node bodies (spine order == classic loop order) -----------
+    def _graph_assemble(self, working, step, state) -> None:
+        state["model"] = working.assemble(
+            step.working_set, step.loads, step.cached, state["carried"]
+        )
+
+    def _graph_forward(
+        self, step, state, target, batch, per_view_loss
+    ) -> None:
+        cam = self.cameras[step.view_id]
+        start = time.perf_counter()
+        render = self._render(cam, state["model"], self.raster_settings)
+        self._step_forward_s += time.perf_counter() - start
+        loss, g_img = photometric_loss(
+            render.image, target, self.config.ssim_lambda
+        )
+        per_view_loss[step.view_id] = loss
+        state["loss"] = float(state["loss"]) + loss / batch
+        state["render"] = (render, g_img / batch)
+
+    def _graph_backward(self, working, step, state, position_grad_hook) -> None:
+        render, g_img = state.pop("render")
+        start = time.perf_counter()
+        grads = self._render_backward(render, state["model"], g_img)
+        self._step_backward_s += time.perf_counter() - start
+        working.add_grads(grads)
+        if position_grad_hook is not None:
+            position_grad_hook(
+                step.view_id, step.working_set, grads["positions"]
+            )
+
+    def _graph_retire(self, working, step, state) -> None:
+        state["carried"] = working.retire(step.stores, step.carried)
+
+    def _batch_result(
+        self, plan, working, total_loss: float, per_view_loss: Dict[int, float]
+    ) -> BatchResult:
         return BatchResult(
             loss=total_loss,
             per_view_loss=per_view_loss,
-            touched_gaussians=int(touched.size),
+            touched_gaussians=int(plan.touched.size),
             order=list(plan.order),
             loaded_gaussians=working.counters.loaded_gaussians,
             stored_gaussians=working.counters.stored_gaussians,
@@ -229,7 +507,11 @@ class CLMEngine(EngineBase):
         self.adam_critical.step_packed(
             self.gpu_store.packed_params, self.gpu_store.packed_grads, rows
         )
-        self._step_adam_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self._step_adam_s += elapsed
+        # Split out for the tuner: critical Adam is serial-on-main in the
+        # prediction DAG, unlike the overlappable noncritical chunks.
+        self._step_adam_critical_s += elapsed
 
     # ------------------------------------------------------------------
     def render_view(self, view_id: int):
@@ -274,13 +556,17 @@ class CLMEngine(EngineBase):
         self.adam_noncritical.resize(keep_rows)
 
     def close(self) -> None:
-        """Stop the overlap runtime's worker threads (idempotent; the
+        """Stop every pooled executor's worker threads (idempotent; the
         workers are daemons, so skipping this never hangs interpreter
-        shutdown)."""
-        self.runtime.close()
+        shutdown).  The adaptive runtime may have warmed executors at
+        several worker counts — all of them close here."""
+        for runtime in self._runtimes.values():
+            runtime.close()
+        for runtime in self._graph_runtimes.values():
+            runtime.close()
 
     def __del__(self) -> None:  # best-effort thread cleanup
         try:
-            self.runtime.close()
+            self.close()
         except Exception:
             pass

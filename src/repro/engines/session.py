@@ -91,6 +91,14 @@ class TrainingSession:
         time, or ``sess.planner.cache`` for the memoized plans."""
         return self.engine.planner
 
+    @property
+    def tuner(self):
+        """The engine's :class:`repro.autotune.AutoTuner`, or ``None``
+        when the engine doesn't auto-tune (``config.autotune`` off, or an
+        engine without an adaptive runtime).  ``sess.tuner.summary()``
+        reports prediction error and the most-chosen configuration."""
+        return getattr(self.engine, "tuner", None)
+
     # ------------------------------------------------------------------
     def train(self, batches: Optional[int] = None):
         """Run ``batches`` training batches (default: the trainer config's

@@ -35,11 +35,13 @@ as deprecation shims.
 """
 
 from repro.planning.adam_overlap import (
+    MakespanReconciliation,
     OverlapReconciliation,
     adam_chunks,
     finalization_positions,
     overlap_fraction,
     reconcile_measured_overlap,
+    reconcile_predicted_makespan,
     touched_union,
 )
 from repro.planning.caching import (
@@ -81,5 +83,7 @@ __all__ = [
     "overlap_fraction",
     "OverlapReconciliation",
     "reconcile_measured_overlap",
+    "MakespanReconciliation",
+    "reconcile_predicted_makespan",
     "touched_union",
 ]

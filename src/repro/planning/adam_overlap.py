@@ -117,3 +117,47 @@ def reconcile_measured_overlap(
         adam_s=float(adam_s),
         hidden_s=float(hidden_s),
     )
+
+
+@dataclass(frozen=True)
+class MakespanReconciliation:
+    """One batch's predicted vs measured end-to-end makespan.
+
+    The whole-batch generalization of :class:`OverlapReconciliation`: the
+    overlap reconciliation compares one term (hideable Adam seconds), this
+    compares the full schedule — the discrete-event makespan the
+    auto-tuner predicted for the chosen configuration against the wall
+    time the batch actually took.  ``relative_error`` is what the tuner
+    feeds back (and what ``PerfCounters``/``BenchRecord`` report): under
+    a calibrated cost model it should be small; right after construction
+    (specs priors only) it is legitimately large.
+    """
+
+    predicted_s: float
+    measured_s: float
+
+    @property
+    def error_s(self) -> float:
+        """Signed prediction error (positive = batch ran slower than
+        predicted)."""
+        return self.measured_s - self.predicted_s
+
+    @property
+    def relative_error(self) -> float:
+        """``|predicted - measured| / measured`` (0 for unmeasured)."""
+        if self.measured_s <= 0.0:
+            return 0.0
+        return abs(self.error_s) / self.measured_s
+
+    def within(self, tolerance: float) -> bool:
+        return self.relative_error <= tolerance
+
+
+def reconcile_predicted_makespan(
+    predicted_s: float, measured_s: float
+) -> MakespanReconciliation:
+    """Reconcile a simulator-predicted batch makespan against the
+    measured wall time (the auto-tuner's per-batch feedback signal)."""
+    return MakespanReconciliation(
+        predicted_s=float(predicted_s), measured_s=float(measured_s)
+    )

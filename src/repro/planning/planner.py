@@ -52,6 +52,7 @@ def plan_fingerprint(
     num_gaussians: int,
     cameras=None,
     kernel_backend: Optional[str] = None,
+    group_size: Optional[int] = None,
 ) -> Tuple:
     """The :class:`PlanCache` key: per-view set digests plus every input
     that changes the resulting plan.
@@ -66,6 +67,13 @@ def plan_fingerprint(
     reconciliation loop, serving SLO reports) to the backend that executed
     them, so a backend switch must miss rather than revive plans observed
     under different kernels.
+
+    ``group_size`` is the raster slab width the plan will execute under —
+    an execution detail (bit-identical results either way), keyed for the
+    same attribution reason: the auto-tuner retunes it per batch, and two
+    tuned configurations whose measured timings feed the cost model must
+    never collide on one cached plan.  The scheduled ordering is already
+    keyed as ``strategy``.
     """
     camera_digest = None
     if cameras is not None:
@@ -81,6 +89,7 @@ def plan_fingerprint(
         int(num_gaussians),
         camera_digest,
         kernel_backend,
+        None if group_size is None else int(group_size),
         tuple(int(v) for v in view_ids),
         tuple(set_fingerprint(s) for s in sets),
     )
@@ -161,6 +170,7 @@ class BatchPlanner:
         seed: SeedLike = 0,
         tsp_time_limit_s: float = 1e-3,
         kernel_backend: Optional[str] = None,
+        group_size: Optional[int] = None,
     ) -> None:
         self.ordering = ordering
         self.enable_cache = enable_cache
@@ -168,6 +178,11 @@ class BatchPlanner:
         #: Resolved kernel-backend identity keyed into every fingerprint
         #: (None for standalone planners — keys simply omit the backend).
         self.kernel_backend = kernel_backend
+        #: Raster slab width plans are attributed to.  A mutable attribute
+        #: on purpose: the auto-tuner retunes it per batch, and the next
+        #: ``plan()`` call keys the cache under the new value so tuned
+        #: configurations never share a cached plan's measured timings.
+        self.group_size = group_size
         self._rng = make_rng(seed)
         self.cache = PlanCache(cache_size)
         self.counters = PlannerCounters()
@@ -189,6 +204,9 @@ class BatchPlanner:
             cache_size=getattr(config, "plan_cache_size", 8),
             seed=config.seed if seed is None else seed,
             kernel_backend=kernel_backend,
+            group_size=getattr(
+                getattr(config, "raster", None), "group_size", None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -232,6 +250,7 @@ class BatchPlanner:
                 sets, view_ids, strategy, self.enable_cache, num_gaussians,
                 cameras=cameras if strategy == "camera" else None,
                 kernel_backend=self.kernel_backend,
+                group_size=self.group_size,
             )
             cached = self.cache.get(key)
             if cached is not None:

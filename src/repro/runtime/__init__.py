@@ -11,8 +11,24 @@ inside their kernels, so this yields genuine wall-clock overlap on stock
 CPython, and a batch-end barrier guarantees results remain bit-identical
 to sequential execution (chunks touch pairwise-disjoint rows, so no
 ordering between them is observable).
+
+The adaptive runtime (ROADMAP item 5) generalizes this into a dependency
+:class:`TaskGraph` executed by :class:`GraphExecutor`: assembly, raster
+forward/backward, gradient retirement, and Adam chunks become explicit
+nodes, and the worker pool may run them in any dependency-respecting
+order — bit-identical by the same disjointness arguments, pinned by
+``tests/runtime/test_graph_equivalence.py``.
 """
 
 from repro.runtime.executor import ExecutorStats, OverlapExecutor, WorkerError
+from repro.runtime.graph import GraphExecutor, GraphStats, GraphTask, TaskGraph
 
-__all__ = ["OverlapExecutor", "ExecutorStats", "WorkerError"]
+__all__ = [
+    "OverlapExecutor",
+    "ExecutorStats",
+    "WorkerError",
+    "TaskGraph",
+    "GraphTask",
+    "GraphExecutor",
+    "GraphStats",
+]

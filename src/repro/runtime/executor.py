@@ -194,17 +194,34 @@ class OverlapExecutor:
 
     def drain_stats(self) -> ExecutorStats:
         """Return and reset the interval counters (call once per batch,
-        after :meth:`barrier`)."""
+        after :meth:`barrier`).
+
+        Raises :class:`RuntimeError` after :meth:`close`: a closed
+        executor's counters are frozen mid-interval (workers joined, no
+        barrier can complete the batch), so returning them would hand the
+        caller partial numbers that look like a finished batch.
+        """
         with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "drain_stats() on a closed OverlapExecutor: the "
+                    "interval counters are partial once the workers have "
+                    "been joined — drain before close()"
+                )
+            # Inline mode runs every task on the calling thread: nothing
+            # is ever hidden and nothing ever blocks *on the runtime* (the
+            # barrier returns immediately) — report exact zeros rather
+            # than the epsilon wait times the condition variable accrues.
+            inline = self.workers == 0
             stats = ExecutorStats(
                 tasks=self._tasks,
                 task_s=self._task_s,
                 busy_span_s=self._busy_span_s,
-                blocked_s=self._blocked_s,
+                blocked_s=0.0 if inline else self._blocked_s,
                 hidden_s=(
-                    max(0.0, self._busy_span_s - self._blocked_s)
-                    if self.workers > 0
-                    else 0.0
+                    0.0
+                    if inline
+                    else max(0.0, self._busy_span_s - self._blocked_s)
                 ),
                 cancelled=self._cancelled,
             )

@@ -1,0 +1,95 @@
+"""CostModel unit tests: priors, calibration, sibling fallback."""
+
+import pytest
+
+from repro.autotune.cost_model import DISPATCH_OVERHEAD_S, CostModel
+
+
+def test_priors_are_positive_before_any_measurement():
+    m = CostModel()
+    assert m.forward_s(1000, 256, None) > 0.0
+    assert m.backward_s(1000, 256, None) > 0.0
+    assert m.adam_s(1000) > 0.0
+    assert m.critical_adam_s(1000) > 0.0
+    assert m.overhead_s(1000) > 0.0
+    assert m.observations == 0
+
+
+def test_prior_shape_backward_slower_than_forward():
+    """The specs encode the relative shape the argmin relies on."""
+    m = CostModel()
+    assert m.backward_s(1000, 256, None) > m.forward_s(1000, 256, None)
+
+
+def test_first_observation_replaces_prior():
+    m = CostModel()
+    m.observe(("adam",), units=1000, seconds=2.0)
+    assert m.rate(("adam",)) == pytest.approx(2e-3)
+    assert m.measured(("adam",))
+    assert m.observations == 1
+
+
+def test_ema_tracks_subsequent_observations():
+    m = CostModel(ema=0.5)
+    m.observe(("adam",), 1000, 2.0)  # rate 2e-3
+    m.observe(("adam",), 1000, 4.0)  # rate 4e-3 -> EMA 3e-3
+    assert m.rate(("adam",)) == pytest.approx(3e-3)
+
+
+def test_empty_measurements_ignored():
+    m = CostModel()
+    m.observe(("adam",), 0, 1.0)
+    m.observe(("adam",), 100, 0.0)
+    m.observe(("adam",), 100, -0.5)
+    assert not m.measured(("adam",))
+    assert m.observations == 0
+
+
+def test_invalid_ema_rejected():
+    with pytest.raises(ValueError):
+        CostModel(ema=0.0)
+    with pytest.raises(ValueError):
+        CostModel(ema=1.5)
+
+
+def test_nearest_sibling_group_size_fallback():
+    """One measured slab width anchors unmeasured neighbours."""
+    m = CostModel()
+    m.observe(("forward", 64, None), 1000, 1.0)
+    m.observe(("forward", 1024, None), 1000, 9.0)
+    # 128 is nearer 64 than 1024 in log space.
+    assert m.rate(("forward", 128, None)) == pytest.approx(1e-3)
+    assert m.rate(("forward", 768, None)) == pytest.approx(9e-3)
+
+
+def test_sibling_prefers_same_backend():
+    m = CostModel()
+    m.observe(("forward", 64, "numpy"), 1000, 1.0)
+    m.observe(("forward", 64, "numba"), 1000, 0.1)
+    assert m.rate(("forward", 128, "numba")) == pytest.approx(1e-4)
+    assert m.rate(("forward", 128, "numpy")) == pytest.approx(1e-3)
+
+
+def test_sibling_never_crosses_ops():
+    m = CostModel()
+    m.observe(("forward", 64, None), 1000, 1.0)
+    prior_backward = CostModel().rate(("backward", 64, None))
+    assert m.rate(("backward", 64, None)) == pytest.approx(prior_backward)
+
+
+def test_unknown_op_raises():
+    with pytest.raises(KeyError):
+        CostModel().rate(("warp_drive",))
+
+
+def test_snapshot_flat_keys():
+    m = CostModel()
+    m.observe(("forward", 64, None), 1000, 1.0)
+    m.observe(("adam",), 1000, 2.0)
+    snap = m.snapshot()
+    assert snap["adam"] == pytest.approx(2e-3)
+    assert snap["forward.64.None"] == pytest.approx(1e-3)
+
+
+def test_dispatch_overhead_is_small_but_nonzero():
+    assert 0.0 < DISPATCH_OVERHEAD_S < 1e-3

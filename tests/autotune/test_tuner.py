@@ -1,0 +1,187 @@
+"""AutoTuner unit tests: exploration, argmin exploitation, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    AutoTuner,
+    CandidateSpace,
+    MeasuredBatch,
+    TunedConfig,
+)
+from repro.planning import BatchPlanner
+
+NUM_GAUSSIANS = 500
+
+
+def make_plans(orderings, seed=0, batch=4):
+    rng = np.random.default_rng(seed)
+    sets = [
+        np.sort(rng.choice(NUM_GAUSSIANS, size=120, replace=False))
+        for _ in range(batch)
+    ]
+    planner = BatchPlanner(cache_size=0, seed=seed)
+    return {
+        o: planner.plan(
+            sets, list(range(batch)), num_gaussians=NUM_GAUSSIANS, strategy=o
+        )
+        for o in orderings
+    }
+
+
+def measured_for(plan, wall_s=0.1):
+    working = sum(int(s.working_set.size) for s in plan.steps)
+    return MeasuredBatch(
+        wall_s=wall_s,
+        forward_s=0.4 * wall_s,
+        backward_s=0.4 * wall_s,
+        adam_s=0.1 * wall_s,
+        critical_adam_s=0.05 * wall_s,
+        hidden_s=0.05 * wall_s,
+        working_rows=working,
+        traffic_rows=plan.total_loads + plan.total_stores + plan.total_cached,
+        chunk_rows=sum(plan.adam_chunk_sizes),
+        touched_rows=int(plan.touched.size),
+    )
+
+
+@pytest.fixture
+def space():
+    return CandidateSpace(
+        workers=(0, 2), group_sizes=(64, 256), orderings=("tsp", "identity")
+    )
+
+
+def test_choose_requires_every_candidate_ordering(space):
+    tuner = AutoTuner(space=space)
+    plans = make_plans(("tsp",))
+    with pytest.raises(KeyError, match="identity"):
+        tuner.choose(plans)
+
+
+def test_exploration_visits_each_group_size_once_then_exploits(space):
+    tuner = AutoTuner(space=space)
+    plans = make_plans(space.orderings)
+    probes = []
+    for _ in range(2):  # 2 group sizes x 1 backend
+        choice = tuner.choose(plans)
+        assert choice.explored
+        assert choice.table == ()
+        # Probes pin the most-parallel workers and the first ordering.
+        assert choice.config.overlap_workers == space.workers[-1]
+        assert choice.config.ordering == "tsp"
+        probes.append(choice.config.group_size)
+        tuner.observe(choice, plans[choice.config.ordering],
+                      measured_for(plans[choice.config.ordering]))
+    assert probes == [64, 256]  # grid order
+    choice = tuner.choose(plans)
+    assert not choice.explored
+    assert len(choice.table) == space.size
+
+
+def test_exploitation_returns_argmin_of_table(space):
+    tuner = AutoTuner(space=space)
+    plans = make_plans(space.orderings)
+    for _ in range(2):
+        choice = tuner.choose(plans)
+        tuner.observe(choice, plans[choice.config.ordering],
+                      measured_for(plans[choice.config.ordering]))
+    choice = tuner.choose(plans)
+    best = min(predicted for _, predicted in choice.table)
+    assert choice.predicted_s == best
+    # Table is sorted cheapest-first and contains the chosen config.
+    assert choice.table[0][1] == best
+    assert choice.config in {config for config, _ in choice.table}
+
+
+def test_ties_resolve_to_earliest_candidate():
+    space = CandidateSpace(
+        workers=(0,), group_sizes=(64, 256), orderings=("identity",)
+    )
+    tuner = AutoTuner(space=space)
+    plans = make_plans(("identity",))
+    for _ in range(2):
+        choice = tuner.choose(plans)
+        plan = plans[choice.config.ordering]
+        tuner.observe(choice, plan, measured_for(plan))
+    # Force both group sizes to the same measured rates -> tie.
+    for g in (64, 256):
+        tuner.model._rates[("forward", g, None)] = 1e-6
+        tuner.model._rates[("backward", g, None)] = 1e-6
+    choice = tuner.choose(plans)
+    assert choice.config.group_size == 64  # earliest in enumeration order
+
+
+def test_more_workers_hide_heavy_adam_in_prediction():
+    tuner = AutoTuner()
+    plans = make_plans(("identity",))
+    plan = plans["identity"]
+    # Calibrate an Adam-dominated machine.
+    tuner.model.observe(("adam",), 1, 1e-3)      # very slow per-row Adam
+    tuner.model.observe(("forward", 64, None), 1, 1e-6)
+    tuner.model.observe(("backward", 64, None), 1, 1e-6)
+    serial = tuner.predict_makespan(plan, TunedConfig(0, 64, "identity"))
+    overlapped = tuner.predict_makespan(plan, TunedConfig(2, 64, "identity"))
+    assert overlapped < serial
+
+
+def test_prediction_dag_resources():
+    tuner = AutoTuner()
+    plan = make_plans(("identity",))["identity"]
+    result = tuner.build_simulator(
+        plan, TunedConfig(2, 64, "identity")
+    ).run()
+    resources = set(result.resources())
+    assert "main" in resources
+    assert any(r.startswith("cpu.adam") for r in resources)
+    assert result.makespan > 0.0
+    inline = tuner.build_simulator(
+        plan, TunedConfig(0, 64, "identity")
+    ).run()
+    assert set(inline.resources()) == {"main"}
+
+
+def test_observe_reconciles_and_calibrates(space):
+    tuner = AutoTuner(space=space)
+    plans = make_plans(space.orderings)
+    choice = tuner.choose(plans)
+    plan = plans[choice.config.ordering]
+    rec = tuner.observe(choice, plan, measured_for(plan, wall_s=0.2))
+    assert rec.measured_s == pytest.approx(0.2)
+    assert rec.relative_error >= 0.0
+    key = ("forward", choice.config.group_size, choice.config.kernel_backend)
+    assert tuner.model.measured(key)
+    assert tuner.model.measured(("adam",))
+    assert tuner.model.measured(("overhead",))
+    # Exploration batches never fold into the calibrated-error mean.
+    assert tuner.stats.reconciled == 0
+    assert tuner.stats.mean_rel_error == 0.0
+    assert tuner.stats.explored_batches == 1
+
+
+def test_exploited_batches_fold_error(space):
+    tuner = AutoTuner(space=space)
+    plans = make_plans(space.orderings)
+    for _ in range(2):
+        choice = tuner.choose(plans)
+        plan = plans[choice.config.ordering]
+        tuner.observe(choice, plan, measured_for(plan))
+    choice = tuner.choose(plans)
+    plan = plans[choice.config.ordering]
+    tuner.observe(choice, plan, measured_for(plan))
+    assert tuner.stats.reconciled == 1
+    assert tuner.stats.batches == 3
+    assert tuner.stats.last is not None
+
+
+def test_summary_shape(space):
+    tuner = AutoTuner(space=space)
+    plans = make_plans(space.orderings)
+    choice = tuner.choose(plans)
+    plan = plans[choice.config.ordering]
+    tuner.observe(choice, plan, measured_for(plan))
+    summary = tuner.summary()
+    assert summary["batches"] == 1
+    assert summary["candidates"] == space.size
+    assert summary["most_chosen"] == choice.config.as_dict()
+    assert summary["model_observations"] == tuner.model.observations

@@ -144,3 +144,76 @@ def test_tasks_of_kind_sorted_by_start():
     result = sim.run()
     recs = result.tasks_of_kind("k")
     assert [r.task.name for r in recs] == ["a", "b"]
+
+
+# -- ScheduleResult.utilization edge cases (ROADMAP item 5 satellite) ----
+
+def test_utilization_empty_schedule():
+    """No tasks: zero makespan, no resources, every fraction 0.0."""
+    result = Simulator().run()
+    util = result.utilization()
+    assert result.makespan == 0.0
+    assert util.busy_s == {}
+    assert util.busy_fraction == {}
+    assert util.fraction("gpu.compute") == 0.0  # absent resource
+    assert util.summary() == {"makespan": 0.0}
+
+
+def test_utilization_restricted_to_named_resources():
+    sim = Simulator()
+    sim.add("A", "gpu.compute", 1.0)
+    util = sim.run().utilization(resources=["gpu.compute", "cpu.adam"])
+    assert util.busy_s["gpu.compute"] == pytest.approx(1.0)
+    assert util.busy_s["cpu.adam"] == 0.0
+    assert util.fraction("cpu.adam") == 0.0
+
+
+def test_utilization_single_resource_contention():
+    """Two independent tasks on one serial resource: they queue, the
+    resource is 100% busy, and the makespan is the sum."""
+    sim = Simulator()
+    sim.add("A", "gpu.compute", 2.0)
+    sim.add("B", "gpu.compute", 3.0)
+    result = sim.run()
+    assert result.makespan == pytest.approx(5.0)
+    util = result.utilization()
+    assert util.fraction("gpu.compute") == pytest.approx(1.0)
+    assert util.busy_s["gpu.compute"] == pytest.approx(5.0)
+
+
+def test_utilization_excludes_zero_duration_tasks():
+    """Zero-duration tasks schedule (deps resolve) but contribute no busy
+    seconds and never appear as a busy resource."""
+    sim = Simulator()
+    a = sim.add("A", "gpu.compute", 1.0)
+    b = sim.add("BARRIER", "cpu.sched", 0.0, deps=[a])
+    sim.add("C", "gpu.compute", 1.0, deps=[b])
+    result = sim.run()
+    util = result.utilization()
+    assert result.makespan == pytest.approx(2.0)
+    assert "cpu.sched" not in util.busy_s
+    assert util.fraction("cpu.sched") == 0.0
+    assert util.fraction("gpu.compute") == pytest.approx(1.0)
+
+
+def test_utilization_all_zero_duration():
+    """A schedule of only zero-duration tasks has zero makespan; fractions
+    divide by zero nowhere and report 0.0."""
+    sim = Simulator()
+    a = sim.add("A", "cpu.sched", 0.0)
+    sim.add("B", "cpu.sched", 0.0, deps=[a])
+    result = sim.run()
+    assert result.makespan == 0.0
+    util = result.utilization(resources=["cpu.sched"])
+    assert util.fraction("cpu.sched") == 0.0
+
+
+def test_utilization_fraction_in_unit_interval_under_overlap():
+    sim = Simulator()
+    sim.add("A", "gpu.compute", 1.0)
+    sim.add("B", "cpu.adam", 4.0)
+    util = sim.run().utilization()
+    assert util.fraction("gpu.compute") == pytest.approx(0.25)
+    assert util.fraction("cpu.adam") == pytest.approx(1.0)
+    for fraction in util.busy_fraction.values():
+        assert 0.0 <= fraction <= 1.0

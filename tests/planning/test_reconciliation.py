@@ -118,3 +118,32 @@ def test_single_view_render_goes_through_planner(engine_and_plan):
     built = engine.planner.counters.plans_built
     engine.render_view(0)
     assert engine.planner.counters.plans_built == built
+
+
+# -- predicted-makespan reconciliation (the auto-tuner's feedback loop) --
+
+def test_reconcile_predicted_makespan_basic():
+    from repro.planning import reconcile_predicted_makespan
+
+    rec = reconcile_predicted_makespan(0.08, 0.10)
+    assert rec.predicted_s == pytest.approx(0.08)
+    assert rec.measured_s == pytest.approx(0.10)
+    assert rec.error_s == pytest.approx(0.02)
+    assert rec.relative_error == pytest.approx(0.2)
+    assert rec.within(0.25)
+    assert not rec.within(0.1)
+
+
+def test_reconcile_predicted_makespan_overprediction():
+    from repro.planning import reconcile_predicted_makespan
+
+    rec = reconcile_predicted_makespan(0.15, 0.10)
+    assert rec.error_s == pytest.approx(-0.05)
+    assert rec.relative_error == pytest.approx(0.5)
+
+
+def test_reconcile_predicted_makespan_zero_measured():
+    from repro.planning import reconcile_predicted_makespan
+
+    rec = reconcile_predicted_makespan(0.01, 0.0)
+    assert rec.relative_error == 0.0  # defined, not a ZeroDivisionError

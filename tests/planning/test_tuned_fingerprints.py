@@ -1,0 +1,73 @@
+"""Plan fingerprints must separate tuned configurations (ROADMAP item 5
+satellite): two per-batch tuned raster settings may never collide on one
+cached plan, because measured per-plan timings feed the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.planning import BatchPlanner, plan_fingerprint
+
+
+@pytest.fixture
+def sets():
+    rng = np.random.default_rng(0)
+    return [
+        np.sort(rng.choice(300, size=80, replace=False)) for _ in range(4)
+    ]
+
+
+def fp(sets, **kwargs):
+    return plan_fingerprint(
+        sets, [0, 1, 2, 3], "tsp", True, 300, **kwargs
+    )
+
+
+def test_group_size_keys_fingerprint(sets):
+    assert fp(sets, group_size=64) != fp(sets, group_size=256)
+    assert fp(sets, group_size=64) == fp(sets, group_size=64)
+    # Unset stays distinct from any explicit width.
+    assert fp(sets) != fp(sets, group_size=64)
+
+
+def test_ordering_keys_fingerprint(sets):
+    a = plan_fingerprint(sets, [0, 1, 2, 3], "tsp", True, 300)
+    b = plan_fingerprint(sets, [0, 1, 2, 3], "gs_count", True, 300)
+    assert a != b
+
+
+def test_two_tuned_configs_get_distinct_cache_entries(sets):
+    """The regression the satellite asks for: retuning group_size between
+    batches must miss (and later re-hit) rather than collide."""
+    planner = BatchPlanner(ordering="identity", cache_size=8, group_size=64)
+    planner.plan(sets, [0, 1, 2, 3], num_gaussians=300)
+    assert planner.counters.plans_built == 1
+
+    planner.group_size = 256  # the tuner's per-batch update
+    planner.plan(sets, [0, 1, 2, 3], num_gaussians=300)
+    assert planner.counters.plans_built == 2  # miss, not a stale hit
+    assert len(planner.cache) == 2
+
+    planner.group_size = 64  # back to the first tuned config: a real hit
+    planner.plan(sets, [0, 1, 2, 3], num_gaussians=300)
+    assert planner.counters.plans_built == 2
+    assert planner.counters.cache_hits == 1
+
+
+def test_tuned_orderings_get_distinct_cache_entries(sets):
+    """Ordering is keyed as the plan strategy; per-batch tuned orderings
+    coexist in the cache."""
+    planner = BatchPlanner(cache_size=8)
+    planner.plan(sets, [0, 1, 2, 3], num_gaussians=300, strategy="tsp")
+    planner.plan(sets, [0, 1, 2, 3], num_gaussians=300, strategy="gs_count")
+    assert planner.counters.plans_built == 2
+    planner.plan(sets, [0, 1, 2, 3], num_gaussians=300, strategy="tsp")
+    assert planner.counters.cache_hits == 1
+
+
+def test_from_engine_config_reads_raster_group_size():
+    from repro.core.config import EngineConfig
+    from repro.gaussians.rasterizer import RasterSettings
+
+    cfg = EngineConfig(raster=RasterSettings(group_size=128))
+    planner = BatchPlanner.from_engine_config(cfg)
+    assert planner.group_size == 128

@@ -203,3 +203,38 @@ def test_failed_property_tracks_pending_error():
         ex.barrier()
     assert not ex.failed
     ex.close()
+
+
+def test_inline_stats_are_exact_zeros():
+    """workers=0: nothing can hide and nothing can block — hidden_s and
+    blocked_s are exact 0.0 (not stale accumulator noise) every drain."""
+    ex = OverlapExecutor(workers=0)
+    for _ in range(3):
+        ex.submit(time.sleep, 0.002)
+        ex.barrier()
+        stats = ex.drain_stats()
+        assert stats.hidden_s == 0.0
+        assert stats.blocked_s == 0.0
+        assert stats.tasks == 1
+        assert stats.task_s > 0.0
+    ex.close()
+
+
+def test_drain_stats_after_close_raises():
+    """A closed executor has no live counters — partial numbers would be
+    silently wrong, so the call fails loudly instead."""
+    ex = OverlapExecutor(workers=1)
+    ex.submit(lambda: None)
+    ex.barrier()
+    ex.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        ex.drain_stats()
+
+
+def test_drain_before_close_still_works():
+    """The supported order (drain, then close) keeps returning numbers."""
+    with OverlapExecutor(workers=1) as ex:
+        ex.submit(lambda: None)
+        ex.barrier()
+        stats = ex.drain_stats()
+        assert stats.tasks == 1

@@ -1,0 +1,216 @@
+"""Unit tests of the task-graph executor (no engines involved)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import GraphExecutor, TaskGraph, WorkerError
+
+
+def chain_graph(order):
+    """a -> b -> c recording execution order."""
+    g = TaskGraph()
+    a = g.add(lambda: order.append("a"), name="a")
+    b = g.add(lambda: order.append("b"), name="b", deps=(a,))
+    g.add(lambda: order.append("c"), name="c", deps=(b,))
+    return g
+
+
+def diamond_graph(order):
+    """a -> {b, c} -> d."""
+    g = TaskGraph()
+    a = g.add(lambda: order.append("a"), name="a")
+    b = g.add(lambda: order.append("b"), name="b", deps=(a,))
+    c = g.add(lambda: order.append("c"), name="c", deps=(a,))
+    g.add(lambda: order.append("d"), name="d", deps=(b, c))
+    return g
+
+
+def test_forward_dependency_rejected():
+    g = TaskGraph()
+    with pytest.raises(ValueError, match="earlier node"):
+        g.add(lambda: None, deps=(0,))  # no node 0 yet
+    a = g.add(lambda: None)
+    with pytest.raises(ValueError, match="earlier node"):
+        g.add(lambda: None, deps=(a + 5,))
+
+
+def test_inline_runs_in_topological_id_order():
+    order = []
+    with GraphExecutor(workers=0) as ex:
+        stats = ex.run(diamond_graph(order))
+    assert order == ["a", "b", "c", "d"]  # ties broken by id
+    assert stats.tasks == 4
+    assert stats.cancelled == 0
+
+
+def test_inline_independent_nodes_run_in_id_order():
+    order = []
+    g = TaskGraph()
+    for k in (0, 1, 2, 3):
+        g.add(lambda k=k: order.append(k))
+    with GraphExecutor(workers=0) as ex:
+        ex.run(g)
+    assert order == [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_pooled_respects_dependencies(workers):
+    """Every dep has completed when a node starts, at any pool size."""
+    completed = set()
+    lock = threading.Lock()
+    g = TaskGraph()
+    ids = {}
+
+    def node(name, deps):
+        with lock:
+            missing = set(deps) - completed
+            assert not missing, f"{name} started before {missing}"
+            completed.add(name)
+
+    a = g.add(node, "a", ())
+    ids["a"] = a
+    b = g.add(node, "b", ("a",), deps=(a,))
+    c = g.add(node, "c", ("a",), deps=(a,))
+    d = g.add(node, "d", ("b", "c"), deps=(b, c))
+    g.add(node, "e", ("d",), deps=(d,))
+    with GraphExecutor(workers=workers) as ex:
+        stats = ex.run(g)
+    assert completed == {"a", "b", "c", "d", "e"}
+    assert stats.tasks == 5
+
+
+def test_pooled_workers_run_off_thread():
+    seen = []
+    g = TaskGraph()
+    for _ in range(4):
+        g.add(lambda: seen.append(threading.get_ident()))
+    with GraphExecutor(workers=2) as ex:
+        ex.run(g)
+    assert len(seen) == 4
+    assert threading.get_ident() not in seen
+
+
+def test_executor_reusable_across_graphs():
+    with GraphExecutor(workers=2) as ex:
+        for _ in range(3):
+            order = []
+            stats = ex.run(chain_graph(order))
+            assert order == ["a", "b", "c"]
+            assert stats.tasks == 3
+
+
+def test_empty_graph():
+    with GraphExecutor(workers=0) as ex:
+        stats = ex.run(TaskGraph())
+        assert stats.tasks == 0
+        assert stats.task_s == 0.0
+        assert stats.hidden_s == 0.0
+    with GraphExecutor(workers=2) as ex:
+        assert ex.run(TaskGraph()).tasks == 0
+
+
+def test_kind_seconds_accounting():
+    g = TaskGraph()
+    a = g.add(time.sleep, 0.005, kind="forward")
+    g.add(time.sleep, 0.005, kind="adam", deps=(a,))
+    g.add(time.sleep, 0.005, kind="adam", deps=(a,))
+    with GraphExecutor(workers=0) as ex:
+        stats = ex.run(g)
+    assert set(stats.kind_s) == {"forward", "adam"}
+    assert stats.kind_s["adam"] >= 2 * 0.004
+    assert stats.kind_s["forward"] >= 0.004
+    assert stats.task_s == pytest.approx(sum(stats.kind_s.values()))
+
+
+def test_hidden_time_zero_inline_and_single_worker():
+    """The producer blocks in run(): nothing is hidden until two nodes
+    genuinely run concurrently."""
+    g1 = TaskGraph()
+    a = g1.add(time.sleep, 0.01)
+    g1.add(time.sleep, 0.01, deps=(a,))
+    with GraphExecutor(workers=0) as ex:
+        assert ex.run(g1).hidden_s == 0.0
+    g2 = TaskGraph()
+    g2.add(time.sleep, 0.01)
+    g2.add(time.sleep, 0.01)
+    with GraphExecutor(workers=1) as ex:
+        assert ex.run(g2).hidden_s == 0.0
+
+
+def test_hidden_time_measured_under_real_overlap():
+    g = TaskGraph()
+    g.add(time.sleep, 0.05)
+    g.add(time.sleep, 0.05)
+    with GraphExecutor(workers=2) as ex:
+        stats = ex.run(g)
+    assert stats.hidden_s >= 0.03
+    assert stats.hidden_s <= stats.wall_s
+    assert stats.busy_span_s >= stats.hidden_s
+
+
+def test_fail_fast_cancels_not_yet_started_nodes():
+    ran = []
+    g = TaskGraph()
+    a = g.add(lambda: ran.append("a"))
+    b = g.add(lambda: (_ for _ in ()).throw(RuntimeError("boom")), deps=(a,))
+    g.add(lambda: ran.append("c"), deps=(b,))
+    g.add(lambda: ran.append("d"), deps=(b,))
+    with GraphExecutor(workers=0) as ex:
+        with pytest.raises(WorkerError, match="boom"):
+            ex.run(g)
+        # The executor drained and recovered: a fresh graph still runs.
+        order = []
+        assert ex.run(chain_graph(order)).tasks == 3
+    assert ran == ["a"]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_fail_fast_pooled(workers):
+    ran = []
+
+    def boom():
+        raise ValueError("pooled boom")
+
+    g = TaskGraph()
+    a = g.add(boom)
+    g.add(lambda: ran.append("b"), deps=(a,))
+    g.add(lambda: ran.append("c"), deps=(a,))
+    with GraphExecutor(workers=workers) as ex:
+        with pytest.raises(WorkerError, match="pooled boom"):
+            ex.run(g)
+        assert ran == []
+        order = []
+        ex.run(chain_graph(order))
+        assert order == ["a", "b", "c"]
+
+
+def test_original_exception_chained():
+    g = TaskGraph()
+    g.add(lambda: (_ for _ in ()).throw(KeyError("inner")))
+    with GraphExecutor(workers=0) as ex:
+        with pytest.raises(WorkerError) as info:
+            ex.run(g)
+    assert isinstance(info.value.__cause__, KeyError)
+
+
+def test_run_after_close_raises():
+    ex = GraphExecutor(workers=1)
+    ex.close()
+    ex.close()  # idempotent
+    with pytest.raises(RuntimeError, match="closed"):
+        ex.run(TaskGraph())
+
+
+def test_args_and_kwargs_forwarded():
+    out = {}
+
+    def record(key, *, value):
+        out[key] = value
+
+    g = TaskGraph()
+    g.add(record, "k", value=42)
+    with GraphExecutor(workers=0) as ex:
+        ex.run(g)
+    assert out == {"k": 42}
